@@ -1,0 +1,90 @@
+// Ablation: sensitivity to the confidence level ρ (Eq. 16).
+//
+// ρ controls how conservatively the Eq. 18/20 anti-overflow constraints
+// box in the weights: larger ρ (larger β) shrinks the feasible set —
+// fewer overflows at inference but less freedom for the optimizer.  The
+// paper fixes one (unstated) ρ; this bench sweeps it and reports test
+// error plus observed inference-time overflow events.
+#include <cstdio>
+#include <string>
+
+#include "core/format_policy.h"
+#include "core/lda.h"
+#include "core/ldafp.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "stats/normal.h"
+#include "support/str.h"
+#include "support/table.h"
+
+int main() {
+  using namespace ldafp;
+
+  support::Rng rng(9);
+  const auto train = data::make_synthetic(3000, rng);
+  const auto test = data::make_synthetic(8000, rng);
+  const core::TrainingSet raw = train.to_training_set();
+
+  std::printf("Ablation — confidence level rho of Eq. 16 "
+              "(synthetic set, Q1.7 where Eq. 18/20 bind)\n\n");
+  support::TextTable table({"rho", "beta", "LDA-FP error",
+                            "Final overflows", "Product overflows",
+                            "LDA-FP cost", "Overflow-aware LDA error"});
+  // Fix the preprocessing (format + feature scale) at a reference
+  // confidence once: re-scaling per rho would exactly cancel the
+  // constraint tightening (the limit on |w_m| is max_value/(beta*sigma_m)
+  // and sigma_m scales like 1/beta under the format policy) — itself a
+  // finding this bench documents.
+  const core::FormatChoice choice =
+      core::choose_format(raw, 8, stats::confidence_beta(0.9), 1);
+  const core::TrainingSet scaled =
+      core::scale_training_set(raw, choice.feature_scale);
+  for (const double rho : {0.5, 0.9, 0.99, 0.999, 0.9999, 0.999999}) {
+    const double beta = stats::confidence_beta(rho);
+
+    core::LdaFpOptions options;
+    options.rho = rho;
+    options.bnb.max_nodes = 8000;
+    options.bnb.max_seconds = 20.0;
+    const core::LdaFpTrainer trainer(choice.format, options);
+    const core::LdaFpResult result = trainer.train(scaled);
+    if (!result.found()) {
+      table.add_row({support::format_double(rho, 6),
+                     support::format_double(beta, 3), "infeasible", "-",
+                     "-", "-", "-"});
+      continue;
+    }
+    const core::FixedClassifier clf = trainer.make_classifier(result);
+    fixed::DotDiagnostics diag;
+    const double error =
+        eval::evaluate(clf, test, choice.feature_scale, &diag).error();
+
+    // Contrast: the overflow-aware baseline *does* move with beta, since
+    // its power-of-two gain backs off until Eq. 18/20 hold.
+    const auto model = core::fit_two_class_model(
+        core::quantize_training_set(scaled, choice.format));
+    const core::FixedClassifier baseline = core::quantize_lda(
+        core::fit_lda(scaled), model, beta, choice.format,
+        core::LdaGainPolicy::kOverflowAware);
+    const double baseline_error =
+        eval::evaluate(baseline, test, choice.feature_scale).error();
+
+    table.add_row({support::format_double(rho, 6),
+                   support::format_double(beta, 3),
+                   support::format_percent(error),
+                   diag.final_overflow ? "yes" : "no",
+                   std::to_string(diag.product_overflows),
+                   support::format_double(result.cost, 6),
+                   support::format_percent(baseline_error)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Finding: LDA-FP is insensitive to rho — its cost is scale-"
+      "invariant, so the\noptimizer simply shrinks the weights away from "
+      "the tightening constraints with\nonly grid-resolution losses.  "
+      "The overflow-aware baseline, whose gain is set by\nbeta directly, "
+      "shows the dependence rho would otherwise cause.  This supports\n"
+      "the paper treating rho casually (\"sufficiently large\").\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation: covariance estimator on the small-sample BCI workload.
+//
+// 42 features from 112 training trials is the classic regime where
+// Ledoit-Wolf shrinkage helps generic classifiers — but this workload's
+// optimal weights live in the *off-diagonal structure* (noise
+// cancellation across correlated channels), which shrinkage toward the
+// identity attenuates.  This bench quantifies that tension for float
+// LDA, rounded LDA, and LDA-FP, applied symmetrically.
+#include <cstdio>
+#include <string>
+
+#include "data/bci_synthetic.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "core/lda.h"
+#include "support/str.h"
+#include "support/table.h"
+
+int main() {
+  using namespace ldafp;
+
+  support::Rng rng(16);
+  const auto dataset = data::make_bci_synthetic(rng);
+
+  std::printf("Ablation — covariance estimator on the BCI workload "
+              "(5-fold CV, 6-bit, max-range baseline)\n\n");
+  support::TextTable table({"Estimator", "Float LDA", "LDA (rounded)",
+                            "LDA-FP"});
+  for (const auto estimator : {stats::CovarianceEstimator::kEmpirical,
+                               stats::CovarianceEstimator::kLedoitWolf}) {
+    // Float LDA reference under this estimator.
+    support::Rng cv_rng(17);
+    const auto splits = data::stratified_k_fold(dataset, 5, cv_rng);
+    double float_err = 0.0;
+    std::size_t n = 0;
+    for (const auto& split : splits) {
+      const core::LdaModel lda =
+          core::fit_lda(split.train.to_training_set(), estimator);
+      const auto c = eval::evaluate(lda.classifier(), split.test);
+      float_err += c.error() * static_cast<double>(split.test.size());
+      n += split.test.size();
+    }
+    float_err /= static_cast<double>(n);
+
+    eval::ExperimentConfig config;
+    config.word_lengths = {6};
+    config.covariance = estimator;
+    config.lda_gain = core::LdaGainPolicy::kMaxRange;
+    config.ldafp.bnb.max_nodes = 250;
+    config.ldafp.bnb.max_seconds = 20.0;
+    config.ldafp.local_search_options.max_step_pow = 5;
+    support::Rng cv_rng2(17);
+    const auto rows = eval::run_cv_sweep(dataset, 5, config, cv_rng2);
+
+    table.add_row({stats::to_string(estimator),
+                   support::format_percent(float_err),
+                   support::format_percent(rows[0].lda_error),
+                   support::format_percent(rows[0].ldafp_error)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Finding: shrinkage blurs the channel correlations the "
+      "noise-cancelling weights\nexploit, so it costs float LDA and LDA-FP "
+      "accuracy — but it also tames the weight\ndynamic range, which "
+      "*helps* the rounded conventional baseline.  LDA-FP gets the\nsame "
+      "robustness from its grid-aware optimization and keeps the better "
+      "(empirical)\nstatistics — one more reading of the paper's thesis.\n");
+  return 0;
+}

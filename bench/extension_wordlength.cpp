@@ -1,0 +1,110 @@
+// Extension bench: per-feature word-length optimization (the paper's
+// named future work, Sec. 3) vs the paper's uniform format.
+//
+// Both columns spend the SAME total weight-storage budget B = Σ(K+F_m);
+// "uniform" splits it evenly (the paper's QK.F), "allocated" lets the
+// curvature-driven allocator (core/bit_allocation.h) distribute
+// fractional bits per weight.  On the synthetic set the informative
+// weight needs fine resolution while the noise-cancelling weights need
+// range, so non-uniform allocation should reach a given accuracy with a
+// smaller budget.
+#include <cstdio>
+#include <string>
+
+#include "core/bit_allocation.h"
+#include "core/format_policy.h"
+#include "core/ldafp.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "stats/normal.h"
+#include "support/str.h"
+#include "support/table.h"
+
+int main() {
+  using namespace ldafp;
+
+  support::Rng rng(21);
+  const auto train = data::make_synthetic(3000, rng);
+  const auto test = data::make_synthetic(10000, rng);
+  const core::TrainingSet raw = train.to_training_set();
+  const double beta = stats::confidence_beta(0.9999);
+
+  std::printf("Extension — per-feature word lengths vs uniform QK.F at "
+              "equal weight-storage budget (synthetic set)\n\n");
+  support::TextTable table({"Budget (bits)", "Uniform W/weight",
+                            "LDA-FP QK.F error", "Uniform-weights error",
+                            "Allocated F per weight", "Allocated error"});
+  for (const int w : {4, 5, 6, 8, 10}) {
+    const int budget = 3 * w;  // three weights
+
+    // Uniform reference: LDA-FP at QK.F with F = w - K.
+    const core::FormatChoice choice = core::choose_format(raw, w, beta, 2);
+    const core::TrainingSet scaled =
+        core::scale_training_set(raw, choice.feature_scale);
+    core::LdaFpOptions options;
+    options.bnb.max_nodes = 4000;
+    options.bnb.max_seconds = 15.0;
+    options.bnb.rel_gap = 1e-3;
+    const core::LdaFpTrainer trainer(choice.format, options);
+    const core::LdaFpResult uniform = trainer.train(scaled);
+    double uniform_error = 0.5;
+    if (uniform.found()) {
+      uniform_error = eval::evaluate(trainer.make_classifier(uniform), test,
+                                     choice.feature_scale).error();
+    }
+
+    // Mixed-format columns share a fine (12-bit) feature front end so the
+    // only difference between them is how the WEIGHT storage budget is
+    // laid out; the LDA-FP column above keeps the paper's setup where
+    // features and weights share QK.F at W bits.
+    const core::FormatChoice feature_choice =
+        core::choose_format(raw, 12, beta, 2);
+    const core::TrainingSet feature_scaled =
+        core::scale_training_set(raw, feature_choice.feature_scale);
+
+    auto mixed_error = [&](const core::BitAllocationResult& alloc) {
+      if (!alloc.found) return 0.5;
+      const core::MixedClassifier clf =
+          alloc.classifier(feature_choice.format);
+      std::size_t errors = 0;
+      for (std::size_t i = 0; i < test.size(); ++i) {
+        linalg::Vector x = test.samples[i];
+        x *= feature_choice.feature_scale;
+        if (clf.classify(x) != test.labels[i]) ++errors;
+      }
+      return static_cast<double>(errors) /
+             static_cast<double>(test.size());
+    };
+
+    const auto allocated = core::allocate_word_lengths(
+        feature_scaled, feature_choice.format, budget);
+    core::BitAllocationOptions uniform_opts;
+    uniform_opts.min_frac_bits = w - 2;
+    uniform_opts.max_frac_bits = w - 2;
+    const auto uniform_mixed = core::allocate_word_lengths(
+        feature_scaled, feature_choice.format, budget, uniform_opts);
+
+    std::string layout = "-";
+    if (allocated.found) {
+      layout.clear();
+      for (std::size_t m = 0; m < allocated.layout.size(); ++m) {
+        if (m != 0) layout += "/";
+        layout += std::to_string(allocated.layout.frac_bits(m));
+      }
+    }
+    table.add_row({std::to_string(budget), std::to_string(w),
+                   support::format_percent(uniform_error),
+                   support::format_percent(mixed_error(uniform_mixed)),
+                   layout,
+                   support::format_percent(mixed_error(allocated))});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: the last two columns share the weight budget and feature "
+      "front end and\ndiffer only in layout freedom; the allocator must "
+      "match or beat the uniform layout.\nAgainst the paper's setup "
+      "(first error column, features also at W bits) the mixed\npipeline "
+      "shows what a decoupled ADC width buys at small weight budgets.\n");
+  return 0;
+}

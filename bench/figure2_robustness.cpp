@@ -1,0 +1,89 @@
+// Reproduces the phenomenon of paper Figure 2: the boundary found by
+// conventional LDA sits on a knife edge — a one-ulp rounding
+// perturbation of a weight moves it from P_N to P_L/P_U and the error
+// explodes — while the LDA-FP boundary tolerates the same perturbation.
+//
+// Protocol (synthetic set, where the effect is structural): for each
+// word length, build both fixed-point boundaries, then perturb each
+// weight by ±1 ulp one at a time (the 2M rounded neighbours of the
+// boundary, Fig. 2's P_L/P_U) and report the nominal and the worst
+// perturbed error.  Conventional LDA keeps its informative weight w1 at
+// ~1 ulp, so one perturbation zeroes it and the classifier collapses to
+// chance; LDA-FP's w1 spans several ulp and survives.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "support/str.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace ldafp;
+
+/// Max error over the 2M one-weight ±1-ulp perturbations of a boundary.
+double worst_one_ulp_error(const linalg::Vector& weights, double threshold,
+                           const fixed::FixedFormat& fmt,
+                           const data::LabeledDataset& test, double scale) {
+  const double ulp = fmt.resolution();
+  double worst = 0.0;
+  for (std::size_t m = 0; m < weights.size(); ++m) {
+    for (const double delta : {ulp, -ulp}) {
+      linalg::Vector w = weights;
+      w[m] = fmt.round_to_grid(w[m] + delta);
+      bool all_zero = true;
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        if (w[i] != 0.0) all_zero = false;
+      }
+      if (all_zero) continue;
+      const core::FixedClassifier clf(fmt, w, threshold);
+      worst = std::max(worst, eval::evaluate(clf, test, scale).error());
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  support::Rng rng(20140601);
+  const auto train = data::make_synthetic(4000, rng);
+  const auto test = data::make_synthetic(10000, rng);
+
+  eval::ExperimentConfig config;
+  config.word_lengths = {12, 13, 14, 16};
+  config.ldafp.bnb.max_nodes = 8000;
+  config.ldafp.bnb.max_seconds = 15.0;
+  config.ldafp.bnb.rel_gap = 1e-3;
+
+  std::printf("Figure 2 — boundary fragility under one-ulp weight "
+              "perturbations (synthetic set)\n\n");
+  support::TextTable table({"W", "LDA nominal", "LDA worst P_L/P_U",
+                            "LDA-FP nominal", "LDA-FP worst P_L/P_U"});
+  for (const int w : config.word_lengths) {
+    const eval::TrialResult row = eval::run_trial(train, test, w, config);
+    const fixed::FixedFormat fmt = row.format_choice.format;
+    const double scale = row.format_choice.feature_scale;
+
+    const double lda_worst = worst_one_ulp_error(
+        row.lda_weights, row.lda_threshold, fmt, test, scale);
+    const double fp_worst = worst_one_ulp_error(
+        row.ldafp_weights, row.ldafp_threshold, fmt, test, scale);
+    table.add_row({std::to_string(w),
+                   support::format_percent(row.lda_error),
+                   support::format_percent(lda_worst),
+                   support::format_percent(row.ldafp_error),
+                   support::format_percent(fp_worst)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Shape check (paper Fig. 2): conventional LDA's boundary collapses "
+      "toward\nchance under a one-ulp perturbation (its informative "
+      "weight sits at ~1 ulp),\nwhile LDA-FP's boundary degrades "
+      "gracefully.\n");
+  return 0;
+}

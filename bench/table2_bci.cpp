@@ -1,0 +1,108 @@
+// Reproduces paper Table 2: 5-fold cross-validated classification error
+// and LDA-FP runtime on the brain-computer-interface workload, word
+// lengths 3-8 bits.
+//
+// The paper's private ECoG recordings are replaced by the synthetic BCI
+// generator (42 features, 70 trials per class — DESIGN.md §3); the
+// branch-and-bound search runs under a node budget (the paper's own runs
+// took up to ~50 minutes per word length on this workload), so rows
+// report the achieved optimality gap.  Expected shape: LDA-FP error <=
+// LDA error per word length, LDA-FP reaching LDA's 8-bit accuracy around
+// 6 bits (the paper's 1.8x power claim), noise from the small data set.
+#include <cstdio>
+#include <string>
+
+#include "data/bci_synthetic.h"
+#include "eval/experiment.h"
+#include "hw/power_model.h"
+#include "support/str.h"
+#include "support/table.h"
+
+namespace {
+
+struct PaperRow {
+  int word_length;
+  double lda_error;
+  double ldafp_error;
+  double runtime;
+};
+
+// Table 2 of the paper.
+constexpr PaperRow kPaperTable2[] = {
+    {3, 0.5000, 0.5214, 39.9},   {4, 0.4643, 0.3717, 219.7},
+    {5, 0.4071, 0.3214, 1913.5}, {6, 0.3214, 0.2071, 2977.0},
+    {7, 0.2143, 0.1929, 152.8},  {8, 0.2071, 0.2000, 221.1},
+};
+
+}  // namespace
+
+int main() {
+  using namespace ldafp;
+
+  support::Rng rng(16);
+  const auto dataset = data::make_bci_synthetic(rng);
+  std::printf("Table 2 — BCI movement decoding (synthetic ECoG stand-in), "
+              "%zu features, %zu trials/class, 5-fold CV\n\n",
+              dataset.dim(), dataset.count(core::Label::kClassA));
+
+  eval::ExperimentConfig config;
+  config.word_lengths = {3, 4, 5, 6, 7, 8};
+  config.ldafp.bnb.max_nodes = 400;  // anytime budget (42-dim search)
+  config.ldafp.bnb.max_seconds = 30.0;
+  config.ldafp.bnb.rel_gap = 1e-3;
+  // Longer local-search steps pay off in 42 dimensions.
+  config.ldafp.local_search_options.max_step_pow = 5;
+  // Give the baseline its best shot: power-of-two gain filling the
+  // weight range before rounding (the unit-norm variant never recovers
+  // on this generator's weight dynamic range; see bench/ablation_baseline).
+  config.lda_gain = core::LdaGainPolicy::kMaxRange;
+
+  support::Rng cv_rng(17);
+  support::TextTable table({"Word Length (Bit)", "LDA Error",
+                            "LDA-FP Error", "LDA-FP Runtime (s)",
+                            "Paper LDA", "Paper LDA-FP",
+                            "Paper Runtime (s)"});
+  std::vector<eval::CvTrialResult> rows;
+  for (std::size_t i = 0; i < config.word_lengths.size(); ++i) {
+    eval::ExperimentConfig one = config;
+    one.word_lengths = {config.word_lengths[i]};
+    const auto result = eval::run_cv_sweep(dataset, 5, one, cv_rng);
+    rows.push_back(result.front());
+    const auto& row = rows.back();
+    const PaperRow& paper = kPaperTable2[i];
+    table.add_row({std::to_string(row.word_length),
+                   support::format_percent(row.lda_error),
+                   support::format_percent(row.ldafp_error),
+                   support::format_double(row.ldafp_seconds, 1),
+                   support::format_percent(paper.lda_error),
+                   support::format_percent(paper.ldafp_error),
+                   support::format_double(paper.runtime, 1)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // The paper's power conclusion: find the shortest LDA-FP word length
+  // matching the best LDA error, convert to power with the quadratic
+  // rule.
+  double best_lda = 1.0;
+  for (const auto& row : rows) best_lda = std::min(best_lda, row.lda_error);
+  int lda_bits = 0;
+  int fp_bits = 0;
+  for (const auto& row : rows) {
+    if (lda_bits == 0 && row.lda_error <= best_lda + 1e-9) {
+      lda_bits = row.word_length;
+    }
+    if (fp_bits == 0 && row.ldafp_error <= best_lda + 0.005) {
+      fp_bits = row.word_length;
+    }
+  }
+  if (fp_bits != 0 && lda_bits != 0) {
+    const hw::PowerModel power;
+    std::printf("LDA needs %d bits for its best error (%s); LDA-FP matches "
+                "it at %d bits -> %.2fx power reduction (paper: 8 -> 6 "
+                "bits, 1.8x).\n",
+                lda_bits, support::format_percent(best_lda).c_str(),
+                fp_bits, power.power_ratio(lda_bits, fp_bits));
+  }
+  return 0;
+}

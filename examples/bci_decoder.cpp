@@ -1,0 +1,65 @@
+// BCI movement decoder: the paper's Sec. 5.2 application end to end.
+//
+//   $ ./bci_decoder [dataset.csv]
+//
+// Loads a 42-feature left/right movement dataset (CSV rows: 42 features
+// + 0/1 label) or generates the synthetic ECoG stand-in, then trains a
+// 6-bit LDA-FP decoder with 5-fold cross-validation and reports the
+// error and the implant power budget relative to an 8-bit conventional
+// design.
+#include <cstdio>
+#include <string>
+
+#include "data/bci_synthetic.h"
+#include "data/io.h"
+#include "eval/experiment.h"
+#include "hw/power_model.h"
+#include "support/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace ldafp;
+
+  support::Rng rng(2718);
+  data::LabeledDataset dataset;
+  if (argc > 1) {
+    dataset = data::load_csv(argv[1]);
+    std::printf("Loaded %zu trials x %zu features from %s\n",
+                dataset.size(), dataset.dim(), argv[1]);
+  } else {
+    dataset = data::make_bci_synthetic(rng);
+    std::printf("Generated synthetic ECoG stand-in: %zu trials x %zu "
+                "features\n",
+                dataset.size(), dataset.dim());
+  }
+
+  eval::ExperimentConfig config;
+  config.word_lengths = {6, 8};
+  config.ldafp.bnb.max_nodes = 250;  // anytime budget for the 42-dim MIP
+  config.ldafp.bnb.max_seconds = 20.0;
+  config.ldafp.bnb.rel_gap = 1e-3;
+
+  support::Rng cv_rng(3141);
+  const auto rows = eval::run_cv_sweep(dataset, 5, config, cv_rng);
+
+  std::printf("\n5-fold cross-validated movement decoding error:\n");
+  for (const auto& row : rows) {
+    std::printf("  %d-bit: LDA %.2f%%  LDA-FP %.2f%%  (training %.1fs)\n",
+                row.word_length, 100.0 * row.lda_error,
+                100.0 * row.ldafp_error, row.ldafp_seconds);
+  }
+
+  const auto& six = rows[0];
+  const auto& eight = rows[1];
+  const hw::PowerModel power;
+  if (six.ldafp_error <= eight.lda_error + 0.01) {
+    std::printf("\nA 6-bit LDA-FP decoder matches the 8-bit conventional "
+                "design:\n  -> %.2fx lower implant power (paper Table 2: "
+                "1.8x).\n",
+                power.power_ratio(8, 6));
+  } else {
+    std::printf("\n6-bit LDA-FP trails the 8-bit conventional design on "
+                "this draw;\nincrease the node budget or the word "
+                "length.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Command-line trainer: the adoption path for users with their own data.
+//
+//   ldafp_cli train  <train.csv> <word_length> [--k K] [--rho R]
+//                    [--nodes N] [--seconds S] [--rom out.hex]
+//   ldafp_cli eval   <rom.hex> <test.csv> [--scale S]
+//   ldafp_cli sweep  <data.csv> <target_error_percent> [--folds F]
+//
+// CSV rows are features... , label (0 = class A, 1 = class B).
+// `train` fits LDA-FP, prints the baseline comparison, and optionally
+// writes the weight ROM image (the feature scale is printed — apply the
+// same scale at inference, or pass it to `eval`).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/format_policy.h"
+#include "core/lda.h"
+#include "core/ldafp.h"
+#include "data/io.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "hw/rom_image.h"
+#include "hw/verilog_gen.h"
+#include "stats/normal.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace ldafp;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ldafp_cli train <train.csv> <word_length> [--k K] "
+               "[--rho R] [--nodes N] [--seconds S] [--rom out.hex]\n"
+               "  ldafp_cli eval <rom.hex> <test.csv> [--scale S]\n"
+               "  ldafp_cli sweep <data.csv> <target_error_percent> "
+               "[--folds F]\n");
+  return 2;
+}
+
+double flag_value(int argc, char** argv, const char* name,
+                  double fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+const char* flag_string(int argc, char** argv, const char* name) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+int cmd_train(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const data::LabeledDataset train = data::load_csv(argv[2]);
+  const int word_length = std::atoi(argv[3]);
+  const int k = static_cast<int>(flag_value(argc, argv, "--k", 2));
+  const double rho = flag_value(argc, argv, "--rho", 0.9999);
+  std::printf("Loaded %zu samples x %zu features\n", train.size(),
+              train.dim());
+
+  const double beta = stats::confidence_beta(rho);
+  const core::TrainingSet raw = train.to_training_set();
+  const core::FormatChoice choice =
+      core::choose_format(raw, word_length, beta, k);
+  const core::TrainingSet scaled =
+      core::scale_training_set(raw, choice.feature_scale);
+  std::printf("Format %s, feature scale %g (apply at inference)\n",
+              choice.format.to_string().c_str(), choice.feature_scale);
+
+  core::LdaFpOptions options;
+  options.rho = rho;
+  options.bnb.max_nodes = static_cast<std::size_t>(
+      flag_value(argc, argv, "--nodes", 5000));
+  options.bnb.max_seconds = flag_value(argc, argv, "--seconds", 60);
+  const core::LdaFpTrainer trainer(choice.format, options);
+  const core::LdaFpResult result = trainer.train(scaled);
+  if (!result.found()) {
+    std::printf("No feasible classifier at this format.\n");
+    return 1;
+  }
+  const core::FixedClassifier clf = trainer.make_classifier(result);
+  std::printf("LDA-FP: cost %.6g, %zu nodes, %.2fs, status %s, gap %.3g\n",
+              result.cost, result.search.nodes_processed,
+              result.train_seconds, opt::to_string(result.search.status),
+              result.search.gap());
+
+  // Training-set error comparison against the rounded-LDA baseline.
+  const auto model = core::fit_two_class_model(
+      core::quantize_training_set(scaled, choice.format));
+  const core::FixedClassifier baseline = core::quantize_lda(
+      core::fit_lda(scaled), model, beta, choice.format,
+      core::LdaGainPolicy::kMaxRange);
+  std::printf("Training-set error: LDA-FP %.2f%% vs rounded LDA %.2f%%\n",
+              100.0 * eval::evaluate(clf, train,
+                                     choice.feature_scale).error(),
+              100.0 * eval::evaluate(baseline, train,
+                                     choice.feature_scale).error());
+
+  if (const char* rom = flag_string(argc, argv, "--rom")) {
+    hw::save_rom_image(rom, clf);
+    std::printf("Wrote weight ROM image to %s\n", rom);
+  }
+  if (const char* rtl = flag_string(argc, argv, "--verilog")) {
+    // RTL + self-checking testbench with golden vectors from the first
+    // training samples (scaled like inference inputs).
+    std::vector<linalg::Vector> probes;
+    for (std::size_t i = 0; i < std::min<std::size_t>(train.size(), 16);
+         ++i) {
+      linalg::Vector x = train.samples[i];
+      x *= choice.feature_scale;
+      probes.push_back(std::move(x));
+    }
+    hw::save_verilog(rtl, clf, hw::make_golden_vectors(clf, probes));
+    std::printf("Wrote Verilog module + testbench to %s/\n", rtl);
+  }
+  return 0;
+}
+
+int cmd_eval(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const hw::RomImage image = hw::load_rom_image(argv[2]);
+  const data::LabeledDataset test = data::load_csv(argv[3]);
+  const double scale = flag_value(argc, argv, "--scale", 1.0);
+  const core::FixedClassifier clf = image.classifier();
+  fixed::DotDiagnostics diag;
+  const eval::Confusion c = eval::evaluate(clf, test, scale, &diag);
+  std::printf("Format %s, %zu weights\n", image.format.to_string().c_str(),
+              image.weights.size());
+  std::printf("Error %.2f%% on %zu samples (A->B %zu, B->A %zu)\n",
+              100.0 * c.error(), c.total(), c.a_as_b, c.b_as_a);
+  std::printf("Overflow events: %d product, %d accumulator wraps, final "
+              "overflow %s\n",
+              diag.product_overflows, diag.accumulator_wraps,
+              diag.final_overflow ? "YES" : "no");
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const data::LabeledDataset data = data::load_csv(argv[2]);
+  const double target = std::atof(argv[3]) / 100.0;
+  const auto folds = static_cast<std::size_t>(
+      flag_value(argc, argv, "--folds", 5));
+
+  eval::ExperimentConfig config;
+  config.word_lengths = {3, 4, 5, 6, 7, 8, 10, 12};
+  config.ldafp.bnb.max_nodes = 1000;
+  config.ldafp.bnb.max_seconds = 30.0;
+  config.ldafp.bnb.rel_gap = 1e-3;
+  support::Rng rng(1);
+  const auto choice =
+      eval::select_min_word_length(data, folds, config, target, rng);
+  if (!choice.has_value()) {
+    std::printf("No swept word length meets %.2f%% error.\n",
+                100.0 * target);
+    return 1;
+  }
+  std::printf("Smallest word length meeting %.2f%%: %d bits "
+              "(CV error %.2f%%)\n",
+              100.0 * target, choice->word_length,
+              100.0 * choice->cv_error);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "train") == 0) return cmd_train(argc, argv);
+    if (std::strcmp(argv[1], "eval") == 0) return cmd_eval(argc, argv);
+    if (std::strcmp(argv[1], "sweep") == 0) return cmd_sweep(argc, argv);
+  } catch (const ldafp::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,88 @@
+// Word-length explorer: the design-space tool a chip architect would
+// actually run — sweep word lengths, find the cheapest format meeting an
+// accuracy target, and report the power cost of each choice.
+//
+//   $ ./wordlength_explorer [target_error_percent] [dataset.csv]
+//
+// Defaults: 25% target on the paper's synthetic workload.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/io.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "hw/power_model.h"
+#include "support/rng.h"
+#include "support/str.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ldafp;
+
+  const double target =
+      argc > 1 ? std::atof(argv[1]) / 100.0 : 0.25;
+
+  support::Rng rng(555);
+  data::LabeledDataset train;
+  data::LabeledDataset test;
+  if (argc > 2) {
+    const data::LabeledDataset all = data::load_csv(argv[2]);
+    support::Rng split_rng(556);
+    const data::Split split = data::stratified_split(all, 0.7, split_rng);
+    train = split.train;
+    test = split.test;
+    std::printf("Loaded %zu samples (%zu train / %zu test) from %s\n",
+                all.size(), train.size(), test.size(), argv[2]);
+  } else {
+    train = data::make_synthetic(3000, rng);
+    test = data::make_synthetic(10000, rng);
+    std::printf("Using the synthetic workload (%zu train / %zu test)\n",
+                train.size(), test.size());
+  }
+  std::printf("Accuracy target: error <= %s\n\n",
+              support::format_percent(target).c_str());
+
+  eval::ExperimentConfig config;
+  config.word_lengths = {4, 5, 6, 7, 8, 10, 12};
+  config.ldafp.bnb.max_nodes = 4000;
+  config.ldafp.bnb.max_seconds = 15.0;
+  config.ldafp.bnb.rel_gap = 1e-3;
+
+  const hw::PowerModel power;
+  support::TextTable table({"W", "Format", "LDA error", "LDA-FP error",
+                            "Power (rel. 12-bit)", "Meets target?"});
+  int cheapest_fp = 0;
+  int cheapest_lda = 0;
+  for (const int w : config.word_lengths) {
+    const eval::TrialResult row = eval::run_trial(train, test, w, config);
+    const bool fp_ok = row.ldafp_error <= target;
+    const bool lda_ok = row.lda_error <= target;
+    if (fp_ok && cheapest_fp == 0) cheapest_fp = w;
+    if (lda_ok && cheapest_lda == 0) cheapest_lda = w;
+    table.add_row({std::to_string(w),
+                   row.format_choice.format.to_string(),
+                   support::format_percent(row.lda_error),
+                   support::format_percent(row.ldafp_error),
+                   support::format_double(
+                       power.power(w) / power.power(12), 3),
+                   fp_ok ? (lda_ok ? "both" : "LDA-FP only")
+                         : (lda_ok ? "LDA only" : "neither")});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  if (cheapest_fp != 0 && cheapest_lda != 0) {
+    std::printf("Cheapest format meeting the target: LDA-FP %d bits vs "
+                "conventional %d bits -> %.1fx power saving.\n",
+                cheapest_fp, cheapest_lda,
+                power.power_ratio(cheapest_lda, cheapest_fp));
+  } else if (cheapest_fp != 0) {
+    std::printf("Only LDA-FP meets the target (at %d bits) within the "
+                "swept word lengths.\n", cheapest_fp);
+  } else {
+    std::printf("No swept word length meets the target; relax the target "
+                "or extend the sweep.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "core/classifier.h"
+
+#include "support/error.h"
+
+namespace ldafp::core {
+
+LinearClassifier::LinearClassifier(linalg::Vector weights, double threshold)
+    : weights_(std::move(weights)), threshold_(threshold) {
+  LDAFP_CHECK(!weights_.empty(), "classifier needs at least one weight");
+}
+
+double LinearClassifier::project(const linalg::Vector& x) const {
+  return linalg::dot(weights_, x);
+}
+
+Label LinearClassifier::classify(const linalg::Vector& x) const {
+  return project(x) >= threshold_ ? Label::kClassA : Label::kClassB;
+}
+
+FixedClassifier::FixedClassifier(fixed::FixedFormat fmt,
+                                 const linalg::Vector& weights,
+                                 double threshold, fixed::RoundingMode mode,
+                                 fixed::AccumulatorMode acc)
+    : fmt_(fmt),
+      threshold_(fixed::Fixed::from_real_saturate(fmt, threshold, mode)),
+      mode_(mode),
+      acc_(acc) {
+  LDAFP_CHECK(weights.size() > 0, "classifier needs at least one weight");
+  weights_.reserve(weights.size());
+  for (std::size_t m = 0; m < weights.size(); ++m) {
+    LDAFP_CHECK(fmt_.representable(weights[m]),
+                "weight is not representable in the classifier format; "
+                "quantize explicitly first");
+    weights_.push_back(fixed::Fixed::from_real_saturate(fmt_, weights[m]));
+  }
+}
+
+linalg::Vector FixedClassifier::weights_real() const {
+  return fixed::to_real(weights_);
+}
+
+fixed::Fixed FixedClassifier::project(const linalg::Vector& x,
+                                      fixed::DotDiagnostics* diag) const {
+  const std::vector<fixed::Fixed> xq = fixed::quantize_vector(x, fmt_, mode_);
+  return fixed::dot_datapath(weights_, xq, fmt_, mode_, acc_, diag);
+}
+
+Label FixedClassifier::classify(const linalg::Vector& x,
+                                fixed::DotDiagnostics* diag) const {
+  const fixed::Fixed y = project(x, diag);
+  return y.raw() >= threshold_.raw() ? Label::kClassA : Label::kClassB;
+}
+
+}  // namespace ldafp::core

@@ -1,0 +1,88 @@
+// Linear classifiers: the floating-point reference and the on-chip
+// fixed-point implementation.
+//
+// Both evaluate the paper's decision rule (Eq. 12):
+//     wᵀx - wᵀ(μ_A + μ_B)/2  >= 0  ->  class A, else class B.
+// The fixed-point version computes wᵀx with the QK.F MAC datapath
+// (per-product rounding, wrapping accumulation) and compares the W-bit
+// result against the stored W-bit threshold with an exact magnitude
+// comparator — the circuit the paper targets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/dot.h"
+#include "fixed/format.h"
+#include "linalg/vector.h"
+
+namespace ldafp::core {
+
+/// Class labels of the binary problem.
+enum class Label : std::uint8_t { kClassA = 0, kClassB = 1 };
+
+/// Floating-point linear classifier (the conventional-LDA reference).
+class LinearClassifier {
+ public:
+  /// Builds from a weight vector and decision threshold
+  /// b = wᵀ(μ_A + μ_B)/2.
+  LinearClassifier(linalg::Vector weights, double threshold);
+
+  const linalg::Vector& weights() const { return weights_; }
+  double threshold() const { return threshold_; }
+  std::size_t dim() const { return weights_.size(); }
+
+  /// Projection y = wᵀx.
+  double project(const linalg::Vector& x) const;
+
+  /// Decision rule of Eq. 12.
+  Label classify(const linalg::Vector& x) const;
+
+ private:
+  linalg::Vector weights_;
+  double threshold_;
+};
+
+/// Fixed-point linear classifier executing the on-chip datapath.
+class FixedClassifier {
+ public:
+  /// Builds from *already grid-representable* weights and a real
+  /// threshold (quantized internally with saturation).  Throws
+  /// InvalidArgumentError when a weight is not representable in `fmt` —
+  /// quantize first (fixed::snap_to_grid) so the caller owns that
+  /// rounding decision.
+  FixedClassifier(fixed::FixedFormat fmt, const linalg::Vector& weights,
+                  double threshold,
+                  fixed::RoundingMode mode = fixed::RoundingMode::kNearestEven,
+                  fixed::AccumulatorMode acc = fixed::AccumulatorMode::kWide);
+
+  const fixed::FixedFormat& format() const { return fmt_; }
+  /// The quantized weights as reals (exact grid values).
+  linalg::Vector weights_real() const;
+  /// The quantized threshold as a real (exact grid value).
+  double threshold_real() const { return threshold_.to_real(); }
+  std::size_t dim() const { return weights_.size(); }
+
+  /// Runs the datapath on a real feature vector (features are quantized
+  /// with saturation first, as the paper's preprocessing prescribes).
+  /// Optional diagnostics report overflow events.
+  fixed::Fixed project(const linalg::Vector& x,
+                       fixed::DotDiagnostics* diag = nullptr) const;
+
+  /// Decision rule: datapath projection compared against the stored
+  /// threshold with an exact W-bit comparator.
+  Label classify(const linalg::Vector& x,
+                 fixed::DotDiagnostics* diag = nullptr) const;
+
+  /// The accumulator architecture this classifier models.
+  fixed::AccumulatorMode accumulator() const { return acc_; }
+
+ private:
+  fixed::FixedFormat fmt_;
+  std::vector<fixed::Fixed> weights_;
+  fixed::Fixed threshold_;
+  fixed::RoundingMode mode_;
+  fixed::AccumulatorMode acc_;
+};
+
+}  // namespace ldafp::core

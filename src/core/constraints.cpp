@@ -1,0 +1,127 @@
+#include "core/constraints.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace ldafp::core {
+namespace {
+
+/// Tightens `hi` (an upper bound for w >= 0) with the constraint
+/// w * c <= bound, where bound >= 0.
+void tighten_pos_le(double c, double bound, double& hi) {
+  if (c > 0.0) hi = std::min(hi, bound / c);
+}
+
+/// Tightens `hi` with w * c >= bound for w >= 0, where bound <= 0.
+void tighten_pos_ge(double c, double bound, double& hi) {
+  if (c < 0.0) hi = std::min(hi, bound / c);
+}
+
+/// Tightens `lo` (a lower bound for w <= 0) with w * c <= bound,
+/// bound >= 0.
+void tighten_neg_le(double c, double bound, double& lo) {
+  if (c < 0.0) lo = std::max(lo, bound / c);
+}
+
+/// Tightens `lo` with w * c >= bound for w <= 0, bound <= 0.
+void tighten_neg_ge(double c, double bound, double& lo) {
+  if (c > 0.0) lo = std::max(lo, bound / c);
+}
+
+}  // namespace
+
+opt::Interval feasible_weight_interval(std::size_t m,
+                                       const stats::TwoClassModel& model,
+                                       double beta,
+                                       const fixed::FixedFormat& fmt) {
+  LDAFP_CHECK(m < model.class_a.dim(), "feature index out of range");
+  LDAFP_CHECK(beta >= 0.0, "beta must be non-negative");
+  const double lo_limit = fmt.min_value();   // -2^{K-1}  (< 0)
+  const double hi_limit = fmt.max_value();   // 2^{K-1} - 2^-F  (>= 0)
+
+  double hi = hi_limit;  // bound for the w >= 0 branch
+  double lo = lo_limit;  // bound for the w <= 0 branch
+  for (const stats::GaussianModel* cls : {&model.class_a, &model.class_b}) {
+    const double mu = cls->mu()[m];
+    const double sd = cls->marginal_sigma(m);
+    // w >= 0: |w| = w.
+    //   w*(mu - beta*sd) >= lo_limit  and  w*(mu + beta*sd) <= hi_limit
+    tighten_pos_ge(mu - beta * sd, lo_limit, hi);
+    tighten_pos_le(mu + beta * sd, hi_limit, hi);
+    // w <= 0: |w| = -w.
+    //   w*(mu + beta*sd) >= lo_limit  and  w*(mu - beta*sd) <= hi_limit
+    tighten_neg_ge(mu + beta * sd, lo_limit, lo);
+    tighten_neg_le(mu - beta * sd, hi_limit, lo);
+  }
+  // Zero always satisfies Eq. 18, so the branches join into one interval.
+  hi = std::max(hi, 0.0);
+  lo = std::min(lo, 0.0);
+  return opt::Interval{lo, hi};
+}
+
+opt::Box feasible_weight_box(const stats::TwoClassModel& model, double beta,
+                             const fixed::FixedFormat& fmt) {
+  const std::size_t dim = model.class_a.dim();
+  std::vector<opt::Interval> dims;
+  dims.reserve(dim);
+  for (std::size_t m = 0; m < dim; ++m) {
+    dims.push_back(feasible_weight_interval(m, model, beta, fmt));
+  }
+  return opt::Box(std::move(dims));
+}
+
+bool satisfies_product_constraints(const linalg::Vector& w,
+                                   const stats::TwoClassModel& model,
+                                   double beta, const fixed::FixedFormat& fmt,
+                                   double tol) {
+  LDAFP_CHECK(tol >= 0.0, "tolerance must be non-negative");
+  for (std::size_t m = 0; m < w.size(); ++m) {
+    for (const stats::GaussianModel* cls :
+         {&model.class_a, &model.class_b}) {
+      const stats::Interval iv = cls->product_interval(w[m], m, beta);
+      if (iv.lo < fmt.min_value() - tol) return false;
+      if (iv.hi > fmt.max_value() + tol) return false;
+    }
+  }
+  return true;
+}
+
+bool satisfies_projection_constraints(const linalg::Vector& w,
+                                      const stats::TwoClassModel& model,
+                                      double beta,
+                                      const fixed::FixedFormat& fmt,
+                                      double tol) {
+  LDAFP_CHECK(tol >= 0.0, "tolerance must be non-negative");
+  for (const stats::GaussianModel* cls : {&model.class_a, &model.class_b}) {
+    const stats::Interval iv = cls->projection_interval(w, beta);
+    if (iv.lo < fmt.min_value() - tol) return false;
+    if (iv.hi > fmt.max_value() + tol) return false;
+  }
+  return true;
+}
+
+bool is_feasible_weight(const linalg::Vector& w,
+                        const stats::TwoClassModel& model, double beta,
+                        const fixed::FixedFormat& fmt, double tol) {
+  return satisfies_product_constraints(w, model, beta, fmt, tol) &&
+         satisfies_projection_constraints(w, model, beta, fmt, tol);
+}
+
+opt::Interval initial_t_interval(const linalg::Vector& mean_diff,
+                                 const opt::Box& w_box) {
+  LDAFP_CHECK(mean_diff.size() == w_box.size(),
+              "t interval dimension mismatch");
+  double lo = 0.0;
+  double hi = 0.0;
+  for (std::size_t m = 0; m < mean_diff.size(); ++m) {
+    const double d = mean_diff[m];
+    const double a = d * w_box[m].lo;
+    const double b = d * w_box[m].hi;
+    lo += std::min(a, b);
+    hi += std::max(a, b);
+  }
+  return opt::Interval{lo, hi};
+}
+
+}  // namespace ldafp::core

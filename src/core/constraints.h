@@ -1,0 +1,56 @@
+// LDA-FP's anti-overflow constraints (paper Eqs. 18 and 20) and the
+// closed-form reduction of the per-element constraints to interval bounds.
+//
+// Key observation (DESIGN.md §5): each of the four Eq. 18 inequalities for
+// feature m involves only w_m and |w_m|, is satisfied at w_m = 0, and is
+// monotone in |w_m| on each sign branch — so the Eq. 18 feasible set for
+// w_m is a single interval [lo_m, hi_m] containing 0, computable exactly.
+// This turns Eq. 18 into box constraints for both the convex relaxation
+// and grid enumeration.
+#pragma once
+
+#include "fixed/format.h"
+#include "linalg/vector.h"
+#include "opt/box.h"
+#include "stats/gaussian_model.h"
+
+namespace ldafp::core {
+
+/// Exact feasible interval for w_m under Eq. 18 (both classes) intersected
+/// with the format's representable range.  Always contains 0.
+opt::Interval feasible_weight_interval(std::size_t m,
+                                       const stats::TwoClassModel& model,
+                                       double beta,
+                                       const fixed::FixedFormat& fmt);
+
+/// Box of feasible_weight_interval over all features — the w-part of the
+/// branch-and-bound root box (Eq. 28 tightened by Eq. 18).
+opt::Box feasible_weight_box(const stats::TwoClassModel& model, double beta,
+                             const fixed::FixedFormat& fmt);
+
+/// Direct check of the four Eq. 18 inequalities for every feature, with
+/// slack tolerance `tol` (>= 0).
+bool satisfies_product_constraints(const linalg::Vector& w,
+                                   const stats::TwoClassModel& model,
+                                   double beta, const fixed::FixedFormat& fmt,
+                                   double tol = 0.0);
+
+/// Direct check of the four Eq. 20 projection inequalities.
+bool satisfies_projection_constraints(const linalg::Vector& w,
+                                      const stats::TwoClassModel& model,
+                                      double beta,
+                                      const fixed::FixedFormat& fmt,
+                                      double tol = 0.0);
+
+/// Both Eq. 18 and Eq. 20.
+bool is_feasible_weight(const linalg::Vector& w,
+                        const stats::TwoClassModel& model, double beta,
+                        const fixed::FixedFormat& fmt, double tol = 0.0);
+
+/// Initial interval for the auxiliary variable t = (μ_A − μ_B)ᵀ w
+/// (Eq. 29), computed from the w box via interval arithmetic (tighter
+/// than the paper's L1-norm bound when Eq. 18 already shrinks the box).
+opt::Interval initial_t_interval(const linalg::Vector& mean_diff,
+                                 const opt::Box& w_box);
+
+}  // namespace ldafp::core

@@ -1,0 +1,47 @@
+// Greedy feature (channel) selection for the fixed-point classifier.
+//
+// Every feature costs the implant a MAC cycle, a weight-ROM word, and an
+// acquisition channel, so pruning features attacks the same power budget
+// the paper attacks with word length — the two compose (select channels,
+// then train LDA-FP on the survivors).  Selection is classic greedy
+// forward search on the Fisher separation
+//     J(S) = d_Sᵀ (S_W,S)⁻¹ d_S,
+// the multivariate signal-to-noise of the selected subset S (the
+// infinite-data optimum of the paper's Eq. 10 objective restricted
+// to S).  J is monotone in S, so the reported per-step criterion traces
+// the accuracy/channel-count frontier.
+#pragma once
+
+#include <vector>
+
+#include "core/training_set.h"
+#include "linalg/vector.h"
+
+namespace ldafp::core {
+
+/// Selection outcome.
+struct FeatureSelectionResult {
+  /// Selected feature indices, in the order the greedy search added them.
+  std::vector<std::size_t> selected;
+  /// J(S) after each addition: criterion_path[i] is the separation with
+  /// the first i+1 features.
+  std::vector<double> criterion_path;
+
+  /// Final criterion value (0 when nothing was selected).
+  double criterion() const {
+    return criterion_path.empty() ? 0.0 : criterion_path.back();
+  }
+};
+
+/// Greedily selects up to `k` features.  A small ridge stabilizes the
+/// subset-scatter inverses.  Throws InvalidArgumentError on invalid data
+/// or k == 0.
+FeatureSelectionResult select_features(const TrainingSet& data,
+                                       std::size_t k);
+
+/// Restriction of a training set to the selected features (in `selected`
+/// order).
+TrainingSet project_features(const TrainingSet& data,
+                             const std::vector<std::size_t>& selected);
+
+}  // namespace ldafp::core

@@ -1,0 +1,101 @@
+#include "core/lda.h"
+
+#include <cmath>
+
+#include "core/constraints.h"
+#include "fixed/grid.h"
+#include "linalg/ops.h"
+#include "stats/descriptive.h"
+#include "support/error.h"
+
+namespace ldafp::core {
+
+const char* to_string(LdaGainPolicy policy) {
+  switch (policy) {
+    case LdaGainPolicy::kUnitNorm: return "unit-norm";
+    case LdaGainPolicy::kMaxRange: return "max-range";
+    case LdaGainPolicy::kOverflowAware: return "overflow-aware";
+  }
+  return "?";
+}
+
+LdaModel fit_lda(const TrainingSet& data,
+                 stats::CovarianceEstimator estimator) {
+  LDAFP_CHECK(data.valid(), "training set must have samples in both classes");
+  const linalg::Vector mu_a = stats::sample_mean(data.class_a);
+  const linalg::Vector mu_b = stats::sample_mean(data.class_b);
+  const linalg::Matrix sigma_a =
+      stats::estimate_covariance(data.class_a, mu_a, estimator);
+  const linalg::Matrix sigma_b =
+      stats::estimate_covariance(data.class_b, mu_b, estimator);
+  linalg::Matrix sw = stats::within_class_scatter(sigma_a, sigma_b);
+
+  // Ridge proportional to the average eigenvalue keeps the solve stable
+  // when features are collinear (quantized data often is).
+  double trace = 0.0;
+  for (std::size_t i = 0; i < sw.rows(); ++i) trace += sw(i, i);
+  const double ridge =
+      1e-10 * std::max(trace / static_cast<double>(sw.rows()), 1e-300);
+  for (std::size_t i = 0; i < sw.rows(); ++i) sw(i, i) += ridge;
+
+  const linalg::Vector diff = mu_a - mu_b;
+  linalg::Vector w = linalg::solve_spd_or_lu(sw, diff);
+  const double norm = w.norm2();
+  LDAFP_CHECK(norm > 0.0, "LDA produced a zero weight vector "
+                          "(identical class means?)");
+  w /= norm;
+
+  LdaModel model;
+  model.threshold = 0.5 * (linalg::dot(w, mu_a) + linalg::dot(w, mu_b));
+  model.weights = std::move(w);
+  model.mu_a = mu_a;
+  model.mu_b = mu_b;
+  return model;
+}
+
+double lda_pow2_gain(const LdaModel& model,
+                     const stats::TwoClassModel& model_stats, double beta,
+                     const fixed::FixedFormat& fmt, LdaGainPolicy policy) {
+  if (policy == LdaGainPolicy::kUnitNorm) return 1.0;
+
+  const double max_abs_w = model.weights.norm_inf();
+  LDAFP_CHECK(max_abs_w > 0.0, "zero weight vector");
+  // Largest power of two with gain * max|w| <= max_value.
+  const double limit = fmt.max_value() / max_abs_w;
+  int exponent = static_cast<int>(std::floor(std::log2(limit)));
+  double gain = std::ldexp(1.0, exponent);
+  if (policy == LdaGainPolicy::kMaxRange) return gain;
+
+  // Overflow-aware: back the gain off until the scaled weights satisfy
+  // the Eq. 18/20 confidence constraints.  The constraints shrink
+  // homogeneously with the gain, so halving terminates.  Stop once the
+  // weights become smaller than one grid step — further shrinking only
+  // rounds them all to zero anyway.
+  const double floor_gain = fmt.resolution() / max_abs_w;
+  while (gain > floor_gain) {
+    linalg::Vector scaled = model.weights;
+    scaled *= gain;
+    if (is_feasible_weight(scaled, model_stats, beta, fmt)) break;
+    gain *= 0.5;
+  }
+  return gain;
+}
+
+FixedClassifier quantize_lda(const LdaModel& model,
+                             const stats::TwoClassModel& model_stats,
+                             double beta, const fixed::FixedFormat& fmt,
+                             LdaGainPolicy policy, fixed::RoundingMode mode) {
+  const double gain = lda_pow2_gain(model, model_stats, beta, fmt, policy);
+  linalg::Vector scaled = model.weights;
+  scaled *= gain;
+  const linalg::Vector rounded = fixed::snap_to_grid(scaled, fmt, mode);
+  // The threshold scales with the same gain, then is recomputed from the
+  // *rounded* weights so the boundary stays centered between the class
+  // means (Eq. 12 with the quantized w).
+  const double threshold =
+      0.5 * (linalg::dot(rounded, model.mu_a) +
+             linalg::dot(rounded, model.mu_b));
+  return FixedClassifier(fmt, rounded, threshold, mode);
+}
+
+}  // namespace ldafp::core

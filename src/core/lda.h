@@ -1,0 +1,78 @@
+// Conventional linear discriminant analysis (paper Sec. 2) and its
+// round-after-training fixed-point variant — the baseline LDA-FP is
+// compared against in Tables 1 and 2.
+#pragma once
+
+#include "core/classifier.h"
+#include "core/training_set.h"
+#include "fixed/format.h"
+#include "linalg/vector.h"
+#include "stats/gaussian_model.h"
+
+namespace ldafp::core {
+
+/// Result of a conventional LDA fit.
+struct LdaModel {
+  linalg::Vector weights;   ///< w ∝ S_W⁻¹(μ_A − μ_B), normalized ‖w‖₂ = 1
+  double threshold = 0.0;   ///< wᵀ(μ_A + μ_B)/2  (Eq. 12)
+  linalg::Vector mu_a;
+  linalg::Vector mu_b;
+
+  /// Floating-point classifier view.
+  LinearClassifier classifier() const {
+    return LinearClassifier(weights, threshold);
+  }
+};
+
+/// Fits conventional LDA: w = S_W⁻¹ (μ_A − μ_B) (Eq. 11) via Cholesky
+/// (LU fallback), normalized to unit L2 length.  When S_W is singular a
+/// small ridge (relative to trace) is added, mirroring standard practice.
+/// The covariance estimator defaults to the paper's empirical one;
+/// Ledoit-Wolf shrinkage helps small-sample regimes like the BCI set.
+/// Throws InvalidArgumentError on an invalid training set.
+LdaModel fit_lda(const TrainingSet& data,
+                 stats::CovarianceEstimator estimator =
+                     stats::CovarianceEstimator::kEmpirical);
+
+/// How the float LDA weight vector is rescaled before rounding to the
+/// grid.  A scalar gain on w (threshold scaled alongside) leaves the
+/// floating-point decision unchanged, so the baseline gets to pick the
+/// most favourable one; power-of-two gains keep the hardware story clean
+/// (a barrel shift, not a multiplier).
+enum class LdaGainPolicy {
+  /// No rescale: round the unit-norm vector directly.  The naive
+  /// baseline; collapses to all-zero weights once 2^-F > max|w|·2.
+  kUnitNorm,
+  /// Largest power-of-two gain keeping every weight representable.
+  /// Maximizes resolution but ignores overflow of the projection.
+  kMaxRange,
+  /// Largest power-of-two gain that also keeps the Eq. 18 / Eq. 20
+  /// confidence intervals inside the format range — the strongest
+  /// conventional baseline ("careful manual scaling"); the default used
+  /// for Tables 1 and 2.
+  kOverflowAware,
+};
+
+/// Short display name of a gain policy.
+const char* to_string(LdaGainPolicy policy);
+
+/// The conventional path to a fixed-point classifier (paper Sec. 5
+/// item (i)): fit in floating point, rescale per `policy`, round weights
+/// and threshold to the format grid.  `model_stats` (per-class Gaussians
+/// fitted from the quantized training data) and `beta` are used by the
+/// overflow-aware policy; they are ignored by the other policies.
+FixedClassifier quantize_lda(const LdaModel& model,
+                             const stats::TwoClassModel& model_stats,
+                             double beta, const fixed::FixedFormat& fmt,
+                             LdaGainPolicy policy =
+                                 LdaGainPolicy::kOverflowAware,
+                             fixed::RoundingMode mode =
+                                 fixed::RoundingMode::kNearestEven);
+
+/// The power-of-two gain quantize_lda applies before rounding (exposed
+/// for tests and the Figure 4 bench).
+double lda_pow2_gain(const LdaModel& model,
+                     const stats::TwoClassModel& model_stats, double beta,
+                     const fixed::FixedFormat& fmt, LdaGainPolicy policy);
+
+}  // namespace ldafp::core

@@ -1,0 +1,377 @@
+#include "core/ldafp.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/constraints.h"
+#include "core/lda.h"
+#include "fixed/grid.h"
+#include "linalg/eigen_sym.h"
+#include "stats/normal.h"
+#include "support/error.h"
+#include "support/log.h"
+#include "support/str.h"
+#include "support/timer.h"
+
+namespace ldafp::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Raw grid index of a grid-aligned value (value * 2^F).
+std::int64_t grid_index(double value, const fixed::FixedFormat& fmt) {
+  return static_cast<std::int64_t>(
+      std::llround(std::ldexp(value, fmt.frac_bits())));
+}
+
+/// Number of grid points in a grid-aligned interval.
+std::int64_t aligned_count(const opt::Interval& iv,
+                           const fixed::FixedFormat& fmt) {
+  if (iv.empty()) return 0;
+  return grid_index(iv.hi, fmt) - grid_index(iv.lo, fmt) + 1;
+}
+
+/// The branch-and-bound problem: variables (w_1..w_M, t), objective
+/// wᵀS_W w / t², w restricted to the QK.F grid, t = (μ_A-μ_B)ᵀw.
+class LdaFpSearchProblem : public opt::BnbProblem {
+ public:
+  LdaFpSearchProblem(const stats::TwoClassModel& model, linalg::Matrix sw,
+                     const fixed::FixedFormat& fmt, double beta,
+                     const LdaFpOptions& options, double root_t_width)
+      : model_(model),
+        sw_(std::move(sw)),
+        mean_diff_(model.mean_difference()),
+        fmt_(fmt),
+        beta_(beta),
+        options_(options),
+        solver_(options.barrier),
+        min_t_width_(options.min_t_width_rel * root_t_width) {
+    dim_ = mean_diff_.size();
+    // λ_min(S_W) powers the degenerate-t secondary bound: any non-zero
+    // grid point has ‖w‖₂ >= resolution, so cost >= λ_min·res²/η_sup.
+    const linalg::SymmetricEigen eig = linalg::eigen_symmetric(sw_);
+    lambda_min_ = std::max(eig.eigenvalues[0], 0.0);
+  }
+
+  std::size_t relaxations_solved() const { return relaxations_; }
+
+  opt::NodeBounds bound(const opt::Box& box) override {
+    opt::NodeBounds out;
+    const opt::Interval tv = box[dim_];
+    const double eta_sup = std::max(tv.lo * tv.lo, tv.hi * tv.hi);
+    if (eta_sup <= 0.0) {
+      out.lower = kInf;  // t == 0 only: no classifier lives here
+      return out;
+    }
+    const double res = fmt_.resolution();
+    const double secondary = lambda_min_ * res * res / eta_sup;
+
+    const opt::ConvexProblem relaxation = build_relaxation(box);
+    ++relaxations_;
+    const opt::BarrierResult solve = solver_.solve(relaxation);
+    if (solve.status == opt::SolveStatus::kInfeasible) {
+      out.lower = kInf;
+      return out;
+    }
+    double relax_lower = 0.0;  // wᵀS_W w >= 0 always holds
+    if (solve.status == opt::SolveStatus::kOptimal) {
+      relax_lower = std::max(solve.lower_bound, 0.0);
+    }
+    out.lower = std::max(relax_lower / eta_sup, secondary);
+
+    // Upper-bound heuristic (paper's Eq. 27 step): the relaxation
+    // minimizer is independent of η, so reuse it — round to the grid and
+    // evaluate the exact cost.
+    if (solve.x.size() == dim_) {
+      const auto cand = try_candidate(solve.x);
+      if (cand.has_value()) {
+        out.candidate = cand->first;
+        out.candidate_value = cand->second;
+      }
+    }
+    return out;
+  }
+
+  bool is_terminal(const opt::Box& box) const override {
+    std::int64_t product = 1;
+    for (std::size_t m = 0; m < dim_; ++m) {
+      const std::int64_t count = aligned_count(box[m], fmt_);
+      if (count == 0) return true;  // empty: nothing to enumerate
+      if (product > static_cast<std::int64_t>(options_.max_enum_points) /
+                        count) {
+        return false;  // saturating multiply would overflow the cap
+      }
+      product *= count;
+    }
+    return product <= static_cast<std::int64_t>(options_.max_enum_points);
+  }
+
+  opt::NodeBounds solve_terminal(const opt::Box& box) override {
+    opt::NodeBounds out;
+    out.lower = kInf;
+    std::vector<std::vector<double>> axes(dim_);
+    for (std::size_t m = 0; m < dim_; ++m) {
+      axes[m] = fixed::grid_points(
+          box[m].lo, box[m].hi, fmt_,
+          static_cast<std::int64_t>(options_.max_enum_points));
+      if (axes[m].empty()) return out;
+    }
+    const opt::Interval tv = box[dim_];
+    const double t_tol = 1e-9 * (1.0 + std::fabs(tv.lo) + std::fabs(tv.hi));
+
+    linalg::Vector w(dim_);
+    std::vector<std::size_t> idx(dim_, 0);
+    for (std::size_t m = 0; m < dim_; ++m) w[m] = axes[m][0];
+    while (true) {
+      const double t = linalg::dot(mean_diff_, w);
+      if (t >= tv.lo - t_tol && t <= tv.hi + t_tol && t != 0.0 &&
+          satisfies_projection_constraints(w, model_, beta_, fmt_, 1e-9)) {
+        const double cost = exact_cost(w, sw_, mean_diff_);
+        if (cost < out.candidate_value) {
+          out.candidate = w;
+          out.candidate_value = cost;
+          out.lower = cost;
+        }
+      }
+      // Odometer increment.
+      std::size_t m = 0;
+      while (m < dim_) {
+        if (++idx[m] < axes[m].size()) {
+          w[m] = axes[m][idx[m]];
+          break;
+        }
+        idx[m] = 0;
+        w[m] = axes[m][0];
+        ++m;
+      }
+      if (m == dim_) break;
+    }
+    return out;
+  }
+
+  std::pair<opt::Box, opt::Box> branch(const opt::Box& box) override {
+    const opt::Interval tv = box[dim_];
+    // t-first branching: split while the η gap is what dominates the
+    // relaxation looseness.
+    if (options_.branch_t_first && tv.width() > min_t_width_) {
+      bool split_t = tv.lo < 0.0 && tv.hi > 0.0;
+      if (!split_t) {
+        const double lo2 = tv.lo * tv.lo;
+        const double hi2 = tv.hi * tv.hi;
+        const double ratio = std::max(lo2, hi2) /
+                             std::max(std::min(lo2, hi2), 1e-300);
+        split_t = ratio > options_.t_gap_ratio;
+      }
+      if (split_t) {
+        const double point =
+            (tv.lo < 0.0 && tv.hi > 0.0) ? 0.0 : tv.mid();
+        auto children = box.split(dim_, point);
+        tighten_t(children.first);
+        tighten_t(children.second);
+        return children;
+      }
+    }
+
+    // Otherwise split the w dimension with the most grid points at its
+    // middle grid index, keeping both children grid-aligned and disjoint.
+    std::size_t best = 0;
+    std::int64_t best_count = 0;
+    for (std::size_t m = 0; m < dim_; ++m) {
+      const std::int64_t count = aligned_count(box[m], fmt_);
+      if (count > best_count) {
+        best_count = count;
+        best = m;
+      }
+    }
+    LDAFP_CHECK(best_count >= 2, "branch called on an enumerable box");
+    const std::int64_t first = grid_index(box[best].lo, fmt_);
+    const std::int64_t mid = first + (best_count - 1) / 2;
+    const double left_hi = std::ldexp(static_cast<double>(mid),
+                                      -fmt_.frac_bits());
+    const double right_lo = std::ldexp(static_cast<double>(mid + 1),
+                                       -fmt_.frac_bits());
+    opt::Box left = box;
+    opt::Box right = box;
+    left[best].hi = left_hi;
+    right[best].lo = right_lo;
+    tighten_t(left);
+    tighten_t(right);
+    return {std::move(left), std::move(right)};
+  }
+
+  /// Rounds a relaxation point to the grid, repairs it into the Eq. 18
+  /// intervals, verifies full feasibility, optionally polishes, and
+  /// returns (w, exact cost).
+  std::optional<std::pair<linalg::Vector, double>> try_candidate(
+      const linalg::Vector& x) const {
+    linalg::Vector w = fixed::snap_to_grid(x, fmt_, options_.rounding);
+    // Orient toward class A: the Fisher cost is invariant under w -> -w,
+    // but the Eq. 12 decision rule needs t = (μ_A-μ_B)ᵀw > 0.  The search
+    // box is restricted to t >= 0, so flip mis-oriented candidates.
+    if (linalg::dot(mean_diff_, w) < 0.0) {
+      for (std::size_t m = 0; m < dim_; ++m) {
+        w[m] = fmt_.round_to_grid(-w[m], options_.rounding);
+      }
+    }
+    for (std::size_t m = 0; m < dim_; ++m) {
+      const opt::Interval iv =
+          feasible_weight_interval(m, model_, beta_, fmt_);
+      w[m] = std::min(std::max(w[m], fixed::grid_ceil(iv.lo, fmt_)),
+                      fixed::grid_floor(iv.hi, fmt_));
+    }
+    if (!satisfies_projection_constraints(w, model_, beta_, fmt_, 1e-9)) {
+      return std::nullopt;
+    }
+    double cost = exact_cost(w, sw_, mean_diff_);
+    if (options_.local_search) {
+      const auto polished = polish(w, sw_, model_, beta_, fmt_,
+                                   options_.local_search_options);
+      if (polished.has_value() && polished->cost < cost) {
+        w = polished->weights;
+        cost = polished->cost;
+      }
+    }
+    if (!std::isfinite(cost)) return std::nullopt;
+    return std::make_pair(std::move(w), cost);
+  }
+
+ private:
+  /// Intersects a child's t-interval with the interval-arithmetic range
+  /// of (μ_A-μ_B)ᵀw over its w box (constraint propagation).
+  void tighten_t(opt::Box& box) const {
+    opt::Box wbox{std::vector<opt::Interval>(dim_)};
+    for (std::size_t m = 0; m < dim_; ++m) wbox[m] = box[m];
+    const opt::Interval range = initial_t_interval(mean_diff_, wbox);
+    box[dim_].lo = std::max(box[dim_].lo, range.lo);
+    box[dim_].hi = std::min(box[dim_].hi, range.hi);
+  }
+
+  opt::ConvexProblem build_relaxation(const opt::Box& box) const {
+    opt::ConvexProblem problem(sw_);
+    opt::Box wbox{std::vector<opt::Interval>(dim_)};
+    for (std::size_t m = 0; m < dim_; ++m) wbox[m] = box[m];
+    problem.set_box(std::move(wbox));
+
+    const opt::Interval tv = box[dim_];
+    problem.add_linear({mean_diff_, tv.hi});          // dᵀw <= u_t
+    problem.add_linear({-mean_diff_, -tv.lo});        // -dᵀw <= -l_t
+
+    // Eq. 20: four SOC constraints.  The smoothing eps slightly tightens
+    // each cone, so the right-hand side is loosened by β√eps to keep
+    // every truly feasible w inside the relaxation (bound validity).
+    const double eps = 1e-12;
+    const double slack = beta_ * std::sqrt(eps);
+    for (const stats::GaussianModel* cls :
+         {&model_.class_a, &model_.class_b}) {
+      problem.add_soc({beta_, cls->sigma(), -cls->mu(),
+                       -fmt_.min_value() + slack, eps});
+      problem.add_soc({beta_, cls->sigma(), cls->mu(),
+                       fmt_.max_value() + slack, eps});
+    }
+    return problem;
+  }
+
+  const stats::TwoClassModel& model_;
+  linalg::Matrix sw_;
+  linalg::Vector mean_diff_;
+  fixed::FixedFormat fmt_;
+  double beta_;
+  LdaFpOptions options_;
+  opt::BarrierSolver solver_;
+  double min_t_width_;
+  std::size_t dim_ = 0;
+  double lambda_min_ = 0.0;
+  std::size_t relaxations_ = 0;
+};
+
+}  // namespace
+
+LdaFpTrainer::LdaFpTrainer(fixed::FixedFormat format, LdaFpOptions options)
+    : format_(format), options_(std::move(options)) {
+  LDAFP_CHECK(options_.rho >= 0.0 && options_.rho < 1.0,
+              "confidence level rho must lie in [0, 1)");
+}
+
+LdaFpResult LdaFpTrainer::train(const TrainingSet& data) const {
+  LDAFP_CHECK(data.valid(), "training set must have samples in both classes");
+  support::WallTimer timer;
+
+  // Algorithm 1, steps 1-2: quantize the data, fit the statistics.
+  const TrainingSet quantized = quantize_training_set(data, format_);
+  const stats::TwoClassModel model =
+      fit_two_class_model(quantized, options_.covariance);
+  const linalg::Matrix sw = model.within_class_scatter();
+  const linalg::Vector mean_diff = model.mean_difference();
+
+  LdaFpResult result;
+  result.beta = stats::confidence_beta(options_.rho);
+
+  // Step 3: root box from Eq. 28 tightened by Eq. 18, and Eq. 29 for t.
+  opt::Box w_box = feasible_weight_box(model, result.beta, format_);
+  for (std::size_t m = 0; m < w_box.size(); ++m) {
+    // Grid-aligned hull: keeps every split grid-aligned.
+    w_box[m].lo = fixed::grid_ceil(w_box[m].lo, format_);
+    w_box[m].hi = fixed::grid_floor(w_box[m].hi, format_);
+  }
+  // Restrict to t >= 0: the cost is symmetric under w -> -w, and only the
+  // t > 0 orientation classifies class A on the correct side of Eq. 12.
+  // This also halves the search space.
+  opt::Interval t_root = initial_t_interval(mean_diff, w_box);
+  t_root.lo = std::max(t_root.lo, 0.0);
+  t_root.hi = std::max(t_root.hi, 0.0);
+
+  std::vector<opt::Interval> dims;
+  dims.reserve(w_box.size() + 1);
+  for (std::size_t m = 0; m < w_box.size(); ++m) dims.push_back(w_box[m]);
+  dims.push_back(t_root);
+  const opt::Box root(std::move(dims));
+
+  LdaFpSearchProblem problem(model, sw, format_, result.beta, options_,
+                             std::max(t_root.width(), 1e-12));
+
+  // Warm-start incumbent from the conventional baseline.
+  std::optional<std::pair<linalg::Vector, double>> incumbent;
+  if (options_.warm_start_from_lda) {
+    try {
+      const LdaModel lda = fit_lda(quantized, options_.covariance);
+      const FixedClassifier baseline = quantize_lda(
+          lda, model, result.beta, format_, LdaGainPolicy::kOverflowAware,
+          options_.rounding);
+      incumbent = problem.try_candidate(baseline.weights_real());
+    } catch (const Error& e) {
+      support::log_warn(std::string("LDA warm start failed: ") + e.what());
+    }
+  }
+
+  // Steps 4-6: the branch-and-bound search.
+  opt::BnbOptions bnb = options_.bnb;
+  if (options_.log_progress && !bnb.progress) {
+    bnb.progress = [](const opt::BnbResult& s) {
+      support::log_info(
+          "ldafp: nodes " + std::to_string(s.nodes_processed) +
+          ", incumbent " + support::format_double(s.best_value, 6) +
+          ", bound " + support::format_double(s.lower_bound, 6) + ", " +
+          support::format_double(s.seconds, 1) + "s");
+    };
+  }
+  const opt::BnbSolver solver(bnb);
+  result.search = solver.run(problem, root, incumbent);
+  result.train_seconds = timer.seconds();
+
+  if (!result.search.best_point.has_value()) return result;  // not found
+  result.weights = *result.search.best_point;
+  result.cost = result.search.best_value;
+  result.threshold =
+      0.5 * (linalg::dot(result.weights, model.class_a.mu()) +
+             linalg::dot(result.weights, model.class_b.mu()));
+  return result;
+}
+
+FixedClassifier LdaFpTrainer::make_classifier(
+    const LdaFpResult& result) const {
+  LDAFP_CHECK(result.found(), "training did not find a feasible classifier");
+  return FixedClassifier(format_, result.weights, result.threshold,
+                         options_.rounding);
+}
+
+}  // namespace ldafp::core

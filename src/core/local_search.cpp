@@ -1,0 +1,80 @@
+#include "core/local_search.h"
+
+#include <cmath>
+#include <limits>
+
+#include "fixed/grid.h"
+
+namespace ldafp::core {
+
+double exact_cost(const linalg::Vector& w, const linalg::Matrix& sw,
+                  const linalg::Vector& mean_diff) {
+  const double t = linalg::dot(mean_diff, w);
+  if (t == 0.0) return std::numeric_limits<double>::infinity();
+  return linalg::quadratic_form(sw, w) / (t * t);
+}
+
+std::optional<LocalSearchResult> polish(const linalg::Vector& start,
+                                        const linalg::Matrix& sw,
+                                        const stats::TwoClassModel& model,
+                                        double beta,
+                                        const fixed::FixedFormat& fmt,
+                                        const LocalSearchOptions& options) {
+  if (!fixed::on_grid(start, fmt)) return std::nullopt;
+  if (!is_feasible_weight(start, model, beta, fmt, options.feas_tol)) {
+    return std::nullopt;
+  }
+  const linalg::Vector mean_diff = model.mean_difference();
+  const double res = fmt.resolution();
+
+  LocalSearchResult result;
+  result.weights = start;
+  result.cost = exact_cost(start, sw, mean_diff);
+
+  // Per-coordinate Eq. 18 intervals never change, so hoist them.
+  std::vector<opt::Interval> bounds;
+  bounds.reserve(start.size());
+  for (std::size_t m = 0; m < start.size(); ++m) {
+    bounds.push_back(feasible_weight_interval(m, model, beta, fmt));
+  }
+
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    bool improved = false;
+    for (std::size_t m = 0; m < result.weights.size(); ++m) {
+      double best_value = result.weights[m];
+      double best_cost = result.cost;
+      for (int p = 0; p < options.max_step_pow; ++p) {
+        const double step = res * static_cast<double>(1 << p);
+        for (const double delta : {step, -step}) {
+          const double cand = result.weights[m] + delta;
+          if (cand < bounds[m].lo - options.feas_tol ||
+              cand > bounds[m].hi + options.feas_tol) {
+            continue;
+          }
+          if (cand < fmt.min_value() || cand > fmt.max_value()) continue;
+          linalg::Vector w = result.weights;
+          w[m] = cand;
+          const double cost = exact_cost(w, sw, mean_diff);
+          if (cost >= best_cost) continue;
+          if (!satisfies_projection_constraints(w, model, beta, fmt,
+                                                options.feas_tol)) {
+            continue;
+          }
+          best_cost = cost;
+          best_value = cand;
+        }
+      }
+      if (best_value != result.weights[m]) {
+        result.weights[m] = best_value;
+        result.cost = best_cost;
+        improved = true;
+        ++result.moves;
+      }
+    }
+    ++result.sweeps;
+    if (!improved) break;
+  }
+  return result;
+}
+
+}  // namespace ldafp::core

@@ -1,0 +1,104 @@
+#include "core/multiclass.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace ldafp::core {
+
+std::size_t MulticlassSet::dim() const {
+  for (const auto& cls : classes) {
+    if (!cls.empty()) return cls.front().size();
+  }
+  return 0;
+}
+
+bool MulticlassSet::valid() const {
+  if (classes.size() < 2) return false;
+  const std::size_t d = dim();
+  if (d == 0) return false;
+  for (const auto& cls : classes) {
+    if (cls.empty()) return false;
+    for (const auto& x : cls) {
+      if (x.size() != d) return false;
+    }
+  }
+  return true;
+}
+
+MulticlassClassifier::MulticlassClassifier(
+    std::vector<FixedClassifier> members, std::vector<double> inv_norms)
+    : members_(std::move(members)), inv_norms_(std::move(inv_norms)) {
+  LDAFP_CHECK(members_.size() >= 2, "need >= 2 member classifiers");
+  LDAFP_CHECK(members_.size() == inv_norms_.size(),
+              "members/normalizations length mismatch");
+}
+
+const FixedClassifier& MulticlassClassifier::member(std::size_t c) const {
+  LDAFP_CHECK(c < members_.size(), "class index out of range");
+  return members_[c];
+}
+
+std::vector<double> MulticlassClassifier::margins(
+    const linalg::Vector& x) const {
+  std::vector<double> out(members_.size());
+  for (std::size_t c = 0; c < members_.size(); ++c) {
+    // Datapath projection minus stored threshold, normalized by the
+    // per-class constant 1/||w_c||.
+    const double y = members_[c].project(x).to_real();
+    out[c] = (y - members_[c].threshold_real()) * inv_norms_[c];
+  }
+  return out;
+}
+
+std::size_t MulticlassClassifier::classify(const linalg::Vector& x) const {
+  const std::vector<double> m = margins(x);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < m.size(); ++c) {
+    if (m[c] > m[best]) best = c;
+  }
+  return best;
+}
+
+std::optional<MulticlassClassifier> train_one_vs_rest(
+    const MulticlassSet& data, const fixed::FixedFormat& format,
+    const LdaFpOptions& options) {
+  LDAFP_CHECK(data.valid(), "multiclass set needs >= 2 non-empty classes");
+  const LdaFpTrainer trainer(format, options);
+
+  std::vector<FixedClassifier> members;
+  std::vector<double> inv_norms;
+  members.reserve(data.num_classes());
+  for (std::size_t c = 0; c < data.num_classes(); ++c) {
+    TrainingSet binary;
+    binary.class_a = data.classes[c];
+    for (std::size_t other = 0; other < data.num_classes(); ++other) {
+      if (other == c) continue;
+      binary.class_b.insert(binary.class_b.end(),
+                            data.classes[other].begin(),
+                            data.classes[other].end());
+    }
+    const LdaFpResult result = trainer.train(binary);
+    if (!result.found()) return std::nullopt;
+    members.push_back(trainer.make_classifier(result));
+    const double norm = result.weights.norm2();
+    inv_norms.push_back(norm > 0.0 ? 1.0 / norm : 0.0);
+  }
+  return MulticlassClassifier(std::move(members), std::move(inv_norms));
+}
+
+double multiclass_error(const MulticlassClassifier& clf,
+                        const MulticlassSet& data) {
+  std::size_t errors = 0;
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < data.num_classes(); ++c) {
+    for (const auto& x : data.classes[c]) {
+      if (clf.classify(x) != c) ++errors;
+      ++total;
+    }
+  }
+  LDAFP_CHECK(total > 0, "multiclass set is empty");
+  return static_cast<double>(errors) / static_cast<double>(total);
+}
+
+}  // namespace ldafp::core

@@ -1,0 +1,70 @@
+// One-vs-rest multiclass extension of LDA-FP.
+//
+// The paper treats binary classification only; many of its motivating
+// applications (seizure typing, multi-direction movement decoding) have
+// more classes.  This wrapper trains one binary LDA-FP classifier per
+// class (class c vs the rest), all sharing one QK.F format, and decides
+// by the largest normalized margin.  On chip this is C copies of the
+// paper's datapath plus a compare tree; the margin normalization factors
+// 1/‖w_c‖₂ are computed at training time and folded into the comparator
+// scaling (modeled in floating point here — they are per-class constants,
+// not per-sample work).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/ldafp.h"
+#include "core/training_set.h"
+#include "fixed/format.h"
+#include "linalg/vector.h"
+
+namespace ldafp::core {
+
+/// Multiclass training data: one sample list per class.
+struct MulticlassSet {
+  std::vector<std::vector<linalg::Vector>> classes;
+
+  std::size_t num_classes() const { return classes.size(); }
+  std::size_t dim() const;
+  /// True when there are >= 2 classes, each non-empty, equal dimension.
+  bool valid() const;
+};
+
+/// The trained one-vs-rest ensemble.
+class MulticlassClassifier {
+ public:
+  /// One binary classifier + margin normalization per class.
+  MulticlassClassifier(std::vector<FixedClassifier> members,
+                       std::vector<double> inv_norms);
+
+  std::size_t num_classes() const { return members_.size(); }
+  std::size_t dim() const { return members_.front().dim(); }
+  const FixedClassifier& member(std::size_t c) const;
+
+  /// Index of the class with the largest normalized datapath margin.
+  std::size_t classify(const linalg::Vector& x) const;
+
+  /// All normalized margins (useful for rejection thresholds).
+  std::vector<double> margins(const linalg::Vector& x) const;
+
+ private:
+  std::vector<FixedClassifier> members_;
+  std::vector<double> inv_norms_;
+};
+
+/// Trains the ensemble: for each class c, a binary LDA-FP problem with
+/// class A = c and class B = all other samples pooled.  Returns nullopt
+/// when any member finds no feasible weights.  Options apply to every
+/// member (budgets are per member).
+std::optional<MulticlassClassifier> train_one_vs_rest(
+    const MulticlassSet& data, const fixed::FixedFormat& format,
+    const LdaFpOptions& options = LdaFpOptions{});
+
+/// Multiclass error of the ensemble on labeled data (labels are class
+/// indices into `data.classes`).
+double multiclass_error(const MulticlassClassifier& clf,
+                        const MulticlassSet& data);
+
+}  // namespace ldafp::core

@@ -1,0 +1,51 @@
+#include "core/training_set.h"
+
+#include "fixed/grid.h"
+#include "support/error.h"
+
+namespace ldafp::core {
+
+bool TrainingSet::valid() const {
+  if (class_a.empty() || class_b.empty()) return false;
+  const std::size_t m = class_a.front().size();
+  if (m == 0) return false;
+  for (const auto& x : class_a) {
+    if (x.size() != m) return false;
+  }
+  for (const auto& x : class_b) {
+    if (x.size() != m) return false;
+  }
+  return true;
+}
+
+TrainingSet quantize_training_set(const TrainingSet& data,
+                                  const fixed::FixedFormat& fmt) {
+  TrainingSet out;
+  out.class_a.reserve(data.class_a.size());
+  out.class_b.reserve(data.class_b.size());
+  for (const auto& x : data.class_a) {
+    out.class_a.push_back(fixed::snap_to_grid(x, fmt));
+  }
+  for (const auto& x : data.class_b) {
+    out.class_b.push_back(fixed::snap_to_grid(x, fmt));
+  }
+  return out;
+}
+
+TrainingSet scale_training_set(const TrainingSet& data, double scale) {
+  LDAFP_CHECK(scale > 0.0, "feature scale must be positive");
+  TrainingSet out = data;
+  for (auto& x : out.class_a) x *= scale;
+  for (auto& x : out.class_b) x *= scale;
+  return out;
+}
+
+stats::TwoClassModel fit_two_class_model(
+    const TrainingSet& data, stats::CovarianceEstimator estimator) {
+  LDAFP_CHECK(data.valid(), "training set must have samples in both classes");
+  return stats::TwoClassModel{
+      stats::GaussianModel::fit(data.class_a, estimator),
+      stats::GaussianModel::fit(data.class_b, estimator)};
+}
+
+}  // namespace ldafp::core

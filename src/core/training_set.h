@@ -1,0 +1,44 @@
+// The two-class training data container consumed by both trainers.
+#pragma once
+
+#include <vector>
+
+#include "fixed/format.h"
+#include "linalg/vector.h"
+#include "stats/gaussian_model.h"
+
+namespace ldafp::core {
+
+/// Two sets of feature vectors, one per class (paper Sec. 2 notation:
+/// {x_A^(n)} and {x_B^(n)}).
+struct TrainingSet {
+  std::vector<linalg::Vector> class_a;
+  std::vector<linalg::Vector> class_b;
+
+  /// Feature count M (0 for an empty set).
+  std::size_t dim() const {
+    if (!class_a.empty()) return class_a.front().size();
+    if (!class_b.empty()) return class_b.front().size();
+    return 0;
+  }
+
+  /// True when both classes have at least one sample of equal dimension.
+  bool valid() const;
+};
+
+/// Rounds every feature of every sample onto the format grid (saturating)
+/// — Algorithm 1 step 1, "round the training data to their fixed-point
+/// representations".
+TrainingSet quantize_training_set(const TrainingSet& data,
+                                  const fixed::FixedFormat& fmt);
+
+/// Scales every feature by `scale` (used by the format policy's
+/// power-of-two preconditioning).
+TrainingSet scale_training_set(const TrainingSet& data, double scale);
+
+/// Fits the per-class Gaussian models (Eq. 14) from the samples.
+stats::TwoClassModel fit_two_class_model(
+    const TrainingSet& data, stats::CovarianceEstimator estimator =
+                                 stats::CovarianceEstimator::kEmpirical);
+
+}  // namespace ldafp::core

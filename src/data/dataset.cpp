@@ -1,0 +1,124 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace ldafp::data {
+
+std::size_t LabeledDataset::count(core::Label label) const {
+  std::size_t n = 0;
+  for (const auto l : labels) {
+    if (l == label) ++n;
+  }
+  return n;
+}
+
+core::TrainingSet LabeledDataset::to_training_set() const {
+  LDAFP_CHECK(samples.size() == labels.size(),
+              "dataset samples/labels length mismatch");
+  core::TrainingSet out;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (labels[i] == core::Label::kClassA) {
+      out.class_a.push_back(samples[i]);
+    } else {
+      out.class_b.push_back(samples[i]);
+    }
+  }
+  return out;
+}
+
+void LabeledDataset::add(linalg::Vector sample, core::Label label) {
+  LDAFP_CHECK(samples.empty() || sample.size() == dim(),
+              "sample dimension mismatch");
+  samples.push_back(std::move(sample));
+  labels.push_back(label);
+}
+
+LabeledDataset LabeledDataset::merge(const LabeledDataset& a,
+                                     const LabeledDataset& b) {
+  LDAFP_CHECK(a.size() == 0 || b.size() == 0 || a.dim() == b.dim(),
+              "cannot merge datasets of different dimension");
+  LabeledDataset out = a;
+  out.samples.insert(out.samples.end(), b.samples.begin(), b.samples.end());
+  out.labels.insert(out.labels.end(), b.labels.begin(), b.labels.end());
+  return out;
+}
+
+namespace {
+
+/// Shuffled index list of the samples with the given label.
+std::vector<std::size_t> class_indices(const LabeledDataset& data,
+                                       core::Label label,
+                                       support::Rng& rng) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.labels[i] == label) idx.push_back(i);
+  }
+  const std::vector<std::size_t> perm = rng.permutation(idx.size());
+  std::vector<std::size_t> shuffled(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) shuffled[i] = idx[perm[i]];
+  return shuffled;
+}
+
+}  // namespace
+
+std::vector<Split> stratified_k_fold(const LabeledDataset& data,
+                                     std::size_t k, support::Rng& rng) {
+  LDAFP_CHECK(k >= 2, "k-fold needs k >= 2");
+  LDAFP_CHECK(data.count(core::Label::kClassA) >= k &&
+                  data.count(core::Label::kClassB) >= k,
+              "k-fold needs at least k samples per class");
+
+  // Assign each sample a fold id, round-robin within its class.
+  std::vector<std::size_t> fold_of(data.size());
+  for (const auto label : {core::Label::kClassA, core::Label::kClassB}) {
+    const auto idx = class_indices(data, label, rng);
+    for (std::size_t i = 0; i < idx.size(); ++i) fold_of[idx[i]] = i % k;
+  }
+
+  std::vector<Split> splits(k);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::size_t f = 0; f < k; ++f) {
+      auto& part = fold_of[i] == f ? splits[f].test : splits[f].train;
+      part.add(data.samples[i], data.labels[i]);
+    }
+  }
+  return splits;
+}
+
+Split stratified_split(const LabeledDataset& data, double train_fraction,
+                       support::Rng& rng) {
+  LDAFP_CHECK(train_fraction > 0.0 && train_fraction < 1.0,
+              "train fraction must lie in (0, 1)");
+  Split split;
+  for (const auto label : {core::Label::kClassA, core::Label::kClassB}) {
+    const auto idx = class_indices(data, label, rng);
+    const auto n_train = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(idx.size()) + 0.5);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      auto& part = i < n_train ? split.train : split.test;
+      part.add(data.samples[idx[i]], data.labels[idx[i]]);
+    }
+  }
+  return split;
+}
+
+LabeledDataset project_features(const LabeledDataset& data,
+                                const std::vector<std::size_t>& selected) {
+  LDAFP_CHECK(!selected.empty(), "selection must be non-empty");
+  for (const std::size_t m : selected) {
+    LDAFP_CHECK(m < data.dim(), "selected feature index out of range");
+  }
+  LabeledDataset out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    linalg::Vector y(selected.size());
+    for (std::size_t j = 0; j < selected.size(); ++j) {
+      y[j] = data.samples[i][selected[j]];
+    }
+    out.add(std::move(y), data.labels[i]);
+  }
+  return out;
+}
+
+}  // namespace ldafp::data

@@ -1,0 +1,60 @@
+// Labeled dataset container, splits, and stratified k-fold
+// cross-validation (the paper's Table 2 protocol).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/training_set.h"
+#include "linalg/vector.h"
+#include "support/rng.h"
+
+namespace ldafp::data {
+
+/// Feature vectors with binary labels.
+struct LabeledDataset {
+  std::vector<linalg::Vector> samples;
+  std::vector<core::Label> labels;
+
+  std::size_t size() const { return samples.size(); }
+  std::size_t dim() const { return samples.empty() ? 0
+                                                   : samples.front().size(); }
+
+  /// Counts per class.
+  std::size_t count(core::Label label) const;
+
+  /// Splits into the per-class TrainingSet view used by the trainers.
+  core::TrainingSet to_training_set() const;
+
+  /// Appends one labeled sample.
+  void add(linalg::Vector sample, core::Label label);
+
+  /// Concatenation of two datasets (dimensions must match).
+  static LabeledDataset merge(const LabeledDataset& a,
+                              const LabeledDataset& b);
+};
+
+/// One train/test partition.
+struct Split {
+  LabeledDataset train;
+  LabeledDataset test;
+};
+
+/// Stratified k-fold partitions: each class's samples are shuffled with
+/// `rng` and dealt round-robin into k folds, so every fold keeps the
+/// class balance.  Requires 2 <= k <= min(class counts).
+std::vector<Split> stratified_k_fold(const LabeledDataset& data,
+                                     std::size_t k, support::Rng& rng);
+
+/// Single stratified train/test split with the given train fraction.
+Split stratified_split(const LabeledDataset& data, double train_fraction,
+                       support::Rng& rng);
+
+/// Restriction of a dataset to the given feature indices, in order
+/// (companion of core::select_features for channel pruning).
+LabeledDataset project_features(const LabeledDataset& data,
+                                const std::vector<std::size_t>& selected);
+
+}  // namespace ldafp::data

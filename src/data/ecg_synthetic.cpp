@@ -1,0 +1,76 @@
+#include "data/ecg_synthetic.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace ldafp::data {
+namespace {
+
+/// Per-class feature means (normal / PVC) in clinical units.
+struct FeatureSpec {
+  double normal_mean;
+  double pvc_mean;
+  double sigma;
+};
+
+// RR(s), QRS(ms), R(mV), P(mV), T(mV), ST(mV), QT(ms), energy.
+constexpr FeatureSpec kSpecs[kEcgFeatureCount] = {
+    {0.85, 0.60, 0.12},    // PVCs are premature
+    {95.0, 150.0, 14.0},   // wide ventricular QRS
+    {1.10, 1.60, 0.35},    // taller, more variable R
+    {0.15, 0.02, 0.05},    // absent P
+    {0.30, -0.25, 0.15},   // discordant T
+    {0.02, 0.15, 0.08},    // ST shift
+    {400.0, 430.0, 25.0},  // prolonged QT
+    {1.00, 1.80, 0.40},    // higher energy
+};
+
+}  // namespace
+
+LabeledDataset make_ecg_synthetic(std::size_t n_per_class,
+                                  support::Rng& rng,
+                                  const EcgOptions& options) {
+  LDAFP_CHECK(options.separation >= 0.0, "separation must be >= 0");
+  LDAFP_CHECK(options.label_noise >= 0.0 && options.label_noise < 0.5,
+              "label noise must lie in [0, 0.5)");
+  LabeledDataset out;
+  for (const auto label : {core::Label::kClassA, core::Label::kClassB}) {
+    const bool pvc = label == core::Label::kClassB;
+    for (std::size_t n = 0; n < n_per_class; ++n) {
+      // Shared physiologic latents: rate and electrode-contact gain.
+      const double rate = rng.gaussian();        // beat-to-beat rate drift
+      const double gain = 1.0 + 0.1 * rng.gaussian();  // amplitude gain
+
+      linalg::Vector x(kEcgFeatureCount);
+      for (std::size_t f = 0; f < kEcgFeatureCount; ++f) {
+        const FeatureSpec& spec = kSpecs[f];
+        // Interpolate class separation around the normal mean.
+        const double mean =
+            pvc ? spec.normal_mean +
+                      options.separation * (spec.pvc_mean - spec.normal_mean)
+                : spec.normal_mean;
+        double value = mean + spec.sigma * rng.gaussian();
+        // Correlations: RR and QT shorten together with rate; amplitudes
+        // share the contact gain.
+        if (f == kRrInterval) value += 0.08 * rate;
+        if (f == kQtInterval) value += 12.0 * rate;
+        if (f == kRAmplitude || f == kPAmplitude || f == kTAmplitude ||
+            f == kEnergy) {
+          value *= gain;
+        }
+        // Z-score against the normal-class scale so all features land in
+        // comparable numeric ranges for the fixed-point front end.
+        x[f] = (value - spec.normal_mean) / (spec.sigma + 1e-12);
+      }
+      const bool flip = rng.bernoulli(options.label_noise);
+      const core::Label assigned =
+          flip ? (pvc ? core::Label::kClassA : core::Label::kClassB)
+               : label;
+      out.add(std::move(x), assigned);
+    }
+  }
+  return out;
+}
+
+}  // namespace ldafp::data

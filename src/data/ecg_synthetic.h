@@ -1,0 +1,48 @@
+// Synthetic ECG beat-classification workload.
+//
+// The paper's introduction motivates on-chip classifiers with wearable
+// ECG monitors [3]-[4]; public arrhythmia corpora (e.g. MIT-BIH) are not
+// available offline, so this generator simulates the standard
+// beat-classification feature set: per-beat morphology/rhythm features
+// for normal sinus beats (class A) vs premature ventricular contractions
+// (class B).  Feature means/spreads follow textbook electrophysiology
+// (PVCs: premature RR, wide QRS, absent P wave, discordant T, larger
+// amplitude variability), with physiologic correlations (QRS width vs QT,
+// RR vs QT via rate adaptation).  Units are z-scored clinical ranges, so
+// the fixed-point preprocessing path is exercised realistically.
+#pragma once
+
+#include "data/dataset.h"
+#include "support/rng.h"
+
+namespace ldafp::data {
+
+/// Feature indices of the generated beats.
+enum EcgFeature : std::size_t {
+  kRrInterval = 0,    ///< preceding RR interval (s)
+  kQrsDuration = 1,   ///< QRS width (ms)
+  kRAmplitude = 2,    ///< R peak amplitude (mV)
+  kPAmplitude = 3,    ///< P wave amplitude (mV; ~0 for PVC)
+  kTAmplitude = 4,    ///< T wave amplitude (mV; discordant for PVC)
+  kStDeviation = 5,   ///< ST segment deviation (mV)
+  kQtInterval = 6,    ///< QT interval (ms)
+  kEnergy = 7,        ///< beat energy (a.u.)
+  kEcgFeatureCount = 8,
+};
+
+/// Generator parameters.
+struct EcgOptions {
+  /// Scales how separated PVCs are from normal beats (1 = defaults,
+  /// giving a Bayes error of a few percent, as beat classifiers achieve).
+  double separation = 1.0;
+  /// Fraction of label noise (mislabeled beats), emulating annotation
+  /// slips in real corpora.
+  double label_noise = 0.01;
+};
+
+/// Draws n_per_class beats of each class (class A = normal, B = PVC).
+LabeledDataset make_ecg_synthetic(std::size_t n_per_class,
+                                  support::Rng& rng,
+                                  const EcgOptions& options = EcgOptions{});
+
+}  // namespace ldafp::data

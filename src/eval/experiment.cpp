@@ -1,0 +1,124 @@
+#include "eval/experiment.h"
+#include <algorithm>
+
+#include "eval/metrics.h"
+#include "stats/normal.h"
+#include "support/error.h"
+
+namespace ldafp::eval {
+
+TrialResult run_trial(const data::LabeledDataset& train,
+                      const data::LabeledDataset& test, int word_length,
+                      const ExperimentConfig& config) {
+  LDAFP_CHECK(train.size() > 0, "empty training set");
+  TrialResult row;
+  row.word_length = word_length;
+
+  const core::TrainingSet raw = train.to_training_set();
+  const double beta = stats::confidence_beta(config.ldafp.rho);
+
+  // Shared preprocessing: pick QK.F and the power-of-two feature scale,
+  // then quantize the (scaled) training data once for both algorithms.
+  row.format_choice = core::choose_format(raw, word_length, beta,
+                                          config.integer_bits);
+  const core::TrainingSet scaled =
+      core::scale_training_set(raw, row.format_choice.feature_scale);
+  const core::TrainingSet quantized =
+      core::quantize_training_set(scaled, row.format_choice.format);
+  const stats::TwoClassModel model =
+      core::fit_two_class_model(quantized, config.covariance);
+
+  // Conventional baseline: float LDA (Eq. 11) on the scaled float data —
+  // the paper's item (i), which does not model data quantization — with
+  // the weights then rounded to the grid.
+  const core::LdaModel lda = core::fit_lda(scaled, config.covariance);
+  const core::FixedClassifier lda_fixed =
+      core::quantize_lda(lda, model, beta, row.format_choice.format,
+                         config.lda_gain, config.ldafp.rounding);
+  row.lda_weights = lda_fixed.weights_real();
+  row.lda_threshold = lda_fixed.threshold_real();
+  row.lda_error =
+      evaluate(lda_fixed, test, row.format_choice.feature_scale).error();
+
+  // LDA-FP.
+  core::LdaFpOptions fp_options = config.ldafp;
+  fp_options.covariance = config.covariance;
+  const core::LdaFpTrainer trainer(row.format_choice.format, fp_options);
+  const core::LdaFpResult fp = trainer.train(scaled);
+  row.ldafp_seconds = fp.train_seconds;
+  row.ldafp_status = fp.search.status;
+  row.ldafp_nodes = fp.search.nodes_processed;
+  row.ldafp_gap = fp.search.gap();
+  if (fp.found()) {
+    const core::FixedClassifier fp_fixed = trainer.make_classifier(fp);
+    row.ldafp_weights = fp_fixed.weights_real();
+    row.ldafp_threshold = fp_fixed.threshold_real();
+    row.ldafp_error =
+        evaluate(fp_fixed, test, row.format_choice.feature_scale).error();
+  } else {
+    row.ldafp_error = 0.5;  // chance level: no feasible classifier found
+  }
+  return row;
+}
+
+std::vector<TrialResult> run_sweep(const data::LabeledDataset& train,
+                                   const data::LabeledDataset& test,
+                                   const ExperimentConfig& config) {
+  std::vector<TrialResult> rows;
+  rows.reserve(config.word_lengths.size());
+  for (const int w : config.word_lengths) {
+    rows.push_back(run_trial(train, test, w, config));
+  }
+  return rows;
+}
+
+std::vector<CvTrialResult> run_cv_sweep(const data::LabeledDataset& data,
+                                        std::size_t folds,
+                                        const ExperimentConfig& config,
+                                        support::Rng& rng) {
+  const std::vector<data::Split> splits =
+      data::stratified_k_fold(data, folds, rng);
+  std::vector<CvTrialResult> rows;
+  rows.reserve(config.word_lengths.size());
+  for (const int w : config.word_lengths) {
+    CvTrialResult row;
+    row.word_length = w;
+    double lda_weighted = 0.0;
+    double fp_weighted = 0.0;
+    std::size_t total = 0;
+    for (const auto& split : splits) {
+      const TrialResult fold = run_trial(split.train, split.test, w, config);
+      const std::size_t n = split.test.size();
+      lda_weighted += fold.lda_error * static_cast<double>(n);
+      fp_weighted += fold.ldafp_error * static_cast<double>(n);
+      total += n;
+      row.ldafp_seconds += fold.ldafp_seconds;
+      row.max_gap = std::max(row.max_gap, fold.ldafp_gap);
+    }
+    row.lda_error = lda_weighted / static_cast<double>(total);
+    row.ldafp_error = fp_weighted / static_cast<double>(total);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::optional<WordLengthChoice> select_min_word_length(
+    const data::LabeledDataset& data, std::size_t folds,
+    const ExperimentConfig& config, double target_error,
+    support::Rng& rng) {
+  LDAFP_CHECK(target_error >= 0.0 && target_error <= 1.0,
+              "target error must lie in [0, 1]");
+  std::vector<int> sorted = config.word_lengths;
+  std::sort(sorted.begin(), sorted.end());
+  for (const int w : sorted) {
+    ExperimentConfig one = config;
+    one.word_lengths = {w};
+    const auto rows = run_cv_sweep(data, folds, one, rng);
+    if (!rows.empty() && rows.front().ldafp_error <= target_error) {
+      return WordLengthChoice{w, rows.front().ldafp_error};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ldafp::eval

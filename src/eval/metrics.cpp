@@ -1,0 +1,59 @@
+#include "eval/metrics.h"
+
+#include "support/error.h"
+
+namespace ldafp::eval {
+namespace {
+
+void tally(Confusion& confusion, core::Label truth, core::Label predicted) {
+  if (truth == core::Label::kClassA) {
+    (predicted == core::Label::kClassA ? confusion.a_as_a
+                                       : confusion.a_as_b)++;
+  } else {
+    (predicted == core::Label::kClassA ? confusion.b_as_a
+                                       : confusion.b_as_b)++;
+  }
+}
+
+}  // namespace
+
+double Confusion::error() const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(a_as_b + b_as_a) / static_cast<double>(n);
+}
+
+Confusion evaluate(const core::LinearClassifier& clf,
+                   const data::LabeledDataset& data, double feature_scale) {
+  LDAFP_CHECK(data.dim() == clf.dim() || data.size() == 0,
+              "dataset/classifier dimension mismatch");
+  Confusion confusion;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    linalg::Vector x = data.samples[i];
+    x *= feature_scale;
+    tally(confusion, data.labels[i], clf.classify(x));
+  }
+  return confusion;
+}
+
+Confusion evaluate(const core::FixedClassifier& clf,
+                   const data::LabeledDataset& data, double feature_scale,
+                   fixed::DotDiagnostics* overflow_events) {
+  LDAFP_CHECK(data.dim() == clf.dim() || data.size() == 0,
+              "dataset/classifier dimension mismatch");
+  Confusion confusion;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    linalg::Vector x = data.samples[i];
+    x *= feature_scale;
+    fixed::DotDiagnostics diag;
+    tally(confusion, data.labels[i], clf.classify(x, &diag));
+    if (overflow_events != nullptr) {
+      overflow_events->product_overflows += diag.product_overflows;
+      overflow_events->accumulator_wraps += diag.accumulator_wraps;
+      overflow_events->final_overflow |= diag.final_overflow;
+    }
+  }
+  return confusion;
+}
+
+}  // namespace ldafp::eval

@@ -1,0 +1,35 @@
+// Classification metrics.
+#pragma once
+
+#include "core/classifier.h"
+#include "data/dataset.h"
+
+namespace ldafp::eval {
+
+/// Confusion counts for the binary problem.
+struct Confusion {
+  std::size_t a_as_a = 0;
+  std::size_t a_as_b = 0;
+  std::size_t b_as_a = 0;
+  std::size_t b_as_b = 0;
+
+  std::size_t total() const { return a_as_a + a_as_b + b_as_a + b_as_b; }
+  /// Misclassification rate in [0, 1].
+  double error() const;
+};
+
+/// Evaluates a floating-point classifier.  `feature_scale` is applied to
+/// every sample first (the preprocessing scale chosen at training time).
+Confusion evaluate(const core::LinearClassifier& clf,
+                   const data::LabeledDataset& data,
+                   double feature_scale = 1.0);
+
+/// Evaluates a fixed-point classifier through the on-chip datapath.
+/// `overflow_events`, when non-null, accumulates inference-time overflow
+/// diagnostics across the whole set.
+Confusion evaluate(const core::FixedClassifier& clf,
+                   const data::LabeledDataset& data,
+                   double feature_scale = 1.0,
+                   fixed::DotDiagnostics* overflow_events = nullptr);
+
+}  // namespace ldafp::eval

@@ -1,0 +1,121 @@
+#include "fixed/dot.h"
+
+#include "support/error.h"
+
+namespace ldafp::fixed {
+
+const char* to_string(AccumulatorMode mode) {
+  switch (mode) {
+    case AccumulatorMode::kWide: return "wide";
+    case AccumulatorMode::kNarrow: return "narrow";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Narrow datapath: every product rounded to QK.F, accumulator wraps in
+/// QK.F.
+Fixed dot_narrow(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
+                 const FixedFormat& fmt, RoundingMode mode,
+                 DotDiagnostics* diag) {
+  Fixed acc(fmt);
+  // Exact (unbounded) sum of the wrapped products, to report whether the
+  // final value is corrupted; narrowed products fit ~W bits so any
+  // realistic feature count fits int64.
+  std::int64_t exact_sum = 0;
+  for (std::size_t m = 0; m < w.size(); ++m) {
+    // The narrowed (pre-wrap) product decides the overflow diagnostic: a
+    // value outside [raw_min, raw_max] overflowed even if the wrap lands
+    // back on an in-range word.
+    const std::int64_t narrowed = Fixed::narrow_raw(
+        w[m].raw() * x[m].raw(), fmt.frac_bits(), mode);
+    if (diag != nullptr &&
+        (narrowed < fmt.raw_min() || narrowed > fmt.raw_max())) {
+      ++diag->product_overflows;
+    }
+    const Fixed prod = Fixed::from_raw(fmt, narrowed);
+    if (diag != nullptr && acc.add_overflows(prod)) {
+      ++diag->accumulator_wraps;
+    }
+    exact_sum += prod.raw();
+    acc = acc.add_wrap(prod);
+  }
+  if (diag != nullptr) {
+    diag->final_overflow =
+        exact_sum < fmt.raw_min() || exact_sum > fmt.raw_max();
+  }
+  return acc;
+}
+
+/// Wide datapath: exact products at 2F fractional bits, accumulator with
+/// K integer + 2F fractional bits (wrapping), one final rounding to QK.F.
+Fixed dot_wide(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
+               const FixedFormat& fmt, RoundingMode mode,
+               DotDiagnostics* diag) {
+  const FixedFormat wide(fmt.integer_bits(), 2 * fmt.frac_bits());
+  std::int64_t acc = 0;        // wide raw, scale 2^-2F, wrapped
+  std::int64_t exact_sum = 0;  // unwrapped, same scale
+  for (std::size_t m = 0; m < w.size(); ++m) {
+    const std::int64_t product = w[m].raw() * x[m].raw();  // scale 2^-2F
+    if (diag != nullptr &&
+        (product < wide.raw_min() || product > wide.raw_max())) {
+      ++diag->product_overflows;
+    }
+    exact_sum += product;
+    const std::int64_t next = acc + product;
+    const std::int64_t wrapped = wide.wrap_raw(next);
+    if (diag != nullptr && wrapped != next) ++diag->accumulator_wraps;
+    acc = wrapped;
+  }
+  if (diag != nullptr) {
+    diag->final_overflow =
+        exact_sum < wide.raw_min() || exact_sum > wide.raw_max();
+  }
+  // Final rounding stage: drop F fractional bits, wrap into QK.F.
+  const std::int64_t narrowed =
+      Fixed::narrow_raw(acc, fmt.frac_bits(), mode);
+  return Fixed::from_raw(fmt, narrowed);
+}
+
+}  // namespace
+
+Fixed dot_datapath(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
+                   const FixedFormat& fmt, RoundingMode mode,
+                   AccumulatorMode acc, DotDiagnostics* diag) {
+  LDAFP_CHECK(w.size() == x.size(), "dot_datapath dimension mismatch");
+  LDAFP_CHECK(fmt.integer_bits() + 2 * fmt.frac_bits() <= 62,
+              "dot_datapath requires K + 2F <= 62");
+  for (std::size_t m = 0; m < w.size(); ++m) {
+    LDAFP_CHECK(w[m].format() == fmt && x[m].format() == fmt,
+                "dot_datapath format mismatch");
+  }
+  return acc == AccumulatorMode::kWide ? dot_wide(w, x, fmt, mode, diag)
+                                       : dot_narrow(w, x, fmt, mode, diag);
+}
+
+Fixed dot_datapath_real(const linalg::Vector& w, const linalg::Vector& x,
+                        const FixedFormat& fmt, RoundingMode mode,
+                        AccumulatorMode acc, DotDiagnostics* diag) {
+  return dot_datapath(quantize_vector(w, fmt, mode),
+                      quantize_vector(x, fmt, mode), fmt, mode, acc, diag);
+}
+
+std::vector<Fixed> quantize_vector(const linalg::Vector& v,
+                                   const FixedFormat& fmt,
+                                   RoundingMode mode) {
+  std::vector<Fixed> out;
+  out.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out.push_back(Fixed::from_real_saturate(fmt, v[i], mode));
+  }
+  return out;
+}
+
+linalg::Vector to_real(const std::vector<Fixed>& v) {
+  linalg::Vector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i].to_real();
+  return out;
+}
+
+}  // namespace ldafp::fixed

@@ -1,0 +1,80 @@
+// Fixed-point dot product with the paper's MAC datapath semantics.
+//
+// y = Σ_m w_m · x_m computed in QK.F.  Two accumulator designs are
+// modeled (both standard in DSP hardware, Padgett & Anderson ch. 6):
+//
+//  * kWide (default): the multiplier's exact double-precision product
+//    (2F fractional bits) is accumulated in a wide register that wraps on
+//    the K integer bits; the sum is rounded to QK.F once at the end.
+//    Matches the paper's evaluation behaviour — weight-grid rounding and
+//    overflow are the only non-idealities that matter.
+//  * kNarrow: every product is rounded to QK.F before accumulation
+//    (cheapest datapath, adds per-product rounding noise).  Kept for the
+//    ablation bench.
+//
+// In both designs the accumulator wraps modulo the integer range — the
+// paper's two's-complement property (intermediate overflow is harmless
+// when the final sum fits) holds and is exercised by the tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/format.h"
+#include "fixed/value.h"
+#include "linalg/vector.h"
+
+namespace ldafp::fixed {
+
+/// Accumulator architecture of the MAC datapath.
+enum class AccumulatorMode {
+  kWide,    ///< exact products, one final rounding (default)
+  kNarrow,  ///< products rounded to QK.F before accumulation
+};
+
+/// Short display name ("wide"/"narrow").
+const char* to_string(AccumulatorMode mode);
+
+/// Diagnostics accumulated while evaluating a fixed-point dot product.
+struct DotDiagnostics {
+  /// Products whose value left the representable QK.F range (an Eq. 18
+  /// violation at inference time; wraps in kNarrow, flagged-only in
+  /// kWide).
+  int product_overflows = 0;
+  /// Accumulator additions that wrapped.  Harmless when the final sum
+  /// fits (the paper's two's-complement wrapping property), harmful
+  /// otherwise.
+  int accumulator_wraps = 0;
+  /// True when the mathematically exact sum of the accumulated products
+  /// lies outside the representable range, i.e. the returned y is
+  /// corrupted (an Eq. 20 violation at inference time).
+  bool final_overflow = false;
+};
+
+/// Computes the on-chip dot product of two already-quantized word
+/// sequences.  Formats of all words must equal `fmt`, and
+/// fmt.integer_bits() + 2*fmt.frac_bits() must stay <= 62.
+Fixed dot_datapath(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
+                   const FixedFormat& fmt,
+                   RoundingMode mode = RoundingMode::kNearestEven,
+                   AccumulatorMode acc = AccumulatorMode::kWide,
+                   DotDiagnostics* diag = nullptr);
+
+/// Convenience wrapper: quantizes the real vectors (saturating) and runs
+/// the datapath.
+Fixed dot_datapath_real(const linalg::Vector& w, const linalg::Vector& x,
+                        const FixedFormat& fmt,
+                        RoundingMode mode = RoundingMode::kNearestEven,
+                        AccumulatorMode acc = AccumulatorMode::kWide,
+                        DotDiagnostics* diag = nullptr);
+
+/// Quantizes a real vector into fixed words (saturating).
+std::vector<Fixed> quantize_vector(const linalg::Vector& v,
+                                   const FixedFormat& fmt,
+                                   RoundingMode mode =
+                                       RoundingMode::kNearestEven);
+
+/// Real values of a fixed word vector.
+linalg::Vector to_real(const std::vector<Fixed>& v);
+
+}  // namespace ldafp::fixed

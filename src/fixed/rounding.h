@@ -1,0 +1,23 @@
+// Rounding modes for float -> fixed-point conversion and for narrowing
+// products back to the working format.
+#pragma once
+
+namespace ldafp::fixed {
+
+/// How a real value is mapped to the nearest representable grid point.
+enum class RoundingMode {
+  /// Round to nearest; ties to the even grid point (IEEE default, the
+  /// lowest-bias choice and our default).
+  kNearestEven,
+  /// Round to nearest; ties away from zero (common in DSP hardware).
+  kNearestAway,
+  /// Truncate toward zero (cheapest hardware, largest bias).
+  kTowardZero,
+  /// Round toward negative infinity (arithmetic right-shift semantics).
+  kFloor,
+};
+
+/// Short human-readable name ("nearest-even", ...).
+const char* to_string(RoundingMode mode);
+
+}  // namespace ldafp::fixed

@@ -1,0 +1,83 @@
+#include "hw/mac_datapath.h"
+
+#include "support/error.h"
+
+namespace ldafp::hw {
+
+MacDatapath::MacDatapath(fixed::FixedFormat fmt,
+                         const linalg::Vector& weights, double threshold,
+                         fixed::RoundingMode mode,
+                         fixed::AccumulatorMode acc)
+    : fmt_(fmt),
+      threshold_(fixed::Fixed::from_real_saturate(fmt, threshold, mode)),
+      mode_(mode),
+      acc_(acc) {
+  LDAFP_CHECK(weights.size() > 0, "datapath needs at least one weight");
+  LDAFP_CHECK(fmt.integer_bits() + 2 * fmt.frac_bits() <= 62,
+              "datapath requires K + 2F <= 62");
+  weights_.reserve(weights.size());
+  for (std::size_t m = 0; m < weights.size(); ++m) {
+    LDAFP_CHECK(fmt_.representable(weights[m]),
+                "weight is not representable in the datapath format");
+    weights_.push_back(fixed::Fixed::from_real_saturate(fmt_, weights[m]));
+  }
+}
+
+MacTrace MacDatapath::run(const linalg::Vector& x) const {
+  LDAFP_CHECK(x.size() == dim(), "feature dimension mismatch");
+  MacTrace trace;
+  // Accumulator register: QK.F in narrow mode, QK.(2F) in wide mode.
+  const fixed::FixedFormat acc_fmt =
+      acc_ == fixed::AccumulatorMode::kWide
+          ? fixed::FixedFormat(fmt_.integer_bits(), 2 * fmt_.frac_bits())
+          : fmt_;
+  std::int64_t acc = 0;        // raw, wrapped into acc_fmt each cycle
+  std::int64_t exact_sum = 0;  // same scale, never wrapped
+  for (std::size_t m = 0; m < dim(); ++m) {
+    // Input register: quantize the incoming feature (saturating ADC
+    // front-end).
+    const fixed::Fixed xm =
+        fixed::Fixed::from_real_saturate(fmt_, x[m], mode_);
+    // Multiplier stage: exact product at 2F fractional bits.
+    const std::int64_t wide_product = weights_[m].raw() * xm.raw();
+    std::int64_t product;  // in accumulator scale
+    if (acc_ == fixed::AccumulatorMode::kWide) {
+      product = wide_product;
+      const fixed::FixedFormat wide(fmt_.integer_bits(),
+                                    2 * fmt_.frac_bits());
+      if (product < wide.raw_min() || product > wide.raw_max()) {
+        ++trace.product_overflows;
+      }
+    } else {
+      // Rounding stage narrows the product to QK.F before the adder.
+      const std::int64_t narrowed =
+          fixed::Fixed::narrow_raw(wide_product, fmt_.frac_bits(), mode_);
+      if (narrowed < fmt_.raw_min() || narrowed > fmt_.raw_max()) {
+        ++trace.product_overflows;
+      }
+      product = fmt_.wrap_raw(narrowed);
+    }
+    // Accumulator register (wrapping adder).
+    const std::int64_t next = acc + product;
+    const std::int64_t wrapped = acc_fmt.wrap_raw(next);
+    if (wrapped != next) ++trace.accumulator_wraps;
+    exact_sum += product;
+    acc = wrapped;
+    ++trace.cycles;
+  }
+  trace.final_overflow =
+      exact_sum < acc_fmt.raw_min() || exact_sum > acc_fmt.raw_max();
+  // Output stage: in wide mode the accumulator is rounded to QK.F.
+  std::int64_t result = acc;
+  if (acc_ == fixed::AccumulatorMode::kWide) {
+    result = fmt_.wrap_raw(
+        fixed::Fixed::narrow_raw(acc, fmt_.frac_bits(), mode_));
+  }
+  trace.result_raw = result;
+  // Comparator cycle.
+  trace.decision_class_a = result >= threshold_.raw();
+  ++trace.cycles;
+  return trace;
+}
+
+}  // namespace ldafp::hw

@@ -1,0 +1,61 @@
+// Cycle-level model of the on-chip classifier datapath.
+//
+// The circuit the paper targets is a serial multiply-accumulate engine in
+// one shared QK.F format: per cycle one product w_m·x_m is formed, rounded
+// to QK.F, and added (wrapping two's complement) into the accumulator; a
+// final W-bit compare against the stored threshold yields the class bit.
+// This module executes that schedule register by register, counts cycles
+// and overflow events, and is checked bit-for-bit against the functional
+// model (fixed::dot_datapath) by the test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/dot.h"
+#include "fixed/format.h"
+#include "fixed/value.h"
+#include "linalg/vector.h"
+
+namespace ldafp::hw {
+
+/// Execution trace of one classification.
+struct MacTrace {
+  std::int64_t cycles = 0;        ///< MAC cycles + 1 compare cycle
+  int product_overflows = 0;      ///< products that wrapped after narrowing
+  int accumulator_wraps = 0;      ///< adds that wrapped
+  bool final_overflow = false;    ///< exact sum of products left the range
+  std::int64_t result_raw = 0;    ///< accumulator at the end (two's compl.)
+  bool decision_class_a = false;  ///< comparator output
+};
+
+/// The serial MAC datapath with weight ROM and threshold register.
+class MacDatapath {
+ public:
+  /// Loads the weight ROM.  Weights must be exactly representable.
+  MacDatapath(fixed::FixedFormat fmt, const linalg::Vector& weights,
+              double threshold,
+              fixed::RoundingMode mode = fixed::RoundingMode::kNearestEven,
+              fixed::AccumulatorMode acc = fixed::AccumulatorMode::kWide);
+
+  const fixed::FixedFormat& format() const { return fmt_; }
+  std::size_t dim() const { return weights_.size(); }
+
+  /// Runs one classification on a real feature vector (features are
+  /// quantized on the input interface, saturating).
+  MacTrace run(const linalg::Vector& x) const;
+
+  /// Number of cycles one classification takes (M MACs + 1 compare).
+  std::int64_t cycles_per_classification() const {
+    return static_cast<std::int64_t>(dim()) + 1;
+  }
+
+ private:
+  fixed::FixedFormat fmt_;
+  std::vector<fixed::Fixed> weights_;
+  fixed::Fixed threshold_;
+  fixed::RoundingMode mode_;
+  fixed::AccumulatorMode acc_;
+};
+
+}  // namespace ldafp::hw

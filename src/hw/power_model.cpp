@@ -1,0 +1,31 @@
+#include "hw/power_model.h"
+
+#include "support/error.h"
+
+namespace ldafp::hw {
+
+PowerModel::PowerModel(PowerModelOptions options) : options_(options) {
+  LDAFP_CHECK(options_.quadratic_coeff >= 0.0 && options_.linear_coeff >= 0.0,
+              "power model coefficients must be non-negative");
+  LDAFP_CHECK(options_.quadratic_coeff > 0.0 || options_.linear_coeff > 0.0,
+              "power model must have a positive term");
+}
+
+double PowerModel::power(int word_length) const {
+  LDAFP_CHECK(word_length >= 1, "word length must be >= 1");
+  const double w = static_cast<double>(word_length);
+  return options_.quadratic_coeff * w * w + options_.linear_coeff * w;
+}
+
+double PowerModel::power_ratio(int baseline_word_length,
+                               int candidate_word_length) const {
+  return power(baseline_word_length) / power(candidate_word_length);
+}
+
+double PowerModel::energy_per_classification(int word_length,
+                                             std::int64_t cycles) const {
+  LDAFP_CHECK(cycles >= 0, "cycle count must be non-negative");
+  return power(word_length) * static_cast<double>(cycles);
+}
+
+}  // namespace ldafp::hw

@@ -1,0 +1,46 @@
+// Analytic power/energy/area model for the fixed-point classifier.
+//
+// The paper's power claims rest on one rule (Sec. 5.1, citing Padgett &
+// Anderson [13]): the power of on-chip fixed-point arithmetic is almost a
+// quadratic function of the word length.  A W-bit array multiplier has
+// O(W²) full adders, which dominates the MAC; the W-bit ripple adder and
+// registers add an O(W) term.  We expose both the paper's pure-quadratic
+// rule and a slightly richer quadratic+linear model, plus the derived
+// ratios ("3x shorter words -> 9x less power").
+#pragma once
+
+#include <cstdint>
+
+namespace ldafp::hw {
+
+/// Coefficients of P(W) = quad · W² + lin · W  (arbitrary units unless
+/// calibrated; only ratios are meaningful, as in the paper).
+struct PowerModelOptions {
+  double quadratic_coeff = 1.0;  ///< multiplier array term
+  double linear_coeff = 0.0;     ///< adder/register term (0 = paper's rule)
+};
+
+/// The model.
+class PowerModel {
+ public:
+  PowerModel() = default;
+  explicit PowerModel(PowerModelOptions options);
+
+  /// Power of a W-bit MAC datapath (arbitrary units).
+  double power(int word_length) const;
+
+  /// Power ratio P(baseline) / P(candidate) — "how many times less power
+  /// the candidate burns".  The paper's headline: ratio(12, 4) = 9.
+  double power_ratio(int baseline_word_length,
+                     int candidate_word_length) const;
+
+  /// Energy of one classification: power × cycles (serial MAC: M+1
+  /// cycles), in arbitrary units.
+  double energy_per_classification(int word_length,
+                                   std::int64_t cycles) const;
+
+ private:
+  PowerModelOptions options_;
+};
+
+}  // namespace ldafp::hw

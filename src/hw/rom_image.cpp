@@ -1,0 +1,144 @@
+#include "hw/rom_image.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ldafp::hw {
+namespace {
+
+/// Hex digits needed for a W-bit word.
+int hex_width(const fixed::FixedFormat& fmt) {
+  return (fmt.word_length() + 3) / 4;
+}
+
+/// Raw word -> zero-padded hex (masked to the word length).
+std::string to_hex(std::int64_t raw, const fixed::FixedFormat& fmt) {
+  const auto mask =
+      (std::uint64_t{1} << fmt.word_length()) - 1;
+  const auto bits = static_cast<std::uint64_t>(raw) & mask;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%0*llx", hex_width(fmt),
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+/// Hex -> sign-extended raw word.
+std::int64_t from_hex(const std::string& text,
+                      const fixed::FixedFormat& fmt) {
+  std::uint64_t bits = 0;
+  for (const char c : text) {
+    if (!std::isxdigit(static_cast<unsigned char>(c))) {
+      throw ldafp::IoError("rom image: bad hex word '" + text + "'");
+    }
+    bits = bits * 16 +
+           static_cast<std::uint64_t>(
+               std::isdigit(static_cast<unsigned char>(c))
+                   ? c - '0'
+                   : std::tolower(static_cast<unsigned char>(c)) - 'a' +
+                         10);
+  }
+  if (bits >> fmt.word_length()) {
+    throw ldafp::IoError("rom image: word '" + text +
+                         "' wider than the format");
+  }
+  return fmt.wrap_raw(static_cast<std::int64_t>(bits));
+}
+
+}  // namespace
+
+core::FixedClassifier RomImage::classifier(
+    fixed::RoundingMode mode, fixed::AccumulatorMode acc) const {
+  return core::FixedClassifier(format, weights, threshold, mode, acc);
+}
+
+std::string rom_image_text(const core::FixedClassifier& clf) {
+  const fixed::FixedFormat& fmt = clf.format();
+  std::ostringstream os;
+  os << "// ldafp weight ROM\n";
+  os << "// format " << fmt.to_string() << "\n";
+  os << "// words " << clf.dim() << " weights + 1 threshold\n";
+  const linalg::Vector w = clf.weights_real();
+  for (std::size_t m = 0; m < w.size(); ++m) {
+    os << to_hex(fmt.quantize_saturate(w[m],
+                                       fixed::RoundingMode::kNearestEven),
+                 fmt)
+       << "\n";
+  }
+  os << to_hex(fmt.quantize_saturate(clf.threshold_real(),
+                                     fixed::RoundingMode::kNearestEven),
+               fmt)
+     << "\n";
+  return os.str();
+}
+
+void save_rom_image(const std::string& path,
+                    const core::FixedClassifier& clf) {
+  std::ofstream file(path);
+  if (!file) throw ldafp::IoError("rom image: cannot create '" + path + "'");
+  file << rom_image_text(clf);
+  if (!file) throw ldafp::IoError("rom image: write failed for '" + path +
+                                  "'");
+}
+
+RomImage parse_rom_image(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  bool have_format = false;
+  std::size_t expected_words = 0;
+  fixed::FixedFormat fmt(1, 0);
+  std::vector<double> values;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::string t = support::trim(line);
+    if (t.empty()) continue;
+    if (t.rfind("//", 0) == 0) {
+      const auto parts = support::split(t.substr(2), ' ');
+      std::vector<std::string> tokens;
+      for (const auto& p : parts) {
+        if (!support::trim(p).empty()) tokens.push_back(support::trim(p));
+      }
+      if (tokens.size() >= 2 && tokens[0] == "format") {
+        fmt = fixed::FixedFormat::parse(tokens[1]);
+        have_format = true;
+      }
+      if (tokens.size() >= 2 && tokens[0] == "words") {
+        expected_words = static_cast<std::size_t>(
+            std::stoul(tokens[1])) + 1;  // "+ 1 threshold"
+      }
+      continue;
+    }
+    if (!have_format) {
+      throw ldafp::IoError("rom image: data before the format header");
+    }
+    values.push_back(fmt.to_real(from_hex(t, fmt)));
+  }
+  if (!have_format) throw ldafp::IoError("rom image: missing format header");
+  if (values.size() < 2) {
+    throw ldafp::IoError("rom image: needs >= 1 weight and a threshold");
+  }
+  if (expected_words != 0 && values.size() != expected_words) {
+    throw ldafp::IoError("rom image: word count does not match header");
+  }
+  RomImage image;
+  image.format = fmt;
+  image.threshold = values.back();
+  values.pop_back();
+  image.weights = linalg::Vector(std::move(values));
+  return image;
+}
+
+RomImage load_rom_image(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw ldafp::IoError("rom image: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_rom_image(buffer.str());
+}
+
+}  // namespace ldafp::hw

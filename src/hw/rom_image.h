@@ -1,0 +1,45 @@
+// Weight-ROM image export/import.
+//
+// The deliverable of LDA-FP training is a set of QK.F words to burn into
+// the classifier's weight ROM.  This module serializes a trained
+// classifier to the plain-hex format synthesis flows consume ($readmemh
+// in Verilog): a comment header recording the format/threshold metadata,
+// then one two's-complement word per line, weights first, threshold
+// last.  The loader round-trips the image so software and RTL test
+// benches score the identical bits.
+#pragma once
+
+#include <string>
+
+#include "core/classifier.h"
+#include "fixed/format.h"
+#include "linalg/vector.h"
+
+namespace ldafp::hw {
+
+/// A parsed ROM image.
+struct RomImage {
+  fixed::FixedFormat format{1, 0};
+  linalg::Vector weights;      ///< exact grid values
+  double threshold = 0.0;      ///< exact grid value
+
+  /// The classifier these bits implement.
+  core::FixedClassifier classifier(
+      fixed::RoundingMode mode = fixed::RoundingMode::kNearestEven,
+      fixed::AccumulatorMode acc = fixed::AccumulatorMode::kWide) const;
+};
+
+/// Renders the $readmemh-style image text for a classifier.
+std::string rom_image_text(const core::FixedClassifier& clf);
+
+/// Writes the image to `path`.  Throws IoError on failure.
+void save_rom_image(const std::string& path,
+                    const core::FixedClassifier& clf);
+
+/// Parses image text.  Throws IoError on malformed input.
+RomImage parse_rom_image(const std::string& text);
+
+/// Loads an image from `path`.  Throws IoError on failure.
+RomImage load_rom_image(const std::string& path);
+
+}  // namespace ldafp::hw

@@ -1,0 +1,100 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace ldafp::linalg {
+
+Cholesky::Cholesky(const Matrix& a) {
+  LDAFP_CHECK(a.square(), "cholesky requires a square matrix");
+  LDAFP_CHECK(a.is_symmetric(1e-9 * (1.0 + a.norm_max())),
+              "cholesky requires a symmetric matrix");
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (!(diag > 0.0)) {
+      throw ldafp::NumericalError(
+          "cholesky: matrix is not positive definite (pivot " +
+          std::to_string(diag) + " at index " + std::to_string(j) + ")");
+    }
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      l_(i, j) = s / ljj;
+    }
+  }
+}
+
+Cholesky Cholesky::with_jitter(const Matrix& a, double jitter,
+                               double max_jitter, double* used_jitter) {
+  LDAFP_CHECK(jitter >= 0.0 && max_jitter >= jitter,
+              "with_jitter requires 0 <= jitter <= max_jitter");
+  double current = jitter;
+  while (true) {
+    Matrix shifted = a;
+    for (std::size_t i = 0; i < a.rows(); ++i) shifted(i, i) += current;
+    try {
+      Cholesky chol(shifted);
+      if (used_jitter != nullptr) *used_jitter = current;
+      return chol;
+    } catch (const ldafp::NumericalError&) {
+      if (current >= max_jitter) throw;
+      current = current == 0.0 ? 1e-12 : current * 10.0;
+      if (current > max_jitter) current = max_jitter;
+    }
+  }
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  return solve_upper(solve_lower(b));
+}
+
+Vector Cholesky::solve_lower(const Vector& b) const {
+  LDAFP_CHECK(b.size() == size(), "cholesky solve dimension mismatch");
+  const std::size_t n = size();
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  return y;
+}
+
+Vector Cholesky::solve_upper(const Vector& y) const {
+  LDAFP_CHECK(y.size() == size(), "cholesky solve dimension mismatch");
+  const std::size_t n = size();
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= l_(k, i) * x[k];
+    x[i] = s / l_(i, i);
+  }
+  return x;
+}
+
+double Cholesky::log_det() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Matrix Cholesky::inverse() const {
+  const std::size_t n = size();
+  Matrix inv(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    Vector e(n);
+    e[c] = 1.0;
+    inv.set_col(c, solve(e));
+  }
+  inv.symmetrize();
+  return inv;
+}
+
+}  // namespace ldafp::linalg

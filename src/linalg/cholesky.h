@@ -1,0 +1,53 @@
+// Cholesky (L Lᵀ) factorization of symmetric positive-definite matrices.
+//
+// Used for: solving the conventional-LDA linear system (Eq. 11 of the
+// paper), Newton steps inside the barrier solver, sampling from multivariate
+// Gaussians, and log-determinants.
+#pragma once
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace ldafp::linalg {
+
+/// Lower-triangular Cholesky factor of an SPD matrix.
+class Cholesky {
+ public:
+  /// Factors `a` (must be square and symmetric).  Throws NumericalError
+  /// when a pivot is <= 0, i.e. `a` is not positive definite.
+  explicit Cholesky(const Matrix& a);
+
+  /// Factors `a + jitter * I`, escalating `jitter` by 10x (up to
+  /// `max_jitter`) until the factorization succeeds.  Returns the jitter
+  /// actually used through `used_jitter`.  Throws NumericalError when even
+  /// the largest jitter fails.
+  static Cholesky with_jitter(const Matrix& a, double jitter,
+                              double max_jitter, double* used_jitter);
+
+  /// Dimension of the factored matrix.
+  std::size_t size() const { return l_.rows(); }
+
+  /// The lower-triangular factor L with A = L Lᵀ.
+  const Matrix& factor() const { return l_; }
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solves L y = b (forward substitution).
+  Vector solve_lower(const Vector& b) const;
+
+  /// Solves Lᵀ x = y (backward substitution).
+  Vector solve_upper(const Vector& y) const;
+
+  /// log(det(A)) = 2 * sum(log(L_ii)).
+  double log_det() const;
+
+  /// A⁻¹ formed column-by-column (small systems only).
+  Matrix inverse() const;
+
+ private:
+  Cholesky() = default;
+  Matrix l_;
+};
+
+}  // namespace ldafp::linalg

@@ -1,0 +1,240 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ldafp::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    LDAFP_CHECK(row.size() == cols_, "matrix initializer rows ragged");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+Matrix Matrix::diagonal(const Vector& diag) {
+  Matrix out(diag.size(), diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) out(i, i) = diag[i];
+  return out;
+}
+
+Matrix Matrix::outer(const Vector& a, const Vector& b) {
+  Matrix out(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) out(i, j) = a[i] * b[j];
+  }
+  return out;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  LDAFP_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  LDAFP_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+  return (*this)(r, c);
+}
+
+Vector Matrix::row(std::size_t r) const {
+  LDAFP_CHECK(r < rows_, "row index out of range");
+  Vector out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+Vector Matrix::col(std::size_t c) const {
+  LDAFP_CHECK(c < cols_, "col index out of range");
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Vector Matrix::diag() const {
+  const std::size_t n = std::min(rows_, cols_);
+  Vector out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = (*this)(i, i);
+  return out;
+}
+
+void Matrix::set_row(std::size_t r, const Vector& values) {
+  LDAFP_CHECK(r < rows_, "row index out of range");
+  LDAFP_CHECK(values.size() == cols_, "set_row dimension mismatch");
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = values[c];
+}
+
+void Matrix::set_col(std::size_t c, const Vector& values) {
+  LDAFP_CHECK(c < cols_, "col index out of range");
+  LDAFP_CHECK(values.size() == rows_, "set_col dimension mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = values[r];
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  LDAFP_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+              "matrix += shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  LDAFP_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+              "matrix -= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scale) {
+  for (auto& v : data_) v *= scale;
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+double Matrix::norm_frobenius() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::norm_max() const {
+  double s = 0.0;
+  for (double v : data_) s = std::max(s, std::fabs(v));
+  return s;
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (!square()) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      if (std::fabs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+void Matrix::symmetrize() {
+  LDAFP_CHECK(square(), "symmetrize requires a square matrix");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      const double avg = 0.5 * ((*this)(r, c) + (*this)(c, r));
+      (*this)(r, c) = avg;
+      (*this)(c, r) = avg;
+    }
+  }
+}
+
+std::string Matrix::to_string(int digits) const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[[" : " [");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c != 0) os << ", ";
+      os << support::format_double((*this)(r, c), digits);
+    }
+    os << (r + 1 == rows_ ? "]]" : "]\n");
+  }
+  return os.str();
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out += b;
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out -= b;
+  return out;
+}
+
+Matrix operator*(double scale, const Matrix& a) {
+  Matrix out = a;
+  out *= scale;
+  return out;
+}
+
+Matrix operator*(const Matrix& a, double scale) { return scale * a; }
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  LDAFP_CHECK(a.cols() == x.size(), "matvec dimension mismatch");
+  Vector out(a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) s += a(r, c) * x[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  LDAFP_CHECK(a.cols() == b.rows(), "matmul dimension mismatch");
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop contiguous for row-major data.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+double quadratic_form(const Matrix& a, const Vector& x) {
+  LDAFP_CHECK(a.square() && a.rows() == x.size(),
+              "quadratic_form dimension mismatch");
+  double s = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double rowdot = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) rowdot += a(r, c) * x[c];
+    s += x[r] * rowdot;
+  }
+  return s;
+}
+
+Vector transpose_times(const Matrix& a, const Vector& x) {
+  LDAFP_CHECK(a.rows() == x.size(), "transpose_times dimension mismatch");
+  Vector out(a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t c = 0; c < a.cols(); ++c) out[c] += a(r, c) * xr;
+  }
+  return out;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  LDAFP_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+              "max_abs_diff shape mismatch");
+  double s = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      s = std::max(s, std::fabs(a(r, c) - b(r, c)));
+    }
+  }
+  return s;
+}
+
+}  // namespace ldafp::linalg

@@ -1,0 +1,123 @@
+// Dense double-precision matrix (row-major).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace ldafp::linalg {
+
+/// Dense real matrix with value semantics, stored row-major.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Zero matrix of the given shape.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Matrix of the given shape filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  /// Matrix from nested initializer lists; all rows must have equal width.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  /// Diagonal matrix from a vector.
+  static Matrix diagonal(const Vector& diag);
+
+  /// Rank-1 outer product a bᵀ.
+  static Matrix outer(const Vector& a, const Vector& b);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+  /// True when rows() == cols().
+  bool square() const { return rows_ == cols_; }
+
+  /// Unchecked element access.
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access (throws InvalidArgumentError).
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Raw row-major storage.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Copy of row r as a vector.
+  Vector row(std::size_t r) const;
+  /// Copy of column c as a vector.
+  Vector col(std::size_t c) const;
+  /// Copy of the main diagonal (square not required; length = min(r,c)).
+  Vector diag() const;
+
+  /// Overwrites row r; dimension must equal cols().
+  void set_row(std::size_t r, const Vector& values);
+  /// Overwrites column c; dimension must equal rows().
+  void set_col(std::size_t c, const Vector& values);
+
+  /// In-place arithmetic; shapes must match.
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double scale);
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Frobenius norm.
+  double norm_frobenius() const;
+  /// Max absolute entry.
+  double norm_max() const;
+
+  /// True when |A - Aᵀ| <= tol element-wise (requires square()).
+  bool is_symmetric(double tol = 1e-12) const;
+
+  /// Replaces A with (A + Aᵀ)/2 (requires square()).
+  void symmetrize();
+
+  /// Multi-line string for logging.
+  std::string to_string(int digits = 6) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Element-wise sum/difference; shapes must match.
+Matrix operator+(const Matrix& a, const Matrix& b);
+Matrix operator-(const Matrix& a, const Matrix& b);
+/// Scaling.
+Matrix operator*(double scale, const Matrix& a);
+Matrix operator*(const Matrix& a, double scale);
+
+/// Matrix-vector product A x; x.size() must equal A.cols().
+Vector operator*(const Matrix& a, const Vector& x);
+
+/// Matrix product A B; A.cols() must equal B.rows().
+Matrix operator*(const Matrix& a, const Matrix& b);
+
+/// Quadratic form xᵀ A x (requires square A matching x).
+double quadratic_form(const Matrix& a, const Vector& x);
+
+/// Aᵀ x without forming the transpose.
+Vector transpose_times(const Matrix& a, const Vector& x);
+
+/// Max |a(i,j) - b(i,j)|; shapes must match.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace ldafp::linalg

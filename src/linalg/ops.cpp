@@ -1,0 +1,64 @@
+#include "linalg/ops.h"
+
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+#include "linalg/qr.h"
+#include "support/error.h"
+
+namespace ldafp::linalg {
+
+Vector solve_spd_or_lu(const Matrix& a, const Vector& b) {
+  try {
+    return Cholesky(a).solve(b);
+  } catch (const ldafp::NumericalError&) {
+    return Lu(a).solve(b);
+  }
+}
+
+Matrix random_gaussian_matrix(std::size_t rows, std::size_t cols,
+                              support::Rng& rng) {
+  Matrix out(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) out(r, c) = rng.gaussian();
+  }
+  return out;
+}
+
+Matrix random_orthogonal(std::size_t n, support::Rng& rng) {
+  const Matrix g = random_gaussian_matrix(n, n, rng);
+  const Qr qr(g);
+  Matrix q = qr.thin_q();
+  const Matrix r = qr.thin_r();
+  // Multiply each column by sign(R_jj) so the distribution does not favor
+  // one orientation.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (r(j, j) < 0.0) {
+      for (std::size_t i = 0; i < n; ++i) q(i, j) = -q(i, j);
+    }
+  }
+  return q;
+}
+
+Matrix random_spd(std::size_t n, double lambda_min, double lambda_max,
+                  support::Rng& rng) {
+  LDAFP_CHECK(0.0 < lambda_min && lambda_min <= lambda_max,
+              "random_spd requires 0 < lambda_min <= lambda_max");
+  const Matrix q = random_orthogonal(n, rng);
+  Vector lambda(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lambda[i] = rng.uniform(lambda_min, lambda_max);
+  }
+  Matrix out(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Vector qk = q.col(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        out(i, j) += lambda[k] * qk[i] * qk[j];
+      }
+    }
+  }
+  out.symmetrize();
+  return out;
+}
+
+}  // namespace ldafp::linalg

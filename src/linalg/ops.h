@@ -1,0 +1,29 @@
+// Assorted matrix utilities built on the factorizations.
+#pragma once
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "support/rng.h"
+
+namespace ldafp::linalg {
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky, falling
+/// back to pivoted LU when A is not PD (e.g. semidefinite scatter from
+/// degenerate data).  This is the solve used by conventional LDA (Eq. 11).
+Vector solve_spd_or_lu(const Matrix& a, const Vector& b);
+
+/// Random matrix with i.i.d. standard normal entries.
+Matrix random_gaussian_matrix(std::size_t rows, std::size_t cols,
+                              support::Rng& rng);
+
+/// Random orthogonal matrix from the QR factorization of a Gaussian matrix
+/// (sign-corrected so the distribution is Haar-like).  Used to build
+/// structured covariances in the data generators and tests.
+Matrix random_orthogonal(std::size_t n, support::Rng& rng);
+
+/// Random symmetric positive-definite matrix with eigenvalues drawn
+/// uniformly from [lambda_min, lambda_max].
+Matrix random_spd(std::size_t n, double lambda_min, double lambda_max,
+                  support::Rng& rng);
+
+}  // namespace ldafp::linalg

@@ -1,0 +1,42 @@
+// Householder QR factorization and least-squares solves.
+//
+// Used by tests (orthogonality properties, random rotation generation for
+// dataset construction) and by the whitening utilities in stats.
+#pragma once
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace ldafp::linalg {
+
+/// A = Q R with Q orthonormal (rows x rows) and R upper trapezoidal.
+/// Requires rows() >= cols() (tall or square).
+class Qr {
+ public:
+  /// Factors `a`.  Throws InvalidArgumentError when rows < cols.
+  explicit Qr(const Matrix& a);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Thin Q factor (rows x cols, orthonormal columns).
+  Matrix thin_q() const;
+
+  /// Thin R factor (cols x cols, upper triangular).
+  Matrix thin_r() const;
+
+  /// Minimum-norm least squares solution of min ||A x - b||_2.
+  /// Throws NumericalError when R is numerically singular.
+  Vector solve_least_squares(const Vector& b) const;
+
+ private:
+  /// Applies Qᵀ to a vector in place.
+  void apply_qt(Vector& v) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Matrix qr_;       // R above the diagonal, Householder vectors below
+  Vector tau_;      // Householder scales
+};
+
+}  // namespace ldafp::linalg

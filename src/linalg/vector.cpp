@@ -1,0 +1,149 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ldafp::linalg {
+
+double& Vector::at(std::size_t i) {
+  LDAFP_CHECK(i < data_.size(), "vector index out of range");
+  return data_[i];
+}
+
+double Vector::at(std::size_t i) const {
+  LDAFP_CHECK(i < data_.size(), "vector index out of range");
+  return data_[i];
+}
+
+void Vector::fill(double value) {
+  for (auto& v : data_) v = value;
+}
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  LDAFP_CHECK(size() == rhs.size(), "vector += dimension mismatch");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += rhs[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  LDAFP_CHECK(size() == rhs.size(), "vector -= dimension mismatch");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= rhs[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scale) {
+  for (auto& v : data_) v *= scale;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scale) {
+  for (auto& v : data_) v /= scale;
+  return *this;
+}
+
+void Vector::axpy(double alpha, const Vector& x) {
+  LDAFP_CHECK(size() == x.size(), "axpy dimension mismatch");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += alpha * x[i];
+}
+
+double Vector::norm2() const {
+  // Scaled two-pass form to avoid overflow on extreme inputs.
+  double maxabs = 0.0;
+  for (double v : data_) maxabs = std::max(maxabs, std::fabs(v));
+  if (maxabs == 0.0) return 0.0;
+  double sumsq = 0.0;
+  for (double v : data_) {
+    const double r = v / maxabs;
+    sumsq += r * r;
+  }
+  return maxabs * std::sqrt(sumsq);
+}
+
+double Vector::norm1() const {
+  double s = 0.0;
+  for (double v : data_) s += std::fabs(v);
+  return s;
+}
+
+double Vector::norm_inf() const {
+  double s = 0.0;
+  for (double v : data_) s = std::max(s, std::fabs(v));
+  return s;
+}
+
+double Vector::sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+std::string Vector::to_string(int digits) const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i != 0) os << ", ";
+    os << support::format_double(data_[i], digits);
+  }
+  os << "]";
+  return os.str();
+}
+
+Vector operator+(const Vector& a, const Vector& b) {
+  Vector out = a;
+  out += b;
+  return out;
+}
+
+Vector operator-(const Vector& a, const Vector& b) {
+  Vector out = a;
+  out -= b;
+  return out;
+}
+
+Vector operator-(const Vector& a) {
+  Vector out = a;
+  out *= -1.0;
+  return out;
+}
+
+Vector operator*(double scale, const Vector& a) {
+  Vector out = a;
+  out *= scale;
+  return out;
+}
+
+Vector operator*(const Vector& a, double scale) { return scale * a; }
+
+Vector operator/(const Vector& a, double scale) {
+  Vector out = a;
+  out /= scale;
+  return out;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  LDAFP_CHECK(a.size() == b.size(), "dot dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+Vector hadamard(const Vector& a, const Vector& b) {
+  LDAFP_CHECK(a.size() == b.size(), "hadamard dimension mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+double max_abs_diff(const Vector& a, const Vector& b) {
+  LDAFP_CHECK(a.size() == b.size(), "max_abs_diff dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s = std::max(s, std::fabs(a[i] - b[i]));
+  }
+  return s;
+}
+
+}  // namespace ldafp::linalg

@@ -1,0 +1,105 @@
+// Dense double-precision vector.
+//
+// The entire reproduction works with small dense problems (M <= a few
+// hundred features), so a straightforward value-semantic vector over
+// std::vector<double> is the right tool: no expression templates, no
+// allocator games, predictable performance.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ldafp::linalg {
+
+/// Dense real vector with value semantics.
+class Vector {
+ public:
+  /// Empty vector.
+  Vector() = default;
+
+  /// Zero vector of dimension n.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+
+  /// Vector of dimension n filled with `value`.
+  Vector(std::size_t n, double value) : data_(n, value) {}
+
+  /// Vector from an initializer list: Vector{1.0, 2.0}.
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  /// Vector adopting an existing buffer.
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  /// Dimension.
+  std::size_t size() const { return data_.size(); }
+  /// True when size() == 0.
+  bool empty() const { return data_.empty(); }
+
+  /// Unchecked element access.
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  /// Bounds-checked element access (throws InvalidArgumentError).
+  double& at(std::size_t i);
+  double at(std::size_t i) const;
+
+  /// Raw storage access (contiguous).
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  const std::vector<double>& values() const { return data_; }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  /// Sets every element to `value`.
+  void fill(double value);
+
+  /// In-place arithmetic; dimensions must match.
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double scale);
+  Vector& operator/=(double scale);
+
+  /// this += alpha * x (BLAS axpy); dimensions must match.
+  void axpy(double alpha, const Vector& x);
+
+  /// Euclidean (L2) norm.
+  double norm2() const;
+  /// Sum of absolute values (L1 norm).
+  double norm1() const;
+  /// Max absolute value (L-infinity norm).
+  double norm_inf() const;
+  /// Sum of elements.
+  double sum() const;
+
+  /// "[v0, v1, ...]" with `digits` decimals, for logging.
+  std::string to_string(int digits = 6) const;
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Element-wise sum; dimensions must match.
+Vector operator+(const Vector& a, const Vector& b);
+/// Element-wise difference; dimensions must match.
+Vector operator-(const Vector& a, const Vector& b);
+/// Negation.
+Vector operator-(const Vector& a);
+/// Scaling.
+Vector operator*(double scale, const Vector& a);
+Vector operator*(const Vector& a, double scale);
+Vector operator/(const Vector& a, double scale);
+
+/// Inner product aᵀb; dimensions must match.
+double dot(const Vector& a, const Vector& b);
+
+/// Element-wise (Hadamard) product; dimensions must match.
+Vector hadamard(const Vector& a, const Vector& b);
+
+/// Max |a[i] - b[i]|; dimensions must match.
+double max_abs_diff(const Vector& a, const Vector& b);
+
+}  // namespace ldafp::linalg

@@ -1,0 +1,389 @@
+#include "opt/barrier_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/cholesky.h"
+#include "support/error.h"
+#include "support/log.h"
+
+namespace ldafp::opt {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Box with every interval inflated to at least `min_width` (centered), so
+/// the strict interior is non-empty.  Enlarging the box only relaxes the
+/// problem, keeping lower bounds valid.
+Box inflate_box(const Box& box, double min_width) {
+  Box out = box;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i].width() < min_width) {
+      const double mid = out[i].mid();
+      out[i].lo = mid - 0.5 * min_width;
+      out[i].hi = mid + 0.5 * min_width;
+    }
+  }
+  return out;
+}
+
+/// Cached per-SOC-constraint quantities at a point.
+struct SocEval {
+  double residual;       // g(w)
+  double root;           // sqrt(wᵀΣw + eps)
+  linalg::Vector sigma_w;
+};
+
+SocEval eval_soc(const SocConstraint& s, const linalg::Vector& w) {
+  SocEval out;
+  out.sigma_w = s.sigma * w;
+  const double quad = std::max(linalg::dot(out.sigma_w, w), 0.0);
+  out.root = std::sqrt(quad + s.eps);
+  out.residual = s.beta * out.root + linalg::dot(s.c, w) - s.d;
+  return out;
+}
+
+/// Gradient of the SOC residual from cached pieces.
+linalg::Vector soc_gradient(const SocConstraint& s, const SocEval& e) {
+  linalg::Vector g = e.sigma_w;
+  g *= s.beta / e.root;
+  g += s.c;
+  return g;
+}
+
+/// Adds (grad grad')/r² + Hg/r to `hess`, where r = -residual (phase II)
+/// or s - residual (phase I), and Hg is the SOC residual Hessian.
+void add_soc_barrier_hessian(const SocConstraint& s, const SocEval& e,
+                             const linalg::Vector& grad, double r,
+                             linalg::Matrix& hess) {
+  const std::size_t n = grad.size();
+  const double inv_r = 1.0 / r;
+  const double inv_r2 = inv_r * inv_r;
+  const double a = s.beta / e.root * inv_r;               // Σ scale
+  const double b = s.beta / (e.root * e.root * e.root) * inv_r;  // rank-1
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      hess(i, j) += grad[i] * grad[j] * inv_r2 + a * s.sigma(i, j) -
+                    b * e.sigma_w[i] * e.sigma_w[j];
+    }
+  }
+}
+
+/// Adds (a a')/r² to `hess` for a linear constraint with margin r.
+void add_linear_barrier_hessian(const linalg::Vector& a, double r,
+                                linalg::Matrix& hess) {
+  const double inv_r2 = 1.0 / (r * r);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0.0) continue;
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      hess(i, j) += a[i] * a[j] * inv_r2;
+    }
+  }
+}
+
+/// Solves H dx = -g with escalating diagonal jitter.
+linalg::Vector newton_direction(const linalg::Matrix& hess,
+                                const linalg::Vector& grad) {
+  double used = 0.0;
+  const double scale = std::max(hess.norm_max(), 1.0);
+  const linalg::Cholesky chol = linalg::Cholesky::with_jitter(
+      hess, 1e-12 * scale, 1e-2 * scale, &used);
+  linalg::Vector dir = chol.solve(grad);
+  dir *= -1.0;
+  return dir;
+}
+
+}  // namespace
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Phase II: minimize t·wᵀQw − Σ log(−gᵢ(w)) over the strictly feasible set.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Phase2Eval {
+  bool feasible = false;  // strictly feasible at w
+  double value = kInf;    // barrier function value
+};
+
+Phase2Eval eval_phase2(const ConvexProblem& p, const Box& box, double t,
+                       const linalg::Vector& w) {
+  Phase2Eval out;
+  double barrier = 0.0;
+  for (const auto& lin : p.linear()) {
+    const double g = linalg::dot(lin.a, w) - lin.b;
+    if (g >= 0.0) return out;
+    barrier -= std::log(-g);
+  }
+  for (const auto& soc : p.soc()) {
+    const double g = eval_soc(soc, w).residual;
+    if (g >= 0.0) return out;
+    barrier -= std::log(-g);
+  }
+  for (std::size_t m = 0; m < box.size(); ++m) {
+    const double lo_gap = w[m] - box[m].lo;
+    const double hi_gap = box[m].hi - w[m];
+    if (lo_gap <= 0.0 || hi_gap <= 0.0) return out;
+    barrier -= std::log(lo_gap) + std::log(hi_gap);
+  }
+  out.feasible = true;
+  out.value = t * p.objective(w) + barrier;
+  return out;
+}
+
+}  // namespace
+
+BarrierResult BarrierSolver::solve(
+    const ConvexProblem& problem,
+    const std::optional<linalg::Vector>& warm_start) const {
+  LDAFP_CHECK(problem.has_box(), "barrier solver requires a variable box");
+  const Box box = inflate_box(problem.box(), options_.min_box_width);
+  const std::size_t n = problem.dim();
+
+  BarrierResult result;
+  result.lower_bound = -kInf;
+
+  // Obtain a strictly feasible start.
+  linalg::Vector w;
+  if (warm_start.has_value() &&
+      eval_phase2(problem, box, 1.0, *warm_start).feasible) {
+    w = *warm_start;
+  } else {
+    const auto feasible = find_strictly_feasible(problem);
+    if (!feasible.has_value()) {
+      result.status = SolveStatus::kInfeasible;
+      result.lower_bound = kInf;  // infeasible node: prune unconditionally
+      result.objective = kInf;
+      return result;
+    }
+    w = *feasible;
+  }
+
+  const auto m = static_cast<double>(problem.constraint_count());
+  double t = options_.initial_t;
+  int total_newton = 0;
+  bool hit_iteration_limit = false;
+
+  while (true) {
+    // Newton centering at the current t.
+    for (int iter = 0; iter < options_.max_newton_per_stage; ++iter) {
+      if (total_newton >= options_.max_total_newton) {
+        hit_iteration_limit = true;
+        break;
+      }
+      ++total_newton;
+
+      // Assemble gradient and Hessian of the barrier-augmented objective.
+      linalg::Vector grad = problem.objective_gradient(w);
+      grad *= t;
+      linalg::Matrix hess = problem.objective_matrix();
+      hess *= 2.0 * t;
+
+      for (const auto& lin : problem.linear()) {
+        const double r = -(linalg::dot(lin.a, w) - lin.b);
+        grad.axpy(1.0 / r, lin.a);
+        add_linear_barrier_hessian(lin.a, r, hess);
+      }
+      for (const auto& soc : problem.soc()) {
+        const SocEval e = eval_soc(soc, w);
+        const double r = -e.residual;
+        const linalg::Vector g = soc_gradient(soc, e);
+        grad.axpy(1.0 / r, g);
+        add_soc_barrier_hessian(soc, e, g, r, hess);
+      }
+      for (std::size_t mm = 0; mm < n; ++mm) {
+        const double lo_gap = w[mm] - box[mm].lo;
+        const double hi_gap = box[mm].hi - w[mm];
+        grad[mm] += -1.0 / lo_gap + 1.0 / hi_gap;
+        hess(mm, mm) += 1.0 / (lo_gap * lo_gap) + 1.0 / (hi_gap * hi_gap);
+      }
+
+      const linalg::Vector dx = newton_direction(hess, grad);
+      const double decrement_sq = -linalg::dot(grad, dx);
+      if (decrement_sq * 0.5 <= options_.newton_tol) break;
+
+      // Backtracking line search keeping strict feasibility.
+      const Phase2Eval here = eval_phase2(problem, box, t, w);
+      double alpha = 1.0;
+      bool stepped = false;
+      for (int ls = 0; ls < 60; ++ls) {
+        linalg::Vector cand = w;
+        cand.axpy(alpha, dx);
+        const Phase2Eval trial = eval_phase2(problem, box, t, cand);
+        if (trial.feasible &&
+            trial.value <= here.value - 1e-4 * alpha * decrement_sq) {
+          w = std::move(cand);
+          stepped = true;
+          break;
+        }
+        alpha *= 0.5;
+      }
+      if (!stepped) break;  // stalled: accept the center we have
+    }
+
+    result.duality_gap = m / t;
+    if (hit_iteration_limit || result.duality_gap <= options_.gap_tol) break;
+    t *= options_.mu;
+  }
+
+  result.x = w;
+  result.objective = problem.objective(w);
+  // Standard barrier certificate: at an (approximate) center for
+  // parameter t the duality gap is m/t.  A small multiple absorbs the
+  // imperfect centering.
+  result.lower_bound =
+      result.objective - 2.0 * result.duality_gap - options_.gap_tol;
+  result.newton_iterations = total_newton;
+  result.status = hit_iteration_limit ? SolveStatus::kIterationLimit
+                                      : SolveStatus::kOptimal;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Phase I: minimize s subject to gᵢ(w) <= s, w in box.
+// ---------------------------------------------------------------------------
+
+std::optional<linalg::Vector> BarrierSolver::find_strictly_feasible(
+    const ConvexProblem& problem) const {
+  LDAFP_CHECK(problem.has_box(), "barrier solver requires a variable box");
+  const Box box = inflate_box(problem.box(), options_.min_box_width);
+  const std::size_t n = problem.dim();
+  const std::size_t n_ineq = problem.linear().size() + problem.soc().size();
+
+  linalg::Vector w(linalg::Vector(box.center()));
+  if (n_ineq == 0) return w;  // box interior is all we need
+
+  // Slack above the worst violation keeps every log argument positive.
+  double s = problem.max_residual(w) + 1.0;
+  // The box residuals are <= 0 at the center; only linear/SOC matter for s.
+
+  const auto count = static_cast<double>(n_ineq);
+  double t = options_.initial_t;
+  int total_newton = 0;
+
+  const auto barrier_value = [&](const linalg::Vector& ww,
+                                 double ss) -> double {
+    double value = t * ss;
+    for (const auto& lin : problem.linear()) {
+      const double margin = ss - (linalg::dot(lin.a, ww) - lin.b);
+      if (margin <= 0.0) return kInf;
+      value -= std::log(margin);
+    }
+    for (const auto& soc : problem.soc()) {
+      const double margin = ss - eval_soc(soc, ww).residual;
+      if (margin <= 0.0) return kInf;
+      value -= std::log(margin);
+    }
+    for (std::size_t mm = 0; mm < n; ++mm) {
+      const double lo_gap = ww[mm] - box[mm].lo;
+      const double hi_gap = box[mm].hi - ww[mm];
+      if (lo_gap <= 0.0 || hi_gap <= 0.0) return kInf;
+      value -= std::log(lo_gap) + std::log(hi_gap);
+    }
+    return value;
+  };
+
+  while (true) {
+    for (int iter = 0; iter < options_.max_newton_per_stage; ++iter) {
+      if (total_newton >= options_.max_total_newton) break;
+      ++total_newton;
+
+      // Early success: comfortably below zero violation.
+      if (s < -10.0 * options_.feasibility_margin &&
+          problem.max_residual(w) < -options_.feasibility_margin) {
+        return w;
+      }
+
+      // Gradient/Hessian in z = (w, s).
+      linalg::Vector grad(n + 1);
+      linalg::Matrix hess(n + 1, n + 1);
+      grad[n] = t;
+
+      auto add_constraint = [&](const linalg::Vector& g_grad,
+                                double margin) {
+        const double inv = 1.0 / margin;
+        for (std::size_t i = 0; i < n; ++i) grad[i] += g_grad[i] * inv;
+        grad[n] -= inv;
+        const double inv2 = inv * inv;
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            hess(i, j) += g_grad[i] * g_grad[j] * inv2;
+          }
+          hess(i, n) -= g_grad[i] * inv2;
+          hess(n, i) -= g_grad[i] * inv2;
+        }
+        hess(n, n) += inv2;
+      };
+
+      for (const auto& lin : problem.linear()) {
+        const double margin = s - (linalg::dot(lin.a, w) - lin.b);
+        add_constraint(lin.a, margin);
+      }
+      for (const auto& soc : problem.soc()) {
+        const SocEval e = eval_soc(soc, w);
+        const double margin = s - e.residual;
+        const linalg::Vector g = soc_gradient(soc, e);
+        add_constraint(g, margin);
+        // Curvature of the SOC residual itself.
+        const double a = soc.beta / e.root / margin;
+        const double b =
+            soc.beta / (e.root * e.root * e.root) / margin;
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            hess(i, j) += a * soc.sigma(i, j) -
+                          b * e.sigma_w[i] * e.sigma_w[j];
+          }
+        }
+      }
+      for (std::size_t mm = 0; mm < n; ++mm) {
+        const double lo_gap = w[mm] - box[mm].lo;
+        const double hi_gap = box[mm].hi - w[mm];
+        grad[mm] += -1.0 / lo_gap + 1.0 / hi_gap;
+        hess(mm, mm) += 1.0 / (lo_gap * lo_gap) + 1.0 / (hi_gap * hi_gap);
+      }
+
+      const linalg::Vector dz = newton_direction(hess, grad);
+      const double decrement_sq = -linalg::dot(grad, dz);
+      if (decrement_sq * 0.5 <= options_.newton_tol) break;
+
+      const double here = barrier_value(w, s);
+      double alpha = 1.0;
+      bool stepped = false;
+      for (int ls = 0; ls < 60; ++ls) {
+        linalg::Vector cand = w;
+        for (std::size_t i = 0; i < n; ++i) cand[i] += alpha * dz[i];
+        const double cand_s = s + alpha * dz[n];
+        const double trial = barrier_value(cand, cand_s);
+        if (trial <= here - 1e-4 * alpha * decrement_sq) {
+          w = std::move(cand);
+          s = cand_s;
+          stepped = true;
+          break;
+        }
+        alpha *= 0.5;
+      }
+      if (!stepped) break;
+    }
+
+    // Converged for this t: feasible iff s is negative.
+    if (problem.max_residual(w) < -options_.feasibility_margin) return w;
+    if (count / t <= options_.gap_tol ||
+        total_newton >= options_.max_total_newton) {
+      // s* >= 0 to within tolerance: no strictly feasible point.
+      return std::nullopt;
+    }
+    t *= options_.mu;
+  }
+}
+
+}  // namespace ldafp::opt

@@ -1,0 +1,82 @@
+// Log-barrier interior-point solver for ConvexProblem.
+//
+// Implements the classic two-phase barrier method (Boyd & Vandenberghe,
+// ch. 11), which is how we solve the paper's convex relaxation (Eq. 25):
+//   phase I  — minimize the max constraint violation s over (w, s) to find
+//              a strictly feasible start (or prove infeasibility),
+//   phase II — minimize t·wᵀQw − Σ log(−gᵢ(w)) with t increased
+//              geometrically until the duality gap m/t is below tolerance.
+//
+// The certified lower bound returned with each solve is
+// objective − gap_margin, where gap_margin covers the barrier duality gap
+// m/t plus the residual Newton decrement; branch-and-bound pruning uses
+// that bound, never the raw primal value.
+#pragma once
+
+#include <optional>
+
+#include "linalg/vector.h"
+#include "opt/convex_problem.h"
+
+namespace ldafp::opt {
+
+/// Outcome of a barrier solve.
+enum class SolveStatus {
+  kOptimal,        ///< converged to tolerance
+  kInfeasible,     ///< phase I proved no strictly feasible point exists
+  kIterationLimit, ///< Newton/outer iteration budget exhausted
+};
+
+/// Short display name of a status.
+const char* to_string(SolveStatus status);
+
+/// Tuning knobs.  Defaults are sized for the paper's problems
+/// (dimension <= a few hundred, tens of constraints).
+struct BarrierOptions {
+  double gap_tol = 1e-7;       ///< stop when m/t falls below this
+  double initial_t = 1.0;      ///< first barrier parameter
+  double mu = 20.0;            ///< barrier parameter growth factor
+  int max_newton_per_stage = 80;
+  int max_total_newton = 2000;
+  double newton_tol = 1e-10;   ///< half squared Newton decrement
+  double feasibility_margin = 1e-9;  ///< strictness required of phase I
+  /// Interval widths below this are inflated before solving so the box
+  /// interior is non-empty; inflation only enlarges the feasible set, so
+  /// lower bounds remain valid.
+  double min_box_width = 1e-9;
+};
+
+/// Result of a barrier solve.
+struct BarrierResult {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  linalg::Vector x;            ///< best (strictly feasible) point found
+  double objective = 0.0;      ///< xᵀQx at x
+  double lower_bound = 0.0;    ///< certified lower bound on the optimum
+  int newton_iterations = 0;
+  double duality_gap = 0.0;    ///< m/t at exit
+};
+
+/// The solver.  Stateless apart from options; safe to reuse.
+class BarrierSolver {
+ public:
+  BarrierSolver() = default;
+  explicit BarrierSolver(BarrierOptions options) : options_(options) {}
+
+  const BarrierOptions& options() const { return options_; }
+
+  /// Solves the problem.  `warm_start`, when given and strictly feasible,
+  /// skips phase I.  The problem must have a box (every LDA-FP
+  /// subproblem does).
+  BarrierResult solve(const ConvexProblem& problem,
+                      const std::optional<linalg::Vector>& warm_start =
+                          std::nullopt) const;
+
+  /// Phase I alone: returns a strictly feasible point or nullopt.
+  std::optional<linalg::Vector> find_strictly_feasible(
+      const ConvexProblem& problem) const;
+
+ private:
+  BarrierOptions options_;
+};
+
+}  // namespace ldafp::opt

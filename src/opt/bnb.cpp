@@ -1,0 +1,160 @@
+#include "opt/bnb.h"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "support/error.h"
+#include "support/log.h"
+#include "support/str.h"
+#include "support/timer.h"
+
+namespace ldafp::opt {
+namespace {
+
+struct QueueNode {
+  double lower;
+  Box box;
+};
+
+struct LowerBoundGreater {
+  bool operator()(const QueueNode& a, const QueueNode& b) const {
+    return a.lower > b.lower;  // min-heap on lower bound
+  }
+};
+
+}  // namespace
+
+const char* to_string(BnbStatus status) {
+  switch (status) {
+    case BnbStatus::kOptimal: return "optimal";
+    case BnbStatus::kNodeLimit: return "node-limit";
+    case BnbStatus::kTimeLimit: return "time-limit";
+    case BnbStatus::kNoSolution: return "no-solution";
+  }
+  return "?";
+}
+
+BnbResult BnbSolver::run(
+    BnbProblem& problem, const Box& root,
+    const std::optional<std::pair<linalg::Vector, double>>&
+        initial_incumbent) const {
+  LDAFP_CHECK(root.size() > 0, "bnb root box must be non-empty");
+  support::WallTimer timer;
+
+  BnbResult result;
+  if (initial_incumbent.has_value()) {
+    result.best_point = initial_incumbent->first;
+    result.best_value = initial_incumbent->second;
+  }
+
+  std::priority_queue<QueueNode, std::vector<QueueNode>, LowerBoundGreater>
+      queue;
+
+  auto consider_candidate = [&](const NodeBounds& bounds) {
+    if (bounds.candidate.has_value() &&
+        bounds.candidate_value < result.best_value) {
+      result.best_point = bounds.candidate;
+      result.best_value = bounds.candidate_value;
+    }
+  };
+
+  auto prune_threshold = [&]() {
+    // A node whose lower bound exceeds this cannot improve the incumbent
+    // beyond the requested gap.  With no incumbent yet, never prune.
+    if (!std::isfinite(result.best_value)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return result.best_value -
+           std::max(options_.abs_gap,
+                    options_.rel_gap * std::fabs(result.best_value));
+  };
+
+  // Infeasible boxes report lower = +inf and must never enter the queue.
+  auto should_push = [&](double lower) {
+    return lower < std::numeric_limits<double>::infinity() &&
+           lower <= prune_threshold();
+  };
+
+  // Root node.
+  {
+    const NodeBounds bounds = problem.bound(root);
+    consider_candidate(bounds);
+    if (should_push(bounds.lower)) {
+      queue.push(QueueNode{bounds.lower, root});
+    }
+  }
+
+  result.lower_bound = result.best_value;  // adjusted below while queue live
+
+  while (!queue.empty()) {
+    if (result.nodes_processed >= options_.max_nodes) {
+      result.status = BnbStatus::kNodeLimit;
+      result.lower_bound = std::min(queue.top().lower, result.best_value);
+      result.seconds = timer.seconds();
+      return result;
+    }
+    if (timer.seconds() > options_.max_seconds) {
+      result.status = BnbStatus::kTimeLimit;
+      result.lower_bound = std::min(queue.top().lower, result.best_value);
+      result.seconds = timer.seconds();
+      return result;
+    }
+
+    const QueueNode node = queue.top();
+    queue.pop();
+    ++result.nodes_processed;
+
+    if (options_.progress && options_.progress_interval > 0 &&
+        result.nodes_processed % options_.progress_interval == 0) {
+      BnbResult snapshot = result;
+      snapshot.best_point.reset();  // keep snapshots cheap
+      snapshot.lower_bound = std::min(node.lower, result.best_value);
+      snapshot.seconds = timer.seconds();
+      options_.progress(snapshot);
+    }
+
+    // Best-first invariant: the queue head carries the global lower
+    // bound.  If it cannot beat the incumbent, the search is done.
+    if (node.lower > prune_threshold()) {
+      ++result.nodes_pruned;
+      result.lower_bound = std::min(node.lower, result.best_value);
+      result.status = BnbStatus::kOptimal;
+      result.seconds = timer.seconds();
+      return result;
+    }
+
+    if (problem.is_terminal(node.box)) {
+      const NodeBounds exact = problem.solve_terminal(node.box);
+      consider_candidate(exact);
+      continue;  // terminal boxes are fully resolved
+    }
+
+    const auto [left, right] = problem.branch(node.box);
+    for (const Box* child : {&left, &right}) {
+      if (child->empty()) continue;
+      const NodeBounds bounds = problem.bound(*child);
+      consider_candidate(bounds);
+      if (should_push(bounds.lower)) {
+        queue.push(QueueNode{bounds.lower, *child});
+      } else {
+        ++result.nodes_pruned;
+      }
+    }
+  }
+
+  // Queue drained: the incumbent is optimal over the root box.
+  result.lower_bound = result.best_value;
+  result.status = result.best_point.has_value() ? BnbStatus::kOptimal
+                                                : BnbStatus::kNoSolution;
+  result.seconds = timer.seconds();
+  if (options_.progress) {
+    BnbResult snapshot = result;
+    snapshot.best_point.reset();
+    options_.progress(snapshot);
+  }
+  return result;
+}
+
+}  // namespace ldafp::opt

@@ -1,0 +1,117 @@
+// Generic best-first branch-and-bound over interval boxes.
+//
+// This is the skeleton of the paper's Algorithm 1: iteratively partition
+// the variable box, estimate lower/upper bounds per sub-box, keep the set
+// of live boxes whose lower bound can still beat the incumbent, and stop
+// when every live box is small (or a node/time budget runs out — the
+// "additional heuristics" hook the paper mentions).
+//
+// The framework is problem-agnostic: the LDA-FP trainer plugs in through
+// the BnbProblem interface (bounding via the convex relaxation, branching
+// on grid-aligned splits, exact enumeration of terminal boxes).
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "linalg/vector.h"
+#include "opt/box.h"
+
+namespace ldafp::opt {
+
+/// What a problem reports about one box.
+struct NodeBounds {
+  /// Valid lower bound on the objective over the box (may be +inf when
+  /// the box is infeasible — the node is then pruned).
+  double lower = -std::numeric_limits<double>::infinity();
+  /// Optional feasible point found while bounding, with its exact
+  /// objective value; used to update the incumbent.
+  std::optional<linalg::Vector> candidate;
+  double candidate_value = std::numeric_limits<double>::infinity();
+};
+
+/// Problem plug-in interface for the solver.
+class BnbProblem {
+ public:
+  virtual ~BnbProblem() = default;
+
+  /// Bounds the objective over `box` (relaxation + rounding heuristic).
+  virtual NodeBounds bound(const Box& box) = 0;
+
+  /// True when `box` is small enough to finish by exact enumeration.
+  virtual bool is_terminal(const Box& box) const = 0;
+
+  /// Exactly minimizes over the discrete feasible points inside a
+  /// terminal `box`; returns the best candidate (or none if empty).
+  virtual NodeBounds solve_terminal(const Box& box) = 0;
+
+  /// Splits a non-terminal box into two children.
+  virtual std::pair<Box, Box> branch(const Box& box) = 0;
+};
+
+/// Search budgets.  Exhausting a budget yields an anytime result with a
+/// reported optimality gap instead of a proved optimum.
+struct BnbOptions {
+  std::size_t max_nodes = 200000;
+  double max_seconds = std::numeric_limits<double>::infinity();
+  /// Stop when best_value - global_lower_bound <= abs_gap ...
+  double abs_gap = 1e-9;
+  /// ... or <= rel_gap * |best_value|.
+  double rel_gap = 1e-6;
+  /// When set, called with a progress snapshot every `progress_interval`
+  /// processed nodes (and once at exit).  The snapshot's lower_bound is
+  /// the live global bound; best_point is omitted to keep snapshots
+  /// cheap.  Long searches (the paper's ran for up to ~50 minutes) use
+  /// this for anytime reporting.
+  std::function<void(const struct BnbResult&)> progress;
+  std::size_t progress_interval = 1000;
+};
+
+/// Why the search stopped.
+enum class BnbStatus {
+  kOptimal,     ///< gap closed to tolerance
+  kNodeLimit,   ///< max_nodes exhausted
+  kTimeLimit,   ///< max_seconds exhausted
+  kNoSolution,  ///< no feasible point exists in the root box
+};
+
+/// Short display name of a status.
+const char* to_string(BnbStatus status);
+
+/// Search outcome and statistics.
+struct BnbResult {
+  BnbStatus status = BnbStatus::kNoSolution;
+  std::optional<linalg::Vector> best_point;
+  double best_value = std::numeric_limits<double>::infinity();
+  /// Global lower bound over the root box at exit.
+  double lower_bound = -std::numeric_limits<double>::infinity();
+  std::size_t nodes_processed = 0;
+  std::size_t nodes_pruned = 0;
+  double seconds = 0.0;
+
+  /// Absolute optimality gap at exit.
+  double gap() const { return best_value - lower_bound; }
+};
+
+/// Best-first branch-and-bound driver.
+class BnbSolver {
+ public:
+  BnbSolver() = default;
+  explicit BnbSolver(BnbOptions options) : options_(options) {}
+
+  const BnbOptions& options() const { return options_; }
+
+  /// Runs the search from `root`.  `initial_incumbent`, when provided,
+  /// seeds the upper bound (point + exact value) — the warm-start
+  /// heuristic.
+  BnbResult run(BnbProblem& problem, const Box& root,
+                const std::optional<std::pair<linalg::Vector, double>>&
+                    initial_incumbent = std::nullopt) const;
+
+ private:
+  BnbOptions options_;
+};
+
+}  // namespace ldafp::opt

@@ -1,0 +1,58 @@
+#include "opt/box.h"
+
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace ldafp::opt {
+
+bool Box::empty() const {
+  for (const auto& iv : dims_) {
+    if (iv.empty()) return true;
+  }
+  return false;
+}
+
+std::size_t Box::widest_dimension() const {
+  LDAFP_CHECK(!dims_.empty(), "widest_dimension of an empty box");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < dims_.size(); ++i) {
+    if (dims_[i].width() > dims_[best].width()) best = i;
+  }
+  return best;
+}
+
+double Box::max_width() const {
+  double w = 0.0;
+  for (const auto& iv : dims_) w = std::max(w, iv.width());
+  return w;
+}
+
+std::vector<double> Box::center() const {
+  std::vector<double> c(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) c[i] = dims_[i].mid();
+  return c;
+}
+
+std::pair<Box, Box> Box::split(std::size_t dim, double point) const {
+  LDAFP_CHECK(dim < dims_.size(), "split dimension out of range");
+  LDAFP_CHECK(dims_[dim].contains(point), "split point outside interval");
+  Box left = *this;
+  Box right = *this;
+  left[dim].hi = point;
+  right[dim].lo = point;
+  return {left, right};
+}
+
+std::string Box::to_string(int digits) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i != 0) os << " x ";
+    os << "[" << support::format_double(dims_[i].lo, digits) << ","
+       << support::format_double(dims_[i].hi, digits) << "]";
+  }
+  return os.str();
+}
+
+}  // namespace ldafp::opt

@@ -1,0 +1,57 @@
+// Interval boxes: the search regions the branch-and-bound solver
+// partitions (paper Eq. 24).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ldafp::opt {
+
+/// A closed interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double width() const { return hi - lo; }
+  double mid() const { return 0.5 * (lo + hi); }
+  bool contains(double x) const { return lo <= x && x <= hi; }
+  bool empty() const { return lo > hi; }
+};
+
+/// Axis-aligned box: one interval per optimization variable.
+class Box {
+ public:
+  Box() = default;
+  explicit Box(std::vector<Interval> dims) : dims_(std::move(dims)) {}
+  /// n copies of [lo, hi].
+  Box(std::size_t n, Interval iv) : dims_(n, iv) {}
+
+  std::size_t size() const { return dims_.size(); }
+  Interval& operator[](std::size_t i) { return dims_[i]; }
+  const Interval& operator[](std::size_t i) const { return dims_[i]; }
+
+  /// True when some interval is empty.
+  bool empty() const;
+
+  /// Index of the widest interval.
+  std::size_t widest_dimension() const;
+
+  /// Largest interval width.
+  double max_width() const;
+
+  /// Center point of the box.
+  std::vector<double> center() const;
+
+  /// Splits dimension `dim` at `point` into (left: hi=point,
+  /// right: lo=point).  `point` must lie inside the interval.
+  std::pair<Box, Box> split(std::size_t dim, double point) const;
+
+  /// "[lo,hi] x [lo,hi] ..." for logging.
+  std::string to_string(int digits = 4) const;
+
+ private:
+  std::vector<Interval> dims_;
+};
+
+}  // namespace ldafp::opt

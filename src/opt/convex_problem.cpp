@@ -1,0 +1,97 @@
+#include "opt/convex_problem.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace ldafp::opt {
+
+ConvexProblem::ConvexProblem(linalg::Matrix q) : q_(std::move(q)) {
+  LDAFP_CHECK(q_.square(), "objective matrix must be square");
+  LDAFP_CHECK(q_.is_symmetric(1e-9 * (1.0 + q_.norm_max())),
+              "objective matrix must be symmetric");
+}
+
+void ConvexProblem::set_box(Box box) {
+  LDAFP_CHECK(box.size() == dim(), "box dimension mismatch");
+  box_ = std::move(box);
+}
+
+void ConvexProblem::add_linear(LinearConstraint constraint) {
+  LDAFP_CHECK(constraint.a.size() == dim(),
+              "linear constraint dimension mismatch");
+  linear_.push_back(std::move(constraint));
+}
+
+void ConvexProblem::add_soc(SocConstraint constraint) {
+  LDAFP_CHECK(constraint.sigma.square() &&
+                  constraint.sigma.rows() == dim() &&
+                  constraint.c.size() == dim(),
+              "soc constraint dimension mismatch");
+  LDAFP_CHECK(constraint.beta >= 0.0, "soc beta must be non-negative");
+  LDAFP_CHECK(constraint.eps > 0.0, "soc eps must be positive");
+  soc_.push_back(std::move(constraint));
+}
+
+double ConvexProblem::objective(const linalg::Vector& w) const {
+  return linalg::quadratic_form(q_, w);
+}
+
+linalg::Vector ConvexProblem::objective_gradient(
+    const linalg::Vector& w) const {
+  linalg::Vector g = q_ * w;
+  g *= 2.0;
+  return g;
+}
+
+std::size_t ConvexProblem::constraint_count() const {
+  return linear_.size() + soc_.size() + 2 * box_.size();
+}
+
+double ConvexProblem::linear_residual(std::size_t i,
+                                      const linalg::Vector& w) const {
+  LDAFP_CHECK(i < linear_.size(), "linear constraint index out of range");
+  return linalg::dot(linear_[i].a, w) - linear_[i].b;
+}
+
+double ConvexProblem::soc_residual(std::size_t j,
+                                   const linalg::Vector& w) const {
+  LDAFP_CHECK(j < soc_.size(), "soc constraint index out of range");
+  const SocConstraint& s = soc_[j];
+  const double quad = linalg::quadratic_form(s.sigma, w);
+  return s.beta * std::sqrt(std::max(quad, 0.0) + s.eps) +
+         linalg::dot(s.c, w) - s.d;
+}
+
+linalg::Vector ConvexProblem::soc_gradient(std::size_t j,
+                                           const linalg::Vector& w) const {
+  LDAFP_CHECK(j < soc_.size(), "soc constraint index out of range");
+  const SocConstraint& s = soc_[j];
+  const double quad = linalg::quadratic_form(s.sigma, w);
+  const double root = std::sqrt(std::max(quad, 0.0) + s.eps);
+  linalg::Vector g = s.sigma * w;
+  g *= s.beta / root;
+  g += s.c;
+  return g;
+}
+
+double ConvexProblem::max_residual(const linalg::Vector& w) const {
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < linear_.size(); ++i) {
+    worst = std::max(worst, linear_residual(i, w));
+  }
+  for (std::size_t j = 0; j < soc_.size(); ++j) {
+    worst = std::max(worst, soc_residual(j, w));
+  }
+  for (std::size_t m = 0; m < box_.size(); ++m) {
+    worst = std::max(worst, box_[m].lo - w[m]);
+    worst = std::max(worst, w[m] - box_[m].hi);
+  }
+  return worst;
+}
+
+bool ConvexProblem::is_feasible(const linalg::Vector& w, double tol) const {
+  return max_residual(w) <= tol;
+}
+
+}  // namespace ldafp::opt

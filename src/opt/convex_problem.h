@@ -1,0 +1,96 @@
+// Convex quadratic-over-cone problem container.
+//
+// This is the shape of the paper's relaxed subproblem (Eq. 25):
+//
+//     min   wᵀ Q w                       (Q symmetric PSD)
+//     s.t.  aᵢᵀ w <= bᵢ                  (linear inequalities)
+//           βⱼ √(wᵀ Σⱼ w + εⱼ) + cⱼᵀ w <= dⱼ   (second-order cone)
+//           lo <= w <= hi                (box)
+//
+// The εⱼ smoothing keeps the SOC residual differentiable at w = 0 (it
+// only *tightens* the constraint, so feasibility of the smoothed problem
+// implies feasibility of the true one).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "opt/box.h"
+
+namespace ldafp::opt {
+
+/// One linear inequality aᵀw <= b.
+struct LinearConstraint {
+  linalg::Vector a;
+  double b = 0.0;
+};
+
+/// One smoothed second-order-cone constraint
+/// beta * sqrt(wᵀ Sigma w + eps) + cᵀw <= d.
+struct SocConstraint {
+  double beta = 0.0;
+  linalg::Matrix sigma;  ///< symmetric PSD
+  linalg::Vector c;
+  double d = 0.0;
+  double eps = 1e-12;
+};
+
+/// The full problem.  All pieces are optional except the objective.
+class ConvexProblem {
+ public:
+  /// Creates a problem with objective wᵀQw.  Q must be square symmetric.
+  explicit ConvexProblem(linalg::Matrix q);
+
+  std::size_t dim() const { return q_.rows(); }
+
+  const linalg::Matrix& objective_matrix() const { return q_; }
+
+  /// Sets the variable box (dimension must match).  Without a box the
+  /// variables are unbounded — the barrier solver requires a box, since
+  /// every LDA-FP subproblem has one (Eq. 24/28).
+  void set_box(Box box);
+  const Box& box() const { return box_; }
+  bool has_box() const { return box_.size() == dim(); }
+
+  /// Appends a linear inequality.
+  void add_linear(LinearConstraint constraint);
+  const std::vector<LinearConstraint>& linear() const { return linear_; }
+
+  /// Appends a SOC constraint.
+  void add_soc(SocConstraint constraint);
+  const std::vector<SocConstraint>& soc() const { return soc_; }
+
+  /// Objective value wᵀQw.
+  double objective(const linalg::Vector& w) const;
+
+  /// Objective gradient 2 Q w.
+  linalg::Vector objective_gradient(const linalg::Vector& w) const;
+
+  /// Number of scalar inequality constraints (linear + soc + 2*box).
+  std::size_t constraint_count() const;
+
+  /// Residual of linear constraint i: aᵀw - b (feasible when <= 0).
+  double linear_residual(std::size_t i, const linalg::Vector& w) const;
+
+  /// Residual of SOC constraint j (feasible when <= 0).
+  double soc_residual(std::size_t j, const linalg::Vector& w) const;
+
+  /// Gradient of SOC residual j at w.
+  linalg::Vector soc_gradient(std::size_t j, const linalg::Vector& w) const;
+
+  /// Max over all constraint residuals (box included); <= 0 means
+  /// feasible.  Useful for phase-I and verification.
+  double max_residual(const linalg::Vector& w) const;
+
+  /// True when every residual <= tol.
+  bool is_feasible(const linalg::Vector& w, double tol) const;
+
+ private:
+  linalg::Matrix q_;
+  Box box_;
+  std::vector<LinearConstraint> linear_;
+  std::vector<SocConstraint> soc_;
+};
+
+}  // namespace ldafp::opt

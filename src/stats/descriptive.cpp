@@ -1,0 +1,79 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace ldafp::stats {
+
+linalg::Vector sample_mean(const std::vector<linalg::Vector>& samples) {
+  LDAFP_CHECK(!samples.empty(), "sample_mean needs at least one sample");
+  linalg::Vector mean(samples.front().size());
+  for (const auto& s : samples) {
+    LDAFP_CHECK(s.size() == mean.size(), "sample dimension mismatch");
+    mean += s;
+  }
+  mean /= static_cast<double>(samples.size());
+  return mean;
+}
+
+linalg::Matrix sample_covariance(const std::vector<linalg::Vector>& samples) {
+  return sample_covariance(samples, sample_mean(samples));
+}
+
+linalg::Matrix sample_covariance(const std::vector<linalg::Vector>& samples,
+                                 const linalg::Vector& mean) {
+  LDAFP_CHECK(!samples.empty(), "sample_covariance needs >= 1 sample");
+  const std::size_t dim = mean.size();
+  linalg::Matrix cov(dim, dim);
+  for (const auto& s : samples) {
+    LDAFP_CHECK(s.size() == dim, "sample dimension mismatch");
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double di = s[i] - mean[i];
+      for (std::size_t j = i; j < dim; ++j) {
+        cov(i, j) += di * (s[j] - mean[j]);
+      }
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = i; j < dim; ++j) {
+      cov(i, j) *= inv_n;
+      cov(j, i) = cov(i, j);
+    }
+  }
+  return cov;
+}
+
+linalg::Matrix between_class_scatter(const linalg::Vector& mu_a,
+                                     const linalg::Vector& mu_b) {
+  LDAFP_CHECK(mu_a.size() == mu_b.size(), "scatter dimension mismatch");
+  const linalg::Vector diff = mu_a - mu_b;
+  return linalg::Matrix::outer(diff, diff);
+}
+
+linalg::Matrix within_class_scatter(const linalg::Matrix& sigma_a,
+                                    const linalg::Matrix& sigma_b) {
+  LDAFP_CHECK(sigma_a.rows() == sigma_b.rows() &&
+                  sigma_a.cols() == sigma_b.cols(),
+              "scatter dimension mismatch");
+  linalg::Matrix out = sigma_a;
+  out += sigma_b;
+  out *= 0.5;
+  return out;
+}
+
+FeatureRange feature_range(const std::vector<linalg::Vector>& samples) {
+  LDAFP_CHECK(!samples.empty(), "feature_range needs >= 1 sample");
+  FeatureRange out{samples.front(), samples.front()};
+  for (const auto& s : samples) {
+    LDAFP_CHECK(s.size() == out.min.size(), "sample dimension mismatch");
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      out.min[i] = std::min(out.min[i], s[i]);
+      out.max[i] = std::max(out.max[i], s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ldafp::stats

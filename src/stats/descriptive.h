@@ -1,0 +1,42 @@
+// Sample statistics and the LDA scatter matrices (paper Eqs. 1-6).
+//
+// The paper uses population normalization (1/N, Eqs. 5-6); we follow it so
+// that scatter values match Eq. 2 exactly.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace ldafp::stats {
+
+/// Mean vector of a sample (rows = observations).  Requires >= 1 row.
+linalg::Vector sample_mean(const std::vector<linalg::Vector>& samples);
+
+/// Population covariance (1/N) of a sample around its own mean.
+/// Requires >= 1 row.
+linalg::Matrix sample_covariance(const std::vector<linalg::Vector>& samples);
+
+/// Population covariance around a supplied mean.
+linalg::Matrix sample_covariance(const std::vector<linalg::Vector>& samples,
+                                 const linalg::Vector& mean);
+
+/// Between-class scatter S_B = (μ_A - μ_B)(μ_A - μ_B)ᵀ (Eq. 1).
+linalg::Matrix between_class_scatter(const linalg::Vector& mu_a,
+                                     const linalg::Vector& mu_b);
+
+/// Within-class scatter S_W = (Σ_A + Σ_B)/2 (Eq. 2).
+linalg::Matrix within_class_scatter(const linalg::Matrix& sigma_a,
+                                    const linalg::Matrix& sigma_b);
+
+/// Per-feature minimum and maximum over a sample.
+struct FeatureRange {
+  linalg::Vector min;
+  linalg::Vector max;
+};
+
+/// Computes per-feature min/max.  Requires >= 1 row.
+FeatureRange feature_range(const std::vector<linalg::Vector>& samples);
+
+}  // namespace ldafp::stats

@@ -1,0 +1,94 @@
+#include "stats/gaussian_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/eigen_sym.h"
+#include "stats/descriptive.h"
+#include "support/error.h"
+
+namespace ldafp::stats {
+
+GaussianModel::GaussianModel(linalg::Vector mu, linalg::Matrix sigma)
+    : mu_(std::move(mu)), sigma_(std::move(sigma)) {
+  LDAFP_CHECK(sigma_.square() && sigma_.rows() == mu_.size(),
+              "gaussian model dimension mismatch");
+  LDAFP_CHECK(sigma_.is_symmetric(1e-9 * (1.0 + sigma_.norm_max())),
+              "gaussian covariance must be symmetric");
+}
+
+GaussianModel GaussianModel::fit(const std::vector<linalg::Vector>& samples,
+                                 CovarianceEstimator estimator) {
+  linalg::Vector mu = sample_mean(samples);
+  linalg::Matrix sigma = estimate_covariance(samples, mu, estimator);
+  return GaussianModel(std::move(mu), std::move(sigma));
+}
+
+double GaussianModel::marginal_sigma(std::size_t m) const {
+  LDAFP_CHECK(m < dim(), "feature index out of range");
+  return std::sqrt(std::max(sigma_(m, m), 0.0));
+}
+
+double GaussianModel::projection_mean(const linalg::Vector& w) const {
+  return linalg::dot(w, mu_);
+}
+
+double GaussianModel::projection_variance(const linalg::Vector& w) const {
+  return std::max(linalg::quadratic_form(sigma_, w), 0.0);
+}
+
+Interval GaussianModel::product_interval(double w_m, std::size_t m,
+                                         double beta) const {
+  LDAFP_CHECK(beta >= 0.0, "beta must be non-negative");
+  const double center = w_m * mu_[m];
+  const double half = beta * std::fabs(w_m) * marginal_sigma(m);
+  return Interval{center - half, center + half};
+}
+
+Interval GaussianModel::projection_interval(const linalg::Vector& w,
+                                            double beta) const {
+  LDAFP_CHECK(beta >= 0.0, "beta must be non-negative");
+  const double center = projection_mean(w);
+  const double half = beta * std::sqrt(projection_variance(w));
+  return Interval{center - half, center + half};
+}
+
+linalg::Vector GaussianModel::sample(support::Rng& rng) const {
+  if (sqrt_sigma_.empty()) {
+    sqrt_sigma_ = linalg::sqrt_psd(sigma_);
+  }
+  linalg::Vector z(dim());
+  for (std::size_t i = 0; i < dim(); ++i) z[i] = rng.gaussian();
+  linalg::Vector out = sqrt_sigma_ * z;
+  out += mu_;
+  return out;
+}
+
+std::vector<linalg::Vector> GaussianModel::sample(std::size_t n,
+                                                  support::Rng& rng) const {
+  std::vector<linalg::Vector> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+linalg::Vector TwoClassModel::mean_difference() const {
+  return class_a.mu() - class_b.mu();
+}
+
+linalg::Matrix TwoClassModel::within_class_scatter() const {
+  return stats::within_class_scatter(class_a.sigma(), class_b.sigma());
+}
+
+linalg::Matrix TwoClassModel::between_class_scatter() const {
+  return stats::between_class_scatter(class_a.mu(), class_b.mu());
+}
+
+double TwoClassModel::fisher_cost(const linalg::Vector& w) const {
+  const double t = linalg::dot(mean_difference(), w);
+  const double numerator = linalg::quadratic_form(within_class_scatter(), w);
+  if (t == 0.0) return std::numeric_limits<double>::infinity();
+  return numerator / (t * t);
+}
+
+}  // namespace ldafp::stats

@@ -1,0 +1,88 @@
+// Per-class multivariate Gaussian model (paper Eq. 14) and the
+// confidence-interval arithmetic (Eqs. 15-17, 19) behind LDA-FP's
+// anti-overflow constraints.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "stats/shrinkage.h"
+#include "support/rng.h"
+
+namespace ldafp::stats {
+
+/// A closed real interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double width() const { return hi - lo; }
+  bool contains(double x) const { return lo <= x && x <= hi; }
+};
+
+/// Gaussian model of one class: x ~ N(mu, sigma).
+class GaussianModel {
+ public:
+  /// Builds the model; sigma must be square, symmetric, and match mu.
+  GaussianModel(linalg::Vector mu, linalg::Matrix sigma);
+
+  /// Fits mean and covariance from samples (empirical = paper Eqs. 3-6;
+  /// Ledoit-Wolf shrinkage for small-sample regimes).
+  static GaussianModel fit(const std::vector<linalg::Vector>& samples,
+                           CovarianceEstimator estimator =
+                               CovarianceEstimator::kEmpirical);
+
+  const linalg::Vector& mu() const { return mu_; }
+  const linalg::Matrix& sigma() const { return sigma_; }
+  std::size_t dim() const { return mu_.size(); }
+
+  /// Marginal standard deviation of feature m, sqrt(Σ_mm).
+  double marginal_sigma(std::size_t m) const;
+
+  /// Mean of the projection y = wᵀx, i.e. wᵀμ (Eq. 19).
+  double projection_mean(const linalg::Vector& w) const;
+
+  /// Variance of the projection y = wᵀx, i.e. wᵀΣw (Eq. 19), clipped
+  /// at 0 against round-off.
+  double projection_variance(const linalg::Vector& w) const;
+
+  /// β-sigma confidence interval of the scalar product w_m·x_m (Eq. 17).
+  Interval product_interval(double w_m, std::size_t m, double beta) const;
+
+  /// β-sigma confidence interval of the projection wᵀx (Eq. 19/20).
+  Interval projection_interval(const linalg::Vector& w, double beta) const;
+
+  /// Draws one sample (lazily factors Σ^(1/2); Σ only needs to be PSD).
+  linalg::Vector sample(support::Rng& rng) const;
+
+  /// Draws n samples.
+  std::vector<linalg::Vector> sample(std::size_t n, support::Rng& rng) const;
+
+ private:
+  linalg::Vector mu_;
+  linalg::Matrix sigma_;
+  mutable linalg::Matrix sqrt_sigma_;  // cached Σ^(1/2), empty until used
+};
+
+/// The two-class Gaussian picture of Eq. 14 plus the derived scatter
+/// matrices — everything the LDA-FP optimizer consumes about the data.
+struct TwoClassModel {
+  GaussianModel class_a;
+  GaussianModel class_b;
+
+  /// μ_A - μ_B, the direction defining t (Eq. 22) and the boundary.
+  linalg::Vector mean_difference() const;
+
+  /// Within-class scatter S_W = (Σ_A + Σ_B)/2 (Eq. 2).
+  linalg::Matrix within_class_scatter() const;
+
+  /// Between-class scatter (Eq. 1).
+  linalg::Matrix between_class_scatter() const;
+
+  /// Fisher ratio wᵀS_W w / (wᵀ(μ_A-μ_B))² — the LDA-FP cost (Eq. 10/21).
+  /// Returns +inf when the denominator vanishes.
+  double fisher_cost(const linalg::Vector& w) const;
+};
+
+}  // namespace ldafp::stats

@@ -1,0 +1,27 @@
+// Standard normal distribution functions.
+//
+// Φ⁻¹ powers the paper's confidence-interval machinery: Eq. 16 maps a
+// confidence level ρ to the half-width multiplier β = Φ⁻¹(0.5 + 0.5ρ) used
+// in every anti-overflow constraint (Eqs. 17-20).
+#pragma once
+
+namespace ldafp::stats {
+
+/// Standard normal density.
+double normal_pdf(double x);
+
+/// Standard normal CDF Φ(x), accurate to ~1e-15 via erfc.
+double normal_cdf(double x);
+
+/// Inverse standard normal CDF Φ⁻¹(p) for p in (0, 1): Acklam's rational
+/// approximation refined with one Halley step (relative error < 1e-13).
+/// Throws InvalidArgumentError for p outside (0, 1).
+double normal_quantile(double p);
+
+/// β of Eq. 16: the half-width multiplier for a two-sided confidence
+/// interval at level rho in [0, 1).  rho=0.9999 (the kind of value the
+/// paper intends by "sufficiently large") gives β ≈ 3.89.
+/// Throws InvalidArgumentError for rho outside [0, 1).
+double confidence_beta(double rho);
+
+}  // namespace ldafp::stats

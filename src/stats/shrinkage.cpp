@@ -1,0 +1,81 @@
+#include "stats/shrinkage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "support/error.h"
+
+namespace ldafp::stats {
+
+const char* to_string(CovarianceEstimator estimator) {
+  switch (estimator) {
+    case CovarianceEstimator::kEmpirical: return "empirical";
+    case CovarianceEstimator::kLedoitWolf: return "ledoit-wolf";
+  }
+  return "?";
+}
+
+ShrinkageResult ledoit_wolf_covariance(
+    const std::vector<linalg::Vector>& samples,
+    const linalg::Vector& mean) {
+  LDAFP_CHECK(!samples.empty(), "shrinkage needs >= 1 sample");
+  const std::size_t p = mean.size();
+  const auto n = static_cast<double>(samples.size());
+
+  const linalg::Matrix s = sample_covariance(samples, mean);
+
+  // Target scale μ = tr(S)/p.
+  double mu = 0.0;
+  for (std::size_t i = 0; i < p; ++i) mu += s(i, i);
+  mu /= static_cast<double>(p);
+
+  // d² = ||S - μI||², the dispersion of S around the target.
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      const double deviation = s(i, j) - (i == j ? mu : 0.0);
+      d2 += deviation * deviation;
+    }
+  }
+
+  // b̄² = (1/n²) Σ_k ||x_k x_kᵀ - S||², the estimation noise, clipped to
+  // d² (Ledoit-Wolf Lemma 3.3 ensures λ ∈ [0, 1]).
+  double b2 = 0.0;
+  for (const auto& sample : samples) {
+    LDAFP_CHECK(sample.size() == p, "sample dimension mismatch");
+    linalg::Vector c = sample;
+    c -= mean;
+    double norm = 0.0;
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = 0; j < p; ++j) {
+        const double deviation = c[i] * c[j] - s(i, j);
+        norm += deviation * deviation;
+      }
+    }
+    b2 += norm;
+  }
+  b2 /= n * n;
+  b2 = std::min(b2, d2);
+
+  ShrinkageResult out;
+  out.mu = mu;
+  out.lambda = d2 > 0.0 ? b2 / d2 : 0.0;
+  out.covariance = s;
+  out.covariance *= 1.0 - out.lambda;
+  for (std::size_t i = 0; i < p; ++i) {
+    out.covariance(i, i) += out.lambda * mu;
+  }
+  return out;
+}
+
+linalg::Matrix estimate_covariance(
+    const std::vector<linalg::Vector>& samples, const linalg::Vector& mean,
+    CovarianceEstimator estimator) {
+  if (estimator == CovarianceEstimator::kEmpirical) {
+    return sample_covariance(samples, mean);
+  }
+  return ledoit_wolf_covariance(samples, mean).covariance;
+}
+
+}  // namespace ldafp::stats

@@ -1,0 +1,15 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace ldafp::detail {
+
+void throw_invalid_argument(const char* expr, const char* file, int line,
+                            const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgumentError(os.str());
+}
+
+}  // namespace ldafp::detail

@@ -1,0 +1,58 @@
+// Error handling primitives shared by every ldafp library.
+//
+// The library reports contract violations (bad arguments, broken
+// preconditions) and environmental failures (missing files, malformed
+// input) through exceptions derived from ldafp::Error, following the
+// "RAII + exceptions" style of the C++ Core Guidelines.  Numerical
+// non-convergence is *not* an exception: solvers return a status enum so
+// callers can react to anytime behaviour.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ldafp {
+
+/// Base class of all exceptions thrown by the ldafp libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad dimension, out-of-range
+/// argument, ...).  These indicate programming errors at the call site.
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine detected an input on which it cannot make progress
+/// (singular matrix passed to a solve, non-PSD covariance, ...).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// An I/O operation failed (missing file, malformed CSV row, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* expr, const char* file,
+                                         int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace ldafp
+
+/// Precondition check: throws ldafp::InvalidArgumentError when `cond` is
+/// false.  Always enabled (these guard public API boundaries, not hot inner
+/// loops).
+#define LDAFP_CHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::ldafp::detail::throw_invalid_argument(#cond, __FILE__, __LINE__,    \
+                                              (msg));                       \
+    }                                                                       \
+  } while (false)

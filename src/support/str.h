@@ -1,0 +1,29 @@
+// Small string utilities used by CSV parsing and table formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldafp::support {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string trim(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Formats `value` with `digits` significant decimal places ("%.3f" style).
+std::string format_double(double value, int digits);
+
+/// Formats a fraction in [0,1] as a percentage with two decimals ("26.83%").
+std::string format_percent(double fraction);
+
+/// True when `text` parses fully as a floating-point number.
+bool parse_double(std::string_view text, double& out);
+
+}  // namespace ldafp::support

@@ -1,0 +1,32 @@
+// Aligned text tables for paper-style experiment output.
+//
+// The benchmark harness prints each reproduced table/figure in the same
+// row/column layout as the paper; this helper handles column sizing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ldafp::support {
+
+/// Builds an ASCII table with a header row and aligned columns.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same width as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with a separator line under the header.
+  std::string to_string() const;
+
+  /// Number of data rows added so far.
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ldafp::support

@@ -1,0 +1,133 @@
+#include "core/bit_allocation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/format_policy.h"
+#include "core/local_search.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ldafp::core {
+namespace {
+
+using linalg::Vector;
+
+/// The paper's synthetic workload, pre-scaled to a feature format.
+struct Workload {
+  TrainingSet scaled;
+  data::LabeledDataset test;
+  fixed::FixedFormat feature_fmt{2, 6};
+  double scale = 0.0;
+};
+
+Workload make_workload(int feature_frac_bits) {
+  support::Rng rng(88);
+  const auto train = data::make_synthetic(2000, rng);
+  Workload w;
+  w.test = data::make_synthetic(6000, rng);
+  const TrainingSet raw = train.to_training_set();
+  const FormatChoice choice =
+      choose_format(raw, 2 + feature_frac_bits, 3.89, 2);
+  w.feature_fmt = choice.format;
+  w.scale = choice.feature_scale;
+  w.scaled = scale_training_set(raw, choice.feature_scale);
+  return w;
+}
+
+TEST(BitAllocationTest, SpendsExactlyTheBudget) {
+  const Workload w = make_workload(6);
+  BitAllocationOptions options;
+  options.integer_bits = 2;
+  const int budget = 3 * (2 + 6);  // uniform-equivalent of Q2.6
+  const auto result =
+      allocate_word_lengths(w.scaled, w.feature_fmt, budget, options);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.layout.total_bits(), budget);
+}
+
+TEST(BitAllocationTest, AllocatesMoreBitsToSensitiveWeights) {
+  // On the synthetic set the informative weight w1 is tiny relative to
+  // w2, w3 and the cost curvature along it is largest, so it must get
+  // at least as many fractional bits as the noise weights.
+  const Workload w = make_workload(6);
+  const auto result =
+      allocate_word_lengths(w.scaled, w.feature_fmt, 3 * 8);
+  ASSERT_TRUE(result.found);
+  EXPECT_GE(result.layout.frac_bits(0), result.layout.frac_bits(1));
+  EXPECT_GE(result.layout.frac_bits(0), result.layout.frac_bits(2));
+}
+
+TEST(BitAllocationTest, WeightsOnGridAndCostFinite) {
+  const Workload w = make_workload(6);
+  const auto result =
+      allocate_word_lengths(w.scaled, w.feature_fmt, 3 * 8);
+  ASSERT_TRUE(result.found);
+  EXPECT_TRUE(result.layout.on_grid(result.weights));
+  EXPECT_TRUE(std::isfinite(result.cost));
+  EXPECT_GT(result.cost, 0.0);
+}
+
+TEST(BitAllocationTest, NonUniformBeatsUniformAtSameBudget) {
+  // Same total storage as uniform Q2.4 x 3 weights, allocated freely:
+  // the allocator must not be worse in training cost than snapping to
+  // the uniform grid.
+  const Workload w = make_workload(8);
+  const int budget = 3 * (2 + 4);
+  const auto result =
+      allocate_word_lengths(w.scaled, w.feature_fmt, budget);
+  ASSERT_TRUE(result.found);
+
+  // Uniform reference: the same pipeline restricted to F = 4 everywhere.
+  BitAllocationOptions uniform;
+  uniform.min_frac_bits = 4;
+  uniform.max_frac_bits = 4;
+  const auto uniform_result =
+      allocate_word_lengths(w.scaled, w.feature_fmt, budget, uniform);
+  ASSERT_TRUE(uniform_result.found);
+  EXPECT_LE(result.cost, uniform_result.cost + 1e-12);
+}
+
+TEST(BitAllocationTest, ClassifierRunsOnMixedDatapath) {
+  const Workload w = make_workload(6);
+  const auto result =
+      allocate_word_lengths(w.scaled, w.feature_fmt, 3 * 8);
+  ASSERT_TRUE(result.found);
+  const MixedClassifier clf = result.classifier(w.feature_fmt);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < w.test.size(); ++i) {
+    linalg::Vector x = w.test.samples[i];
+    x *= w.scale;
+    const Label got = clf.classify(x);
+    if (got != w.test.labels[i]) ++errors;
+  }
+  // Anything clearly better than chance passes; the bench quantifies.
+  EXPECT_LT(static_cast<double>(errors) /
+                static_cast<double>(w.test.size()),
+            0.45);
+}
+
+TEST(BitAllocationTest, BudgetGuards) {
+  const Workload w = make_workload(4);
+  EXPECT_THROW(allocate_word_lengths(w.scaled, w.feature_fmt, 5),
+               ldafp::InvalidArgumentError);
+  EXPECT_THROW(allocate_word_lengths(TrainingSet{}, w.feature_fmt, 30),
+               ldafp::InvalidArgumentError);
+}
+
+TEST(MixedClassifierTest, Guards) {
+  const fixed::MixedFormat layout(2, {2, 2});
+  EXPECT_THROW(MixedClassifier(layout, Vector{0.3, 0.0}, 0.0,
+                               fixed::FixedFormat(2, 2)),
+               ldafp::InvalidArgumentError);
+  EXPECT_THROW(MixedClassifier(layout, Vector{0.25}, 0.0,
+                               fixed::FixedFormat(2, 2)),
+               ldafp::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldafp::core

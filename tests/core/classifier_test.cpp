@@ -1,0 +1,88 @@
+#include "core/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ldafp::core {
+namespace {
+
+using linalg::Vector;
+
+TEST(LinearClassifierTest, DecisionRule) {
+  const LinearClassifier clf(Vector{1.0, -1.0}, 0.5);
+  EXPECT_DOUBLE_EQ(clf.project(Vector{2.0, 1.0}), 1.0);
+  EXPECT_EQ(clf.classify(Vector{2.0, 1.0}), Label::kClassA);   // 1 >= 0.5
+  EXPECT_EQ(clf.classify(Vector{0.0, 0.0}), Label::kClassB);   // 0 < 0.5
+  // Boundary point counts as class A (>= in Eq. 12).
+  EXPECT_EQ(clf.classify(Vector{0.5, 0.0}), Label::kClassA);
+}
+
+TEST(LinearClassifierTest, RejectsEmptyWeights) {
+  EXPECT_THROW(LinearClassifier(Vector{}, 0.0),
+               ldafp::InvalidArgumentError);
+}
+
+TEST(FixedClassifierTest, RequiresRepresentableWeights) {
+  const fixed::FixedFormat fmt(2, 2);
+  EXPECT_NO_THROW(FixedClassifier(fmt, Vector{0.25, -1.0}, 0.0));
+  EXPECT_THROW(FixedClassifier(fmt, Vector{0.3}, 0.0),
+               ldafp::InvalidArgumentError);
+  EXPECT_THROW(FixedClassifier(fmt, Vector{}, 0.0),
+               ldafp::InvalidArgumentError);
+}
+
+TEST(FixedClassifierTest, WeightsRoundTrip) {
+  const fixed::FixedFormat fmt(2, 2);
+  const Vector w{0.25, -1.5, 1.75};
+  const FixedClassifier clf(fmt, w, 0.5);
+  EXPECT_DOUBLE_EQ(linalg::max_abs_diff(clf.weights_real(), w), 0.0);
+  EXPECT_DOUBLE_EQ(clf.threshold_real(), 0.5);
+}
+
+TEST(FixedClassifierTest, ThresholdQuantizedWithSaturation) {
+  const fixed::FixedFormat fmt(2, 2);
+  const FixedClassifier clf(fmt, Vector{1.0}, 100.0);
+  EXPECT_DOUBLE_EQ(clf.threshold_real(), fmt.max_value());
+}
+
+TEST(FixedClassifierTest, AgreesWithFloatAtHighPrecision) {
+  // With 20+ fractional bits and in-range data the fixed datapath must
+  // reproduce every float decision except razor-thin margins.
+  const fixed::FixedFormat fmt(4, 20);
+  support::Rng rng(44);
+  const Vector w{0.5, -1.25, 2.0};
+  const LinearClassifier float_clf(w, 0.125);
+  const FixedClassifier fixed_clf(fmt, w, 0.125);
+  int disagreements = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    Vector x(3);
+    for (std::size_t i = 0; i < 3; ++i) x[i] = rng.gaussian();
+    const double margin = float_clf.project(x) - 0.125;
+    if (std::fabs(margin) < 1e-4) continue;  // too close to the boundary
+    if (float_clf.classify(x) != fixed_clf.classify(x)) ++disagreements;
+  }
+  EXPECT_EQ(disagreements, 0);
+}
+
+TEST(FixedClassifierTest, DiagnosticsReportOverflow) {
+  const fixed::FixedFormat fmt(2, 2);  // range [-2, 1.75]
+  const FixedClassifier clf(fmt, Vector{1.75, 1.75}, 0.0);
+  fixed::DotDiagnostics diag;
+  clf.classify(Vector{1.75, 1.75}, &diag);  // y = 6.125 overflows
+  EXPECT_TRUE(diag.final_overflow);
+}
+
+TEST(FixedClassifierTest, ComparatorUsesRawValues) {
+  // Threshold at max_value: only a projection equal to max classifies A.
+  const fixed::FixedFormat fmt(3, 0);
+  const FixedClassifier clf(fmt, Vector{1.0}, 3.0);
+  EXPECT_EQ(clf.classify(Vector{3.0}), Label::kClassA);
+  EXPECT_EQ(clf.classify(Vector{2.0}), Label::kClassB);
+}
+
+}  // namespace
+}  // namespace ldafp::core

@@ -1,0 +1,137 @@
+#include "core/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/ops.h"
+#include "support/rng.h"
+
+namespace ldafp::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+stats::TwoClassModel make_model(Vector mu_a, Matrix sigma_a, Vector mu_b,
+                                Matrix sigma_b) {
+  return stats::TwoClassModel{
+      stats::GaussianModel(std::move(mu_a), std::move(sigma_a)),
+      stats::GaussianModel(std::move(mu_b), std::move(sigma_b))};
+}
+
+/// Direct evaluation of the four Eq. 18 inequalities for a single w_m.
+bool eq18_direct(double w, double mu_a, double sd_a, double mu_b,
+                 double sd_b, double beta, const fixed::FixedFormat& fmt) {
+  const double lo = fmt.min_value();
+  const double hi = fmt.max_value();
+  const double aw = std::fabs(w);
+  return w * mu_a - beta * aw * sd_a >= lo &&
+         w * mu_b - beta * aw * sd_b >= lo &&
+         w * mu_a + beta * aw * sd_a <= hi &&
+         w * mu_b + beta * aw * sd_b <= hi;
+}
+
+TEST(ConstraintsTest, IntervalAlwaysContainsZero) {
+  support::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto model = make_model(
+        Vector{rng.gaussian(0.0, 3.0)},
+        Matrix{{std::fabs(rng.gaussian(1.0, 1.0)) + 0.01}},
+        Vector{rng.gaussian(0.0, 3.0)},
+        Matrix{{std::fabs(rng.gaussian(1.0, 1.0)) + 0.01}});
+    const fixed::FixedFormat fmt(2, 3);
+    const opt::Interval iv =
+        feasible_weight_interval(0, model, 3.0, fmt);
+    EXPECT_LE(iv.lo, 0.0);
+    EXPECT_GE(iv.hi, 0.0);
+  }
+}
+
+/// Property: the closed-form interval agrees with a dense scan of the
+/// direct inequalities across random class statistics.
+class IntervalScanTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalScanTest, MatchesDenseScan) {
+  support::Rng rng(100 + GetParam());
+  const double beta = 0.5 + 3.0 * rng.uniform();
+  const fixed::FixedFormat fmt(3, 3);  // range [-4, 3.875], step 0.125
+  const double mu_a = rng.gaussian(0.0, 2.0);
+  const double mu_b = rng.gaussian(0.0, 2.0);
+  const double sd_a = std::fabs(rng.gaussian(0.0, 1.5)) + 1e-3;
+  const double sd_b = std::fabs(rng.gaussian(0.0, 1.5)) + 1e-3;
+  const auto model =
+      make_model(Vector{mu_a}, Matrix{{sd_a * sd_a}}, Vector{mu_b},
+                 Matrix{{sd_b * sd_b}});
+  const opt::Interval iv = feasible_weight_interval(0, model, beta, fmt);
+
+  for (double w = fmt.min_value(); w <= fmt.max_value(); w += 0.125) {
+    const bool direct = eq18_direct(w, mu_a, sd_a, mu_b, sd_b, beta, fmt);
+    const bool via_interval = iv.contains(w);
+    // Allow boundary disagreement within floating tolerance.
+    if (direct != via_interval) {
+      const double margin =
+          std::min(std::fabs(w - iv.lo), std::fabs(w - iv.hi));
+      EXPECT_LT(margin, 1e-9) << "w=" << w << " beta=" << beta;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalScanTest, ::testing::Range(0, 20));
+
+TEST(ConstraintsTest, FeasibleBoxPerFeature) {
+  const auto model = make_model(Vector{0.0, 5.0}, Matrix::identity(2),
+                                Vector{0.0, -5.0}, Matrix::identity(2));
+  const fixed::FixedFormat fmt(2, 2);
+  const opt::Box box = feasible_weight_box(model, 2.0, fmt);
+  ASSERT_EQ(box.size(), 2u);
+  // Feature 0 (zero mean, unit sigma): |w| <= max/ (beta*sigma) ~ 0.875.
+  EXPECT_NEAR(box[0].hi, fmt.max_value() / 2.0, 1e-12);
+  // Feature 1 has |mu| = 5: much tighter.
+  EXPECT_LT(box[1].hi, box[0].hi);
+}
+
+TEST(ConstraintsTest, ProductCheckerConsistentWithIntervals) {
+  const auto model = make_model(Vector{1.0}, Matrix{{4.0}}, Vector{-2.0},
+                                Matrix{{1.0}});
+  const fixed::FixedFormat fmt(2, 2);
+  const double beta = 1.5;
+  const opt::Interval iv = feasible_weight_interval(0, model, beta, fmt);
+  EXPECT_TRUE(satisfies_product_constraints(Vector{iv.hi}, model, beta,
+                                            fmt, 1e-9));
+  EXPECT_FALSE(satisfies_product_constraints(Vector{iv.hi + 0.25}, model,
+                                             beta, fmt));
+}
+
+TEST(ConstraintsTest, ProjectionConstraintsDetectOverflowRisk) {
+  const auto model = make_model(Vector{1.0, 1.0}, Matrix::identity(2),
+                                Vector{-1.0, -1.0}, Matrix::identity(2));
+  const fixed::FixedFormat fmt(2, 2);  // range [-2, 1.75]
+  // Small w: projection interval well inside range.
+  EXPECT_TRUE(satisfies_projection_constraints(Vector{0.1, 0.1}, model,
+                                               2.0, fmt));
+  // Large w: wᵀμ = 3.5 already exceeds max_value.
+  EXPECT_FALSE(satisfies_projection_constraints(Vector{1.75, 1.75}, model,
+                                                2.0, fmt));
+}
+
+TEST(ConstraintsTest, InitialTIntervalMatchesIntervalArithmetic) {
+  const Vector diff{2.0, -1.0};
+  opt::Box box(2, opt::Interval{-1.0, 1.0});
+  box[1] = opt::Interval{0.0, 3.0};
+  const opt::Interval t = initial_t_interval(diff, box);
+  // 2*[-1,1] + (-1)*[0,3] = [-2,2] + [-3,0] = [-5,2].
+  EXPECT_DOUBLE_EQ(t.lo, -5.0);
+  EXPECT_DOUBLE_EQ(t.hi, 2.0);
+}
+
+TEST(ConstraintsTest, IsFeasibleWeightCombinesBothChecks) {
+  const auto model = make_model(Vector{0.0}, Matrix{{1.0}}, Vector{0.5},
+                                Matrix{{1.0}});
+  const fixed::FixedFormat fmt(2, 2);
+  EXPECT_TRUE(is_feasible_weight(Vector{0.25}, model, 1.0, fmt));
+  EXPECT_FALSE(is_feasible_weight(Vector{1.75}, model, 3.9, fmt));
+}
+
+}  // namespace
+}  // namespace ldafp::core

@@ -1,0 +1,114 @@
+#include "core/feature_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "data/bci_synthetic.h"
+#include "data/dataset.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ldafp::core {
+namespace {
+
+using linalg::Vector;
+
+/// Two informative features (0 strong, 2 weak) among four; 1 and 3 are
+/// pure noise.
+TrainingSet planted_set(std::size_t n, support::Rng& rng) {
+  TrainingSet data;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector a(4);
+    Vector b(4);
+    a[0] = 1.0 + rng.gaussian();
+    b[0] = -1.0 + rng.gaussian();
+    a[1] = rng.gaussian();
+    b[1] = rng.gaussian();
+    a[2] = 0.4 + rng.gaussian();
+    b[2] = -0.4 + rng.gaussian();
+    a[3] = rng.gaussian();
+    b[3] = rng.gaussian();
+    data.class_a.push_back(std::move(a));
+    data.class_b.push_back(std::move(b));
+  }
+  return data;
+}
+
+TEST(FeatureSelectionTest, PicksInformativeFeaturesFirst) {
+  support::Rng rng(1);
+  const TrainingSet data = planted_set(3000, rng);
+  const FeatureSelectionResult result = select_features(data, 2);
+  ASSERT_EQ(result.selected.size(), 2u);
+  EXPECT_EQ(result.selected[0], 0u);  // strongest first
+  EXPECT_EQ(result.selected[1], 2u);  // then the weak one
+}
+
+TEST(FeatureSelectionTest, CriterionPathIsMonotone) {
+  support::Rng rng(2);
+  const TrainingSet data = planted_set(1000, rng);
+  const FeatureSelectionResult result = select_features(data, 4);
+  ASSERT_EQ(result.criterion_path.size(), 4u);
+  for (std::size_t i = 1; i < result.criterion_path.size(); ++i) {
+    EXPECT_GE(result.criterion_path[i],
+              result.criterion_path[i - 1] - 1e-9);
+  }
+}
+
+TEST(FeatureSelectionTest, KIsClampedToDimension) {
+  support::Rng rng(3);
+  const TrainingSet data = planted_set(200, rng);
+  const FeatureSelectionResult result = select_features(data, 99);
+  EXPECT_EQ(result.selected.size(), 4u);
+}
+
+TEST(FeatureSelectionTest, FindsNoiseCancellingCompanions) {
+  // On the BCI triads, the greedy search must discover that the pure-
+  // noise channels raise J once the informative channel is in (they
+  // cancel its noise): selecting 3 features from one triad beats the
+  // informative channel alone by a large factor.
+  support::Rng rng(4);
+  data::BciOptions options;
+  options.groups = 1;  // a single triad: features 0 (signal), 1, 2
+  options.trials_per_class = 4000;
+  options.coeff_jitter = 0.0;
+  const auto dataset = data::make_bci_synthetic(rng, options);
+  const TrainingSet data = dataset.to_training_set();
+  const FeatureSelectionResult one = select_features(data, 1);
+  const FeatureSelectionResult all = select_features(data, 3);
+  EXPECT_EQ(one.selected[0], 0u);
+  EXPECT_GT(all.criterion(), 3.0 * one.criterion());
+}
+
+TEST(FeatureSelectionTest, ProjectionKeepsOrderAndValues) {
+  support::Rng rng(5);
+  const TrainingSet data = planted_set(10, rng);
+  const std::vector<std::size_t> selected{2, 0};
+  const TrainingSet projected = project_features(data, selected);
+  EXPECT_EQ(projected.dim(), 2u);
+  EXPECT_DOUBLE_EQ(projected.class_a[0][0], data.class_a[0][2]);
+  EXPECT_DOUBLE_EQ(projected.class_a[0][1], data.class_a[0][0]);
+}
+
+TEST(FeatureSelectionTest, DatasetProjection) {
+  data::LabeledDataset dataset;
+  dataset.add(Vector{1.0, 2.0, 3.0}, Label::kClassA);
+  dataset.add(Vector{4.0, 5.0, 6.0}, Label::kClassB);
+  const data::LabeledDataset projected =
+      data::project_features(dataset, {2, 1});
+  EXPECT_EQ(projected.dim(), 2u);
+  EXPECT_DOUBLE_EQ(projected.samples[1][0], 6.0);
+  EXPECT_DOUBLE_EQ(projected.samples[1][1], 5.0);
+  EXPECT_EQ(projected.labels[1], Label::kClassB);
+}
+
+TEST(FeatureSelectionTest, Guards) {
+  support::Rng rng(6);
+  const TrainingSet data = planted_set(50, rng);
+  EXPECT_THROW(select_features(data, 0), ldafp::InvalidArgumentError);
+  EXPECT_THROW(select_features(TrainingSet{}, 2),
+               ldafp::InvalidArgumentError);
+  EXPECT_THROW(project_features(data, {}), ldafp::InvalidArgumentError);
+  EXPECT_THROW(project_features(data, {7}), ldafp::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldafp::core

@@ -1,0 +1,171 @@
+#include "core/lda.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/constraints.h"
+#include "fixed/grid.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ldafp::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Draws a simple two-Gaussian training set with means ±mu and identity
+/// covariance.
+TrainingSet gaussian_set(const Vector& mu, std::size_t n,
+                         support::Rng& rng) {
+  TrainingSet data;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector a(mu.size());
+    Vector b(mu.size());
+    for (std::size_t j = 0; j < mu.size(); ++j) {
+      a[j] = mu[j] + rng.gaussian();
+      b[j] = -mu[j] + rng.gaussian();
+    }
+    data.class_a.push_back(std::move(a));
+    data.class_b.push_back(std::move(b));
+  }
+  return data;
+}
+
+TEST(LdaTest, RecoversDiscriminativeDirection) {
+  support::Rng rng(10);
+  // Only feature 0 separates the classes.
+  const TrainingSet data = gaussian_set(Vector{2.0, 0.0, 0.0}, 4000, rng);
+  const LdaModel model = fit_lda(data);
+  EXPECT_NEAR(std::fabs(model.weights[0]), 1.0, 0.05);
+  EXPECT_NEAR(model.weights[1], 0.0, 0.1);
+  EXPECT_NEAR(model.weights[2], 0.0, 0.1);
+  EXPECT_NEAR(model.weights.norm2(), 1.0, 1e-12);
+}
+
+TEST(LdaTest, OrientationPointsTowardClassA) {
+  support::Rng rng(11);
+  const TrainingSet data = gaussian_set(Vector{1.5, 0.5}, 2000, rng);
+  const LdaModel model = fit_lda(data);
+  // t = (μ_A - μ_B)ᵀ w must be positive so Eq. 12 labels class A above
+  // the threshold.
+  const Vector diff = model.mu_a - model.mu_b;
+  EXPECT_GT(linalg::dot(diff, model.weights), 0.0);
+}
+
+TEST(LdaTest, ThresholdMidwayForSymmetricClasses) {
+  support::Rng rng(12);
+  const TrainingSet data = gaussian_set(Vector{1.0}, 20000, rng);
+  const LdaModel model = fit_lda(data);
+  EXPECT_NEAR(model.threshold, 0.0, 0.05);
+}
+
+TEST(LdaTest, ClassifierSeparatesWellSeparatedClasses) {
+  support::Rng rng(13);
+  const TrainingSet data = gaussian_set(Vector{4.0, 0.0}, 1000, rng);
+  const LdaModel model = fit_lda(data);
+  const LinearClassifier clf = model.classifier();
+  int errors = 0;
+  for (const auto& x : data.class_a) {
+    if (clf.classify(x) != Label::kClassA) ++errors;
+  }
+  for (const auto& x : data.class_b) {
+    if (clf.classify(x) != Label::kClassB) ++errors;
+  }
+  EXPECT_LT(errors, 10);  // ~Φ(-4) error rate
+}
+
+TEST(LdaTest, HandlesNearSingularScatterViaRidge) {
+  // Duplicate feature makes S_W exactly singular; the ridge must rescue
+  // the solve.
+  support::Rng rng(14);
+  TrainingSet data;
+  for (int i = 0; i < 500; ++i) {
+    const double a = 1.0 + rng.gaussian();
+    const double b = -1.0 + rng.gaussian();
+    data.class_a.push_back(Vector{a, a});
+    data.class_b.push_back(Vector{b, b});
+  }
+  EXPECT_NO_THROW(fit_lda(data));
+}
+
+TEST(LdaTest, RejectsInvalidTrainingSet) {
+  TrainingSet empty;
+  EXPECT_THROW(fit_lda(empty), ldafp::InvalidArgumentError);
+  TrainingSet one_sided;
+  one_sided.class_a.push_back(Vector{1.0});
+  EXPECT_THROW(fit_lda(one_sided), ldafp::InvalidArgumentError);
+}
+
+TEST(LdaGainTest, UnitNormPolicyIsIdentity) {
+  support::Rng rng(15);
+  const TrainingSet data = gaussian_set(Vector{1.0, 0.0}, 500, rng);
+  const LdaModel model = fit_lda(data);
+  const auto stats_model = fit_two_class_model(data);
+  EXPECT_DOUBLE_EQ(lda_pow2_gain(model, stats_model, 3.0,
+                                 fixed::FixedFormat(2, 4),
+                                 LdaGainPolicy::kUnitNorm),
+                   1.0);
+}
+
+TEST(LdaGainTest, MaxRangeGainIsPowerOfTwoAndFits) {
+  support::Rng rng(16);
+  const TrainingSet data = gaussian_set(Vector{1.0, 0.2}, 500, rng);
+  const LdaModel model = fit_lda(data);
+  const auto stats_model = fit_two_class_model(data);
+  const fixed::FixedFormat fmt(2, 4);
+  const double gain = lda_pow2_gain(model, stats_model, 3.0, fmt,
+                                    LdaGainPolicy::kMaxRange);
+  // Power of two.
+  EXPECT_DOUBLE_EQ(std::exp2(std::round(std::log2(gain))), gain);
+  // Scaled weights fit the representable range; doubling would not.
+  EXPECT_LE(gain * model.weights.norm_inf(), fmt.max_value());
+  EXPECT_GT(2.0 * gain * model.weights.norm_inf(), fmt.max_value());
+}
+
+TEST(LdaGainTest, OverflowAwareGainSatisfiesConstraints) {
+  support::Rng rng(17);
+  const TrainingSet data = gaussian_set(Vector{1.0, 0.5}, 2000, rng);
+  const LdaModel model = fit_lda(data);
+  const auto stats_model = fit_two_class_model(data);
+  const fixed::FixedFormat fmt(2, 6);
+  const double beta = 2.0;
+  const double gain = lda_pow2_gain(model, stats_model, beta, fmt,
+                                    LdaGainPolicy::kOverflowAware);
+  Vector scaled = model.weights;
+  scaled *= gain;
+  EXPECT_TRUE(is_feasible_weight(scaled, stats_model, beta, fmt, 1e-9));
+}
+
+TEST(QuantizeLdaTest, ProducesGridWeightsAndSensibleThreshold) {
+  support::Rng rng(18);
+  // Pre-scaled features (means ±0.5, sigma 0.25) that fit Q2.4, as the
+  // format policy would arrange.
+  TrainingSet data = gaussian_set(Vector{2.0, 0.0}, 2000, rng);
+  data = scale_training_set(data, 0.25);
+  const LdaModel model = fit_lda(data);
+  const auto stats_model = fit_two_class_model(data);
+  const fixed::FixedFormat fmt(2, 4);
+  const FixedClassifier clf = quantize_lda(model, stats_model, 2.5, fmt,
+                                           LdaGainPolicy::kMaxRange);
+  EXPECT_TRUE(fixed::on_grid(clf.weights_real(), fmt));
+  // Classifier still separates the easy ±2σ problem.
+  int errors = 0;
+  for (const auto& x : data.class_a) {
+    if (clf.classify(x) != Label::kClassA) ++errors;
+  }
+  for (const auto& x : data.class_b) {
+    if (clf.classify(x) != Label::kClassB) ++errors;
+  }
+  EXPECT_LT(errors, 200);  // ~2.3% Bayes error on 4000 samples
+}
+
+TEST(LdaGainTest, PolicyNames) {
+  EXPECT_STREQ(to_string(LdaGainPolicy::kUnitNorm), "unit-norm");
+  EXPECT_STREQ(to_string(LdaGainPolicy::kMaxRange), "max-range");
+  EXPECT_STREQ(to_string(LdaGainPolicy::kOverflowAware), "overflow-aware");
+}
+
+}  // namespace
+}  // namespace ldafp::core

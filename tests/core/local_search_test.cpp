@@ -1,0 +1,92 @@
+#include "core/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixed/grid.h"
+#include "support/rng.h"
+
+namespace ldafp::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+stats::TwoClassModel benign_model() {
+  // Well-separated classes with tame statistics so Eq. 18/20 are loose.
+  return stats::TwoClassModel{
+      stats::GaussianModel(Vector{0.25, 0.0}, 0.01 * Matrix::identity(2)),
+      stats::GaussianModel(Vector{-0.25, 0.0}, 0.01 * Matrix::identity(2))};
+}
+
+TEST(ExactCostTest, MatchesFisherRatio) {
+  const Matrix sw{{2.0, 0.0}, {0.0, 1.0}};
+  const Vector diff{1.0, 0.0};
+  // w = (1, 1): cost = (2 + 1) / 1² = 3.
+  EXPECT_DOUBLE_EQ(exact_cost(Vector{1.0, 1.0}, sw, diff), 3.0);
+  EXPECT_TRUE(std::isinf(exact_cost(Vector{0.0, 1.0}, sw, diff)));
+}
+
+TEST(LocalSearchTest, RejectsOffGridStart) {
+  const auto model = benign_model();
+  const Matrix sw = model.within_class_scatter();
+  const fixed::FixedFormat fmt(2, 2);
+  EXPECT_FALSE(polish(Vector{0.3, 0.0}, sw, model, 2.0, fmt).has_value());
+}
+
+TEST(LocalSearchTest, RejectsInfeasibleStart) {
+  // Huge class means make almost any non-zero w violate Eq. 18.
+  const stats::TwoClassModel model{
+      stats::GaussianModel(Vector{100.0}, Matrix{{1.0}}),
+      stats::GaussianModel(Vector{-100.0}, Matrix{{1.0}})};
+  const Matrix sw = model.within_class_scatter();
+  const fixed::FixedFormat fmt(2, 2);
+  EXPECT_FALSE(polish(Vector{1.0}, sw, model, 3.0, fmt).has_value());
+}
+
+TEST(LocalSearchTest, NeverWorsensCost) {
+  const auto model = benign_model();
+  const Matrix sw = model.within_class_scatter();
+  const Vector diff = model.mean_difference();
+  const fixed::FixedFormat fmt(2, 3);
+  support::Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random feasible on-grid start with positive t.
+    Vector start(2);
+    start[0] = fmt.round_to_grid(rng.uniform(0.125, 1.5));
+    start[1] = fmt.round_to_grid(rng.uniform(-1.0, 1.0));
+    const auto result = polish(start, sw, model, 2.0, fmt);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_LE(result->cost, exact_cost(start, sw, diff) + 1e-12);
+    EXPECT_TRUE(fixed::on_grid(result->weights, fmt));
+    EXPECT_TRUE(is_feasible_weight(result->weights, model, 2.0, fmt,
+                                   1e-6));
+  }
+}
+
+TEST(LocalSearchTest, FindsAxisOptimumOnEasyProblem) {
+  // Only feature 0 is informative; the best direction is (w0, 0).
+  const auto model = benign_model();
+  const Matrix sw = model.within_class_scatter();
+  const fixed::FixedFormat fmt(2, 3);
+  const auto result = polish(Vector{0.25, 0.5}, sw, model, 2.0, fmt);
+  ASSERT_TRUE(result.has_value());
+  // Cost of (w0, w1) = 0.01(w0² + w1²) / (0.5 w0)²; minimized at w1 = 0.
+  EXPECT_DOUBLE_EQ(result->weights[1], 0.0);
+}
+
+TEST(LocalSearchTest, SweepBudgetRespected) {
+  const auto model = benign_model();
+  const Matrix sw = model.within_class_scatter();
+  const fixed::FixedFormat fmt(2, 6);
+  LocalSearchOptions options;
+  options.max_sweeps = 1;
+  const auto result = polish(Vector{0.25, 0.5}, sw, model, 2.0, fmt,
+                             options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->sweeps, 1);
+}
+
+}  // namespace
+}  // namespace ldafp::core

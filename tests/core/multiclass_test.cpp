@@ -1,0 +1,101 @@
+#include "core/multiclass.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ldafp::core {
+namespace {
+
+using linalg::Vector;
+
+/// Three well-separated Gaussian blobs in 2-D.
+MulticlassSet three_blobs(std::size_t n, double spread,
+                          support::Rng& rng) {
+  const Vector centers[3] = {Vector{1.0, 0.0}, Vector{-0.5, 0.9},
+                             Vector{-0.5, -0.9}};
+  MulticlassSet data;
+  data.classes.resize(3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Vector x(2);
+      x[0] = centers[c][0] + spread * rng.gaussian();
+      x[1] = centers[c][1] + spread * rng.gaussian();
+      data.classes[c].push_back(std::move(x));
+    }
+  }
+  return data;
+}
+
+LdaFpOptions quick_options() {
+  LdaFpOptions options;
+  options.bnb.max_nodes = 2000;
+  options.bnb.max_seconds = 5.0;
+  options.bnb.rel_gap = 1e-3;
+  return options;
+}
+
+TEST(MulticlassSetTest, Validity) {
+  support::Rng rng(1);
+  MulticlassSet data = three_blobs(5, 0.1, rng);
+  EXPECT_TRUE(data.valid());
+  EXPECT_EQ(data.num_classes(), 3u);
+  EXPECT_EQ(data.dim(), 2u);
+  data.classes[1].clear();
+  EXPECT_FALSE(data.valid());
+  MulticlassSet single;
+  single.classes.resize(1);
+  EXPECT_FALSE(single.valid());
+}
+
+TEST(MulticlassTest, SeparatesThreeBlobs) {
+  support::Rng rng(2);
+  const MulticlassSet train = three_blobs(300, 0.15, rng);
+  const MulticlassSet test = three_blobs(300, 0.15, rng);
+  const auto clf =
+      train_one_vs_rest(train, fixed::FixedFormat(2, 5), quick_options());
+  ASSERT_TRUE(clf.has_value());
+  EXPECT_EQ(clf->num_classes(), 3u);
+  EXPECT_LT(multiclass_error(*clf, test), 0.05);
+}
+
+TEST(MulticlassTest, MarginsAreLargestForTrueClass) {
+  support::Rng rng(3);
+  const MulticlassSet train = three_blobs(300, 0.1, rng);
+  const auto clf =
+      train_one_vs_rest(train, fixed::FixedFormat(2, 5), quick_options());
+  ASSERT_TRUE(clf.has_value());
+  // Probe a point deep inside class 0.
+  const auto margins = clf->margins(Vector{1.0, 0.0});
+  EXPECT_GT(margins[0], margins[1]);
+  EXPECT_GT(margins[0], margins[2]);
+  EXPECT_EQ(clf->classify(Vector{1.0, 0.0}), 0u);
+}
+
+TEST(MulticlassTest, MembersShareFormat) {
+  support::Rng rng(4);
+  const MulticlassSet train = three_blobs(100, 0.2, rng);
+  const fixed::FixedFormat fmt(2, 4);
+  const auto clf = train_one_vs_rest(train, fmt, quick_options());
+  ASSERT_TRUE(clf.has_value());
+  for (std::size_t c = 0; c < clf->num_classes(); ++c) {
+    EXPECT_EQ(clf->member(c).format(), fmt);
+  }
+}
+
+TEST(MulticlassTest, Guards) {
+  EXPECT_THROW(train_one_vs_rest(MulticlassSet{}, fixed::FixedFormat(2, 2)),
+               ldafp::InvalidArgumentError);
+  support::Rng rng(5);
+  const MulticlassSet data = three_blobs(20, 0.2, rng);
+  const auto clf =
+      train_one_vs_rest(data, fixed::FixedFormat(2, 4), quick_options());
+  ASSERT_TRUE(clf.has_value());
+  EXPECT_THROW(clf->member(7), ldafp::InvalidArgumentError);
+  EXPECT_THROW(multiclass_error(*clf, MulticlassSet{{{}, {}}}),
+               ldafp::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldafp::core

@@ -1,0 +1,89 @@
+#include "data/bci_synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/normal.h"
+#include "support/error.h"
+
+namespace ldafp::data {
+namespace {
+
+TEST(BciSyntheticTest, PaperShape42Features70Trials) {
+  support::Rng rng(1);
+  const LabeledDataset data = make_bci_synthetic(rng);
+  EXPECT_EQ(data.dim(), 42u);
+  EXPECT_EQ(data.count(core::Label::kClassA), 70u);
+  EXPECT_EQ(data.count(core::Label::kClassB), 70u);
+}
+
+TEST(BciSyntheticTest, GroupShiftCalibration) {
+  // With G groups, error = Φ(-sqrt(G)·shift/gain) must equal the target.
+  const BciOptions options;
+  const double shift = bci_group_shift(options);
+  const double error = stats::normal_cdf(
+      -std::sqrt(static_cast<double>(options.groups)) * shift /
+      options.noise_gain);
+  EXPECT_NEAR(error, options.target_bayes_error, 1e-12);
+}
+
+TEST(BciSyntheticTest, InformativeChannelsCarryShift) {
+  support::Rng rng(2);
+  BciOptions options;
+  options.trials_per_class = 4000;
+  options.coeff_jitter = 0.0;  // exact coefficients for the check
+  const LabeledDataset data = make_bci_synthetic(rng, options);
+  const core::TrainingSet ts = data.to_training_set();
+  const auto mu_a = stats::sample_mean(ts.class_a);
+  const auto mu_b = stats::sample_mean(ts.class_b);
+  const double shift = bci_group_shift(options);
+  for (std::size_t g = 0; g < options.groups; ++g) {
+    // Channel 3g: mean ∓shift; channels 3g+1, 3g+2: zero mean.
+    EXPECT_NEAR(mu_a[3 * g], -shift, 0.05);
+    EXPECT_NEAR(mu_b[3 * g], shift, 0.05);
+    EXPECT_NEAR(mu_a[3 * g + 1], 0.0, 0.05);
+    EXPECT_NEAR(mu_a[3 * g + 2], 0.0, 0.05);
+  }
+}
+
+TEST(BciSyntheticTest, TriadNoiseStructure) {
+  // Within a triad, channel 3g+1 minus 3g+2 is the tiny leak term.
+  support::Rng rng(3);
+  BciOptions options;
+  options.coeff_jitter = 0.0;
+  const LabeledDataset data = make_bci_synthetic(rng, options);
+  for (const auto& x : data.samples) {
+    for (std::size_t g = 0; g < options.groups; ++g) {
+      EXPECT_LT(std::fabs(x[3 * g + 1] - x[3 * g + 2]), 0.2);
+    }
+  }
+}
+
+TEST(BciSyntheticTest, GroupsAreIndependent) {
+  support::Rng rng(4);
+  BciOptions options;
+  options.trials_per_class = 3000;
+  options.coeff_jitter = 0.0;
+  const LabeledDataset data = make_bci_synthetic(rng, options);
+  const core::TrainingSet ts = data.to_training_set();
+  const auto cov = stats::sample_covariance(ts.class_a);
+  // Cross-group covariance of the pure-noise channels is ~0.
+  EXPECT_NEAR(cov(2, 5), 0.0, 0.08);
+  EXPECT_NEAR(cov(1, 4), 0.0, 0.08);
+  // Within-group covariance is strong (shared ε3).
+  EXPECT_GT(cov(1, 2), 0.5);
+}
+
+TEST(BciSyntheticTest, OptionGuards) {
+  BciOptions zero_groups;
+  zero_groups.groups = 0;
+  EXPECT_THROW(bci_group_shift(zero_groups), ldafp::InvalidArgumentError);
+  BciOptions bad_target;
+  bad_target.target_bayes_error = 0.7;
+  EXPECT_THROW(bci_group_shift(bad_target), ldafp::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldafp::data

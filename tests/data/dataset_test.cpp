@@ -1,0 +1,104 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace ldafp::data {
+namespace {
+
+using core::Label;
+using linalg::Vector;
+
+LabeledDataset tiny_dataset(std::size_t per_class) {
+  LabeledDataset data;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    data.add(Vector{static_cast<double>(i), 1.0}, Label::kClassA);
+    data.add(Vector{-static_cast<double>(i), -1.0}, Label::kClassB);
+  }
+  return data;
+}
+
+TEST(DatasetTest, AddAndCounts) {
+  const LabeledDataset data = tiny_dataset(5);
+  EXPECT_EQ(data.size(), 10u);
+  EXPECT_EQ(data.dim(), 2u);
+  EXPECT_EQ(data.count(Label::kClassA), 5u);
+  EXPECT_EQ(data.count(Label::kClassB), 5u);
+}
+
+TEST(DatasetTest, AddRejectsDimensionMismatch) {
+  LabeledDataset data = tiny_dataset(1);
+  EXPECT_THROW(data.add(Vector{1.0}, Label::kClassA),
+               ldafp::InvalidArgumentError);
+}
+
+TEST(DatasetTest, ToTrainingSetSplitsByLabel) {
+  const LabeledDataset data = tiny_dataset(3);
+  const core::TrainingSet ts = data.to_training_set();
+  EXPECT_EQ(ts.class_a.size(), 3u);
+  EXPECT_EQ(ts.class_b.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.class_a[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(ts.class_b[1][0], -1.0);
+}
+
+TEST(DatasetTest, MergeConcatenates) {
+  const LabeledDataset merged =
+      LabeledDataset::merge(tiny_dataset(2), tiny_dataset(3));
+  EXPECT_EQ(merged.size(), 10u);
+  EXPECT_THROW(LabeledDataset::merge(
+                   tiny_dataset(1),
+                   LabeledDataset{{Vector{1.0}}, {Label::kClassA}}),
+               ldafp::InvalidArgumentError);
+}
+
+TEST(KFoldTest, PartitionsAreStratifiedAndDisjoint) {
+  const LabeledDataset data = tiny_dataset(10);  // 10 per class
+  support::Rng rng(5);
+  const auto splits = stratified_k_fold(data, 5, rng);
+  ASSERT_EQ(splits.size(), 5u);
+  std::size_t total_test = 0;
+  for (const auto& split : splits) {
+    EXPECT_EQ(split.test.size(), 4u);   // 2 per class
+    EXPECT_EQ(split.train.size(), 16u);
+    EXPECT_EQ(split.test.count(Label::kClassA), 2u);
+    EXPECT_EQ(split.test.count(Label::kClassB), 2u);
+    total_test += split.test.size();
+  }
+  EXPECT_EQ(total_test, data.size());  // every sample tested exactly once
+}
+
+TEST(KFoldTest, UnevenCountsStayBalancedWithinOne) {
+  LabeledDataset data = tiny_dataset(7);  // 7 per class, k = 3
+  support::Rng rng(6);
+  const auto splits = stratified_k_fold(data, 3, rng);
+  for (const auto& split : splits) {
+    const std::size_t a = split.test.count(Label::kClassA);
+    EXPECT_GE(a, 2u);
+    EXPECT_LE(a, 3u);
+  }
+}
+
+TEST(KFoldTest, Guards) {
+  const LabeledDataset data = tiny_dataset(3);
+  support::Rng rng(7);
+  EXPECT_THROW(stratified_k_fold(data, 1, rng),
+               ldafp::InvalidArgumentError);
+  EXPECT_THROW(stratified_k_fold(data, 4, rng),
+               ldafp::InvalidArgumentError);
+}
+
+TEST(StratifiedSplitTest, FractionRespected) {
+  const LabeledDataset data = tiny_dataset(10);
+  support::Rng rng(8);
+  const Split split = stratified_split(data, 0.7, rng);
+  EXPECT_EQ(split.train.count(Label::kClassA), 7u);
+  EXPECT_EQ(split.test.count(Label::kClassA), 3u);
+  EXPECT_THROW(stratified_split(data, 0.0, rng),
+               ldafp::InvalidArgumentError);
+  EXPECT_THROW(stratified_split(data, 1.0, rng),
+               ldafp::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldafp::data

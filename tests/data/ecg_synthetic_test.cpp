@@ -1,0 +1,105 @@
+#include "data/ecg_synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/lda.h"
+#include "eval/metrics.h"
+#include "stats/descriptive.h"
+#include "support/error.h"
+
+namespace ldafp::data {
+namespace {
+
+TEST(EcgSyntheticTest, ShapeAndBalance) {
+  support::Rng rng(1);
+  EcgOptions options;
+  options.label_noise = 0.0;  // exact balance only without label flips
+  const LabeledDataset data = make_ecg_synthetic(200, rng, options);
+  EXPECT_EQ(data.size(), 400u);
+  EXPECT_EQ(data.dim(), static_cast<std::size_t>(kEcgFeatureCount));
+  EXPECT_EQ(data.count(core::Label::kClassA), 200u);
+}
+
+TEST(EcgSyntheticTest, PvcsHaveWideQrsAndAbsentP) {
+  support::Rng rng(2);
+  EcgOptions options;
+  options.label_noise = 0.0;
+  const LabeledDataset data = make_ecg_synthetic(3000, rng, options);
+  const core::TrainingSet ts = data.to_training_set();
+  const auto mu_normal = stats::sample_mean(ts.class_a);
+  const auto mu_pvc = stats::sample_mean(ts.class_b);
+  // Features are z-scored against the normal class, so normal ~0.
+  EXPECT_NEAR(mu_normal[kQrsDuration], 0.0, 0.1);
+  EXPECT_GT(mu_pvc[kQrsDuration], 2.0);   // ~+55ms / 14ms
+  EXPECT_LT(mu_pvc[kPAmplitude], -1.5);   // P wave gone
+  EXPECT_LT(mu_pvc[kRrInterval], -1.0);   // premature
+}
+
+TEST(EcgSyntheticTest, RrQtCorrelationPresent) {
+  support::Rng rng(3);
+  EcgOptions options;
+  options.label_noise = 0.0;
+  const LabeledDataset data = make_ecg_synthetic(5000, rng, options);
+  const core::TrainingSet ts = data.to_training_set();
+  const auto cov = stats::sample_covariance(ts.class_a);
+  EXPECT_GT(cov(kRrInterval, kQtInterval), 0.1);  // rate adaptation
+}
+
+TEST(EcgSyntheticTest, LinearlySeparableToAFewPercent) {
+  support::Rng rng(4);
+  EcgOptions options;
+  options.label_noise = 0.0;
+  const LabeledDataset train = make_ecg_synthetic(2000, rng, options);
+  const LabeledDataset test = make_ecg_synthetic(2000, rng, options);
+  const auto lda = core::fit_lda(train.to_training_set());
+  const double error =
+      eval::evaluate(lda.classifier(), test).error();
+  EXPECT_LT(error, 0.03);
+}
+
+TEST(EcgSyntheticTest, SeparationKnobMakesItHarder) {
+  support::Rng rng(5);
+  EcgOptions easy;
+  easy.label_noise = 0.0;
+  EcgOptions hard = easy;
+  hard.separation = 0.15;
+  const LabeledDataset train_easy = make_ecg_synthetic(2000, rng, easy);
+  const LabeledDataset test_easy = make_ecg_synthetic(2000, rng, easy);
+  const LabeledDataset train_hard = make_ecg_synthetic(2000, rng, hard);
+  const LabeledDataset test_hard = make_ecg_synthetic(2000, rng, hard);
+  const double err_easy =
+      eval::evaluate(core::fit_lda(train_easy.to_training_set())
+                         .classifier(), test_easy).error();
+  const double err_hard =
+      eval::evaluate(core::fit_lda(train_hard.to_training_set())
+                         .classifier(), test_hard).error();
+  EXPECT_GT(err_hard, err_easy);
+}
+
+TEST(EcgSyntheticTest, LabelNoiseFloorsTheError) {
+  support::Rng rng(6);
+  EcgOptions options;
+  options.label_noise = 0.05;
+  const LabeledDataset train = make_ecg_synthetic(3000, rng, options);
+  const LabeledDataset test = make_ecg_synthetic(3000, rng, options);
+  const double error =
+      eval::evaluate(core::fit_lda(train.to_training_set()).classifier(),
+                     test).error();
+  EXPECT_GT(error, 0.03);  // can't beat the flipped labels
+  EXPECT_LT(error, 0.12);
+}
+
+TEST(EcgSyntheticTest, Guards) {
+  support::Rng rng(7);
+  EcgOptions bad;
+  bad.label_noise = 0.6;
+  EXPECT_THROW(make_ecg_synthetic(10, rng, bad),
+               ldafp::InvalidArgumentError);
+  bad.label_noise = 0.0;
+  bad.separation = -1.0;
+  EXPECT_THROW(make_ecg_synthetic(10, rng, bad),
+               ldafp::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldafp::data

@@ -1,0 +1,79 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace ldafp::eval {
+namespace {
+
+using core::Label;
+using linalg::Vector;
+
+data::LabeledDataset axis_dataset() {
+  // Class A at x = +1, class B at x = -1.
+  data::LabeledDataset data;
+  data.add(Vector{1.0}, Label::kClassA);
+  data.add(Vector{2.0}, Label::kClassA);
+  data.add(Vector{-1.0}, Label::kClassB);
+  data.add(Vector{-2.0}, Label::kClassB);
+  return data;
+}
+
+TEST(ConfusionTest, ErrorComputation) {
+  Confusion c;
+  c.a_as_a = 8;
+  c.a_as_b = 2;
+  c.b_as_a = 1;
+  c.b_as_b = 9;
+  EXPECT_EQ(c.total(), 20u);
+  EXPECT_DOUBLE_EQ(c.error(), 3.0 / 20.0);
+  EXPECT_DOUBLE_EQ(Confusion{}.error(), 0.0);
+}
+
+TEST(MetricsTest, PerfectFloatClassifier) {
+  const core::LinearClassifier clf(Vector{1.0}, 0.0);
+  const Confusion c = evaluate(clf, axis_dataset());
+  EXPECT_DOUBLE_EQ(c.error(), 0.0);
+  EXPECT_EQ(c.a_as_a, 2u);
+  EXPECT_EQ(c.b_as_b, 2u);
+}
+
+TEST(MetricsTest, InvertedClassifierGetsEverythingWrong) {
+  const core::LinearClassifier clf(Vector{-1.0}, 0.0);
+  EXPECT_DOUBLE_EQ(evaluate(clf, axis_dataset()).error(), 1.0);
+}
+
+TEST(MetricsTest, FeatureScaleApplied) {
+  // Threshold 0.5 with scale 0.1: projections shrink to ±0.1/±0.2, all
+  // below the threshold -> everything labeled B.
+  const core::LinearClassifier clf(Vector{1.0}, 0.5);
+  const Confusion c = evaluate(clf, axis_dataset(), 0.1);
+  EXPECT_EQ(c.a_as_b, 2u);
+  EXPECT_EQ(c.b_as_b, 2u);
+}
+
+TEST(MetricsTest, FixedClassifierEvaluation) {
+  const core::FixedClassifier clf(fixed::FixedFormat(4, 4), Vector{1.0},
+                                  0.0);
+  const Confusion c = evaluate(clf, axis_dataset());
+  EXPECT_DOUBLE_EQ(c.error(), 0.0);
+}
+
+TEST(MetricsTest, OverflowDiagnosticsAccumulate) {
+  // Q2.2 range [-2, 1.75]; weight 1.75 on |x| up to 2 overflows products.
+  const core::FixedClassifier clf(fixed::FixedFormat(2, 2), Vector{1.75},
+                                  0.0);
+  fixed::DotDiagnostics diag;
+  evaluate(clf, axis_dataset(), 1.0, &diag);
+  EXPECT_GT(diag.product_overflows, 0);
+}
+
+TEST(MetricsTest, DimensionMismatchRejected) {
+  const core::LinearClassifier clf(Vector{1.0, 2.0}, 0.0);
+  EXPECT_THROW(evaluate(clf, axis_dataset()),
+               ldafp::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldafp::eval

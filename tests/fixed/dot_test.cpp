@@ -1,0 +1,161 @@
+#include "fixed/dot.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.h"
+
+namespace ldafp::fixed {
+namespace {
+
+const FixedFormat kQ44(4, 4);  // step 1/16, range [-8, 7.9375]
+
+TEST(DotTest, MatchesDoubleWhenEverythingRepresentable) {
+  const linalg::Vector w{1.5, -2.0, 0.25};
+  const linalg::Vector x{2.0, 1.0, -4.0};
+  // Exact: 3 - 2 - 1 = 0.
+  const Fixed y = dot_datapath_real(w, x, kQ44);
+  EXPECT_DOUBLE_EQ(y.to_real(), 0.0);
+}
+
+TEST(DotTest, WideModeKeepsFullProductPrecision) {
+  const FixedFormat fmt(2, 2);  // step 0.25
+  const linalg::Vector w{0.5, 0.5};
+  const linalg::Vector x{0.25, 0.25};
+  // Each product = 0.125 (a grid-tie); the exact sum 0.25 is on the grid.
+  // Wide accumulates exactly and returns 0.25 under any rounding mode.
+  for (const auto mode :
+       {RoundingMode::kNearestEven, RoundingMode::kNearestAway}) {
+    const Fixed wide =
+        dot_datapath_real(w, x, fmt, mode, AccumulatorMode::kWide);
+    EXPECT_DOUBLE_EQ(wide.to_real(), 0.25);
+  }
+  // Narrow rounds each 0.125 product first, so the tie-break leaks into
+  // the result: nearest-even drops both to 0, away-from-zero doubles.
+  const Fixed narrow_even = dot_datapath_real(
+      w, x, fmt, RoundingMode::kNearestEven, AccumulatorMode::kNarrow);
+  const Fixed narrow_away = dot_datapath_real(
+      w, x, fmt, RoundingMode::kNearestAway, AccumulatorMode::kNarrow);
+  EXPECT_DOUBLE_EQ(narrow_even.to_real(), 0.0);
+  EXPECT_DOUBLE_EQ(narrow_away.to_real(), 0.5);
+}
+
+TEST(DotTest, PaperWrapPropertyIntermediateOverflowHarmless) {
+  // Q3.0 version of the paper's example as a dot product:
+  // w = (3, 3, -4), x = (1, 1, 1): intermediate 3+3 wraps, final 2 fits.
+  const FixedFormat q30(3, 0);
+  const linalg::Vector w{3.0, 3.0, -4.0};
+  const linalg::Vector x{1.0, 1.0, 1.0};
+  for (const auto acc : {AccumulatorMode::kWide, AccumulatorMode::kNarrow}) {
+    DotDiagnostics diag;
+    const Fixed y = dot_datapath_real(w, x, q30,
+                                      RoundingMode::kNearestEven, acc,
+                                      &diag);
+    EXPECT_DOUBLE_EQ(y.to_real(), 2.0) << to_string(acc);
+    EXPECT_GE(diag.accumulator_wraps, 1) << to_string(acc);
+    EXPECT_FALSE(diag.final_overflow) << to_string(acc);
+  }
+}
+
+TEST(DotTest, FinalOverflowFlagged) {
+  const FixedFormat q30(3, 0);
+  const linalg::Vector w{3.0, 3.0};
+  const linalg::Vector x{1.0, 1.0};  // exact sum 6 > 3
+  DotDiagnostics diag;
+  const Fixed y = dot_datapath_real(w, x, q30, RoundingMode::kNearestEven,
+                                    AccumulatorMode::kWide, &diag);
+  EXPECT_TRUE(diag.final_overflow);
+  EXPECT_DOUBLE_EQ(y.to_real(), -2.0);  // 6 wrapped into [-4, 3]
+}
+
+TEST(DotTest, ProductOverflowFlagged) {
+  const FixedFormat q22(2, 2);  // range [-2, 1.75]
+  const linalg::Vector w{1.75};
+  const linalg::Vector x{1.75};  // product 3.0625 exceeds the range
+  for (const auto acc : {AccumulatorMode::kWide, AccumulatorMode::kNarrow}) {
+    DotDiagnostics diag;
+    dot_datapath_real(w, x, q22, RoundingMode::kNearestEven, acc, &diag);
+    EXPECT_EQ(diag.product_overflows, 1) << to_string(acc);
+  }
+}
+
+TEST(DotTest, EmptyVectorsGiveZero) {
+  const Fixed y = dot_datapath({}, {}, kQ44);
+  EXPECT_DOUBLE_EQ(y.to_real(), 0.0);
+}
+
+/// Property: in both architectures, when no product overflows and the
+/// exact sum fits, the wide result equals the exactly-rounded true dot
+/// product.
+class DotPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DotPropertyTest, WideResultEqualsRoundedExactSum) {
+  support::Rng rng(1000 + GetParam());
+  const FixedFormat fmt(3, GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + trial % 8;
+    std::vector<Fixed> w;
+    std::vector<Fixed> x;
+    // Keep |values| <= 1 so products and sums stay in range.
+    const std::int64_t unit = std::int64_t{1} << fmt.frac_bits();
+    for (std::size_t i = 0; i < n; ++i) {
+      w.push_back(Fixed::from_raw(fmt, rng.uniform_int(-unit, unit)));
+      x.push_back(Fixed::from_raw(fmt, rng.uniform_int(-unit, unit)));
+    }
+    DotDiagnostics diag;
+    const Fixed y = dot_datapath(w, x, fmt, RoundingMode::kNearestEven,
+                                 AccumulatorMode::kWide, &diag);
+    // Exact sum in double (products of <=2^14-step values are exact).
+    double exact = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      exact += w[i].to_real() * x[i].to_real();
+    }
+    // The overflow flag must agree with the exact sum's range check...
+    const bool out_of_range =
+        exact < fmt.min_value() || exact > fmt.max_value();
+    EXPECT_EQ(diag.final_overflow, out_of_range);
+    // ...and in-range sums must round exactly.
+    if (!out_of_range) {
+      EXPECT_DOUBLE_EQ(y.to_real(), fmt.round_to_grid(exact))
+          << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FracBits, DotPropertyTest,
+                         ::testing::Values(0, 1, 2, 4, 6, 8));
+
+/// Property: the narrow datapath equals summing individually-rounded
+/// products when nothing overflows.
+TEST(DotTest, NarrowEqualsSumOfRoundedProducts) {
+  support::Rng rng(77);
+  const FixedFormat fmt(4, 3);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 1 + trial % 6;
+    std::vector<Fixed> w;
+    std::vector<Fixed> x;
+    const std::int64_t unit = std::int64_t{1} << fmt.frac_bits();
+    for (std::size_t i = 0; i < n; ++i) {
+      w.push_back(Fixed::from_raw(fmt, rng.uniform_int(-unit, unit)));
+      x.push_back(Fixed::from_raw(fmt, rng.uniform_int(-unit, unit)));
+    }
+    const Fixed y = dot_datapath(w, x, fmt, RoundingMode::kNearestEven,
+                                 AccumulatorMode::kNarrow);
+    double manual = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      manual += w[i].mul_wrap(x[i]).to_real();
+    }
+    EXPECT_DOUBLE_EQ(y.to_real(), manual);
+  }
+}
+
+TEST(DotTest, QuantizeAndToRealRoundTrip) {
+  const linalg::Vector v{0.5, -1.25, 7.0};
+  const auto q = quantize_vector(v, kQ44);
+  const linalg::Vector back = to_real(q);
+  EXPECT_DOUBLE_EQ(max_abs_diff(v, back), 0.0);  // all representable
+}
+
+}  // namespace
+}  // namespace ldafp::fixed

@@ -1,0 +1,134 @@
+#include "fixed/value.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ldafp::fixed {
+namespace {
+
+TEST(FixedValueTest, PaperWrappingExample) {
+  // Paper Sec. 3: y = 3 + 3 - 4 in Q3.0.  The intermediate sum 3 + 3
+  // overflows (wraps to -2), yet the final result is the correct 2.
+  const FixedFormat q30(3, 0);
+  const Fixed three = Fixed::from_real_saturate(q30, 3.0);
+  const Fixed minus4 = Fixed::from_real_saturate(q30, -4.0);
+  const Fixed intermediate = three.add_wrap(three);
+  EXPECT_DOUBLE_EQ(intermediate.to_real(), -2.0);  // wrapped
+  EXPECT_TRUE(three.add_overflows(three));
+  const Fixed final_sum = intermediate.add_wrap(minus4);
+  EXPECT_DOUBLE_EQ(final_sum.to_real(), 2.0);  // correct despite the wrap
+}
+
+TEST(FixedValueTest, FromRealModes) {
+  const FixedFormat fmt(2, 2);
+  EXPECT_DOUBLE_EQ(Fixed::from_real_saturate(fmt, 5.0).to_real(), 1.75);
+  // 5.0 -> raw 20 -> wraps into 4-bit range.
+  EXPECT_DOUBLE_EQ(Fixed::from_real_wrap(fmt, 5.0).to_real(), 1.0);
+}
+
+TEST(FixedValueTest, AddSubNegateWrap) {
+  const FixedFormat fmt(2, 1);  // range [-2, 1.5]
+  const Fixed a = Fixed::from_real_saturate(fmt, 1.5);
+  const Fixed b = Fixed::from_real_saturate(fmt, 1.0);
+  EXPECT_DOUBLE_EQ(a.add_wrap(b).to_real(), -1.5);  // 2.5 wraps
+  EXPECT_DOUBLE_EQ(a.sub_wrap(b).to_real(), 0.5);
+  EXPECT_DOUBLE_EQ(b.negate_wrap().to_real(), -1.0);
+  // Negating the most negative value wraps back onto itself.
+  const Fixed lo = Fixed::from_real_saturate(fmt, -2.0);
+  EXPECT_DOUBLE_EQ(lo.negate_wrap().to_real(), -2.0);
+}
+
+TEST(FixedValueTest, AddSaturateClamps) {
+  const FixedFormat fmt(2, 1);
+  const Fixed a = Fixed::from_real_saturate(fmt, 1.5);
+  EXPECT_DOUBLE_EQ(a.add_saturate(a).to_real(), 1.5);  // clamp at max
+  const Fixed lo = Fixed::from_real_saturate(fmt, -2.0);
+  EXPECT_DOUBLE_EQ(lo.add_saturate(lo).to_real(), -2.0);
+}
+
+TEST(FixedValueTest, FormatMismatchThrows) {
+  const Fixed a = Fixed::from_real_saturate(FixedFormat(2, 1), 1.0);
+  const Fixed b = Fixed::from_real_saturate(FixedFormat(2, 2), 1.0);
+  EXPECT_THROW(a.add_wrap(b), ldafp::InvalidArgumentError);
+  EXPECT_THROW(a.mul_wrap(b), ldafp::InvalidArgumentError);
+}
+
+TEST(FixedValueTest, MultiplicationExactCases) {
+  const FixedFormat fmt(3, 2);  // step 0.25
+  const Fixed a = Fixed::from_real_saturate(fmt, 1.5);
+  const Fixed b = Fixed::from_real_saturate(fmt, 0.5);
+  EXPECT_DOUBLE_EQ(a.mul_wrap(b).to_real(), 0.75);
+  const Fixed c = Fixed::from_real_saturate(fmt, -2.0);
+  EXPECT_DOUBLE_EQ(a.mul_wrap(c).to_real(), -3.0);
+}
+
+TEST(FixedValueTest, MultiplicationRoundsProduct) {
+  const FixedFormat fmt(3, 2);  // step 0.25
+  const Fixed half = Fixed::from_real_saturate(fmt, 0.5);
+  const Fixed quarter = Fixed::from_real_saturate(fmt, 0.25);
+  // 0.5 * 0.25 = 0.125 sits exactly between grid points 0 and 0.25:
+  // nearest-even keeps the even point 0, away-from-zero bumps to 0.25.
+  EXPECT_DOUBLE_EQ(
+      half.mul_wrap(quarter, RoundingMode::kNearestEven).to_real(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      half.mul_wrap(quarter, RoundingMode::kNearestAway).to_real(), 0.25);
+  // 0.25 * 0.25 = 0.0625 is below the midpoint: rounds to 0 either way.
+  EXPECT_DOUBLE_EQ(
+      quarter.mul_wrap(quarter, RoundingMode::kNearestAway).to_real(), 0.0);
+}
+
+TEST(FixedValueTest, MultiplicationWrapVsSaturate) {
+  const FixedFormat fmt(2, 2);  // range [-2, 1.75]
+  const Fixed a = Fixed::from_real_saturate(fmt, 1.75);
+  // 1.75² = 3.0625 overflows: saturate clamps, wrap wraps.
+  EXPECT_DOUBLE_EQ(a.mul_saturate(a).to_real(), 1.75);
+  const double wrapped = a.mul_wrap(a).to_real();
+  EXPECT_LT(wrapped, 0.0);  // wrapped into the negative half
+}
+
+TEST(FixedValueTest, NarrowRawMatchesScaledRounding) {
+  // narrow_raw(x, f) must agree with rounding x / 2^f for all modes.
+  support::Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::int64_t wide = rng.uniform_int(-(1 << 20), 1 << 20);
+    const int f = static_cast<int>(rng.uniform_int(1, 8));
+    for (const auto mode :
+         {RoundingMode::kNearestEven, RoundingMode::kNearestAway,
+          RoundingMode::kTowardZero, RoundingMode::kFloor}) {
+      const std::int64_t got = Fixed::narrow_raw(wide, f, mode);
+      const std::int64_t want = round_real_to_int(
+          static_cast<double>(wide) / static_cast<double>(1LL << f), mode);
+      EXPECT_EQ(got, want) << "wide=" << wide << " f=" << f;
+    }
+  }
+}
+
+TEST(FixedValueTest, EqualityIncludesFormat) {
+  const Fixed a = Fixed::from_real_saturate(FixedFormat(2, 1), 1.0);
+  const Fixed b = Fixed::from_real_saturate(FixedFormat(2, 1), 1.0);
+  const Fixed c = Fixed::from_real_saturate(FixedFormat(2, 2), 1.0);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+/// Property: wrapping addition is associative and commutative (a group
+/// mod 2^W), unlike saturating addition.
+TEST(FixedValueTest, WrapAdditionIsAssociative) {
+  const FixedFormat fmt(2, 2);
+  support::Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Fixed a = Fixed::from_raw(fmt, rng.uniform_int(fmt.raw_min(),
+                                                         fmt.raw_max()));
+    const Fixed b = Fixed::from_raw(fmt, rng.uniform_int(fmt.raw_min(),
+                                                         fmt.raw_max()));
+    const Fixed c = Fixed::from_raw(fmt, rng.uniform_int(fmt.raw_min(),
+                                                         fmt.raw_max()));
+    EXPECT_EQ(a.add_wrap(b).add_wrap(c), a.add_wrap(b.add_wrap(c)));
+    EXPECT_EQ(a.add_wrap(b), b.add_wrap(a));
+  }
+}
+
+}  // namespace
+}  // namespace ldafp::fixed

@@ -1,0 +1,95 @@
+#include "hw/mac_datapath.h"
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ldafp::hw {
+namespace {
+
+using linalg::Vector;
+
+TEST(MacDatapathTest, CycleCountIsFeaturesPlusCompare) {
+  const MacDatapath dp(fixed::FixedFormat(4, 4), Vector{1.0, 2.0, -1.0},
+                       0.0);
+  EXPECT_EQ(dp.cycles_per_classification(), 4);
+  const MacTrace trace = dp.run(Vector{1.0, 1.0, 1.0});
+  EXPECT_EQ(trace.cycles, 4);
+}
+
+TEST(MacDatapathTest, PaperWrapExampleTrace) {
+  // Q3.0, weights (3, 3, -4), x = 1: intermediate wrap, correct final 2.
+  const MacDatapath dp(fixed::FixedFormat(3, 0), Vector{3.0, 3.0, -4.0},
+                       0.0);
+  const MacTrace trace = dp.run(Vector{1.0, 1.0, 1.0});
+  EXPECT_EQ(trace.result_raw, 2);
+  EXPECT_GE(trace.accumulator_wraps, 1);
+  EXPECT_FALSE(trace.final_overflow);
+  EXPECT_TRUE(trace.decision_class_a);  // 2 >= 0
+}
+
+TEST(MacDatapathTest, RejectsUnrepresentableWeights) {
+  EXPECT_THROW(MacDatapath(fixed::FixedFormat(2, 2), Vector{0.3}, 0.0),
+               ldafp::InvalidArgumentError);
+  EXPECT_THROW(MacDatapath(fixed::FixedFormat(2, 2), Vector{}, 0.0),
+               ldafp::InvalidArgumentError);
+}
+
+TEST(MacDatapathTest, DimensionMismatchRejected) {
+  const MacDatapath dp(fixed::FixedFormat(2, 2), Vector{1.0, 0.5}, 0.0);
+  EXPECT_THROW(dp.run(Vector{1.0}), ldafp::InvalidArgumentError);
+}
+
+/// Property: the cycle-level datapath is bit-exact against the
+/// functional model (fixed::dot_datapath) and the FixedClassifier across
+/// random inputs, formats, and both accumulator architectures.
+class MacEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, fixed::AccumulatorMode>> {};
+
+TEST_P(MacEquivalenceTest, BitExactAgainstFunctionalModel) {
+  const auto [k_bits, f_bits, acc] = GetParam();
+  const fixed::FixedFormat fmt(k_bits, f_bits);
+  support::Rng rng(1000 * k_bits + f_bits);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 1 + trial % 7;
+    Vector w(n);
+    Vector x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] = fmt.round_to_grid(
+          rng.uniform(fmt.min_value(), fmt.max_value()));
+      x[i] = rng.uniform(2.0 * fmt.min_value(), 2.0 * fmt.max_value());
+    }
+    const double threshold =
+        fmt.round_to_grid(rng.uniform(fmt.min_value(), fmt.max_value()));
+
+    const MacDatapath dp(fmt, w, threshold,
+                         fixed::RoundingMode::kNearestEven, acc);
+    const MacTrace trace = dp.run(x);
+
+    fixed::DotDiagnostics diag;
+    const fixed::Fixed y = fixed::dot_datapath_real(
+        w, x, fmt, fixed::RoundingMode::kNearestEven, acc, &diag);
+    EXPECT_EQ(trace.result_raw, y.raw()) << "trial " << trial;
+    EXPECT_EQ(trace.final_overflow, diag.final_overflow);
+    EXPECT_EQ(trace.product_overflows, diag.product_overflows);
+    EXPECT_EQ(trace.accumulator_wraps, diag.accumulator_wraps);
+
+    const core::FixedClassifier clf(
+        fmt, w, threshold, fixed::RoundingMode::kNearestEven, acc);
+    const bool clf_a = clf.classify(x) == core::Label::kClassA;
+    EXPECT_EQ(trace.decision_class_a, clf_a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FormatsAndModes, MacEquivalenceTest,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Values(0, 2, 5),
+                       ::testing::Values(fixed::AccumulatorMode::kWide,
+                                         fixed::AccumulatorMode::kNarrow)));
+
+}  // namespace
+}  // namespace ldafp::hw

@@ -1,0 +1,50 @@
+#include "hw/power_model.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace ldafp::hw {
+namespace {
+
+TEST(PowerModelTest, PaperQuadraticRule) {
+  const PowerModel model;  // pure quadratic by default
+  // The paper's headline: 3x word-length reduction -> 9x power.
+  EXPECT_DOUBLE_EQ(model.power_ratio(12, 4), 9.0);
+  // Table 2 claim: 8-bit -> 6-bit is ~1.8x.
+  EXPECT_NEAR(model.power_ratio(8, 6), 1.78, 0.01);
+}
+
+TEST(PowerModelTest, PowerIsQuadraticInWordLength) {
+  const PowerModel model;
+  EXPECT_DOUBLE_EQ(model.power(4), 16.0);
+  EXPECT_DOUBLE_EQ(model.power(16), 256.0);
+}
+
+TEST(PowerModelTest, LinearTermAdds) {
+  const PowerModel model(PowerModelOptions{1.0, 10.0});
+  EXPECT_DOUBLE_EQ(model.power(4), 16.0 + 40.0);
+  // With a linear term, ratios are less favourable than pure quadratic.
+  EXPECT_LT(model.power_ratio(12, 4), 9.0);
+}
+
+TEST(PowerModelTest, EnergyScalesWithCycles) {
+  const PowerModel model;
+  EXPECT_DOUBLE_EQ(model.energy_per_classification(4, 43),
+                   16.0 * 43.0);
+  EXPECT_DOUBLE_EQ(model.energy_per_classification(4, 0), 0.0);
+}
+
+TEST(PowerModelTest, Guards) {
+  EXPECT_THROW(PowerModel(PowerModelOptions{-1.0, 0.0}),
+               ldafp::InvalidArgumentError);
+  EXPECT_THROW(PowerModel(PowerModelOptions{0.0, 0.0}),
+               ldafp::InvalidArgumentError);
+  const PowerModel model;
+  EXPECT_THROW(model.power(0), ldafp::InvalidArgumentError);
+  EXPECT_THROW(model.energy_per_classification(4, -1),
+               ldafp::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldafp::hw

@@ -1,0 +1,83 @@
+#include "hw/rom_image.h"
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ldafp::hw {
+namespace {
+
+using linalg::Vector;
+
+core::FixedClassifier sample_classifier() {
+  return core::FixedClassifier(fixed::FixedFormat(2, 4),
+                               Vector{0.25, -1.5, 1.9375}, -0.625);
+}
+
+TEST(RomImageTest, TextHasHeaderAndOneWordPerLine) {
+  const std::string text = rom_image_text(sample_classifier());
+  EXPECT_NE(text.find("format Q2.4"), std::string::npos);
+  EXPECT_NE(text.find("words 3"), std::string::npos);
+  // 3 comment lines + 3 weights + 1 threshold.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 7);
+}
+
+TEST(RomImageTest, RoundTripIsBitExact) {
+  const core::FixedClassifier clf = sample_classifier();
+  const RomImage image = parse_rom_image(rom_image_text(clf));
+  EXPECT_EQ(image.format, clf.format());
+  EXPECT_DOUBLE_EQ(
+      linalg::max_abs_diff(image.weights, clf.weights_real()), 0.0);
+  EXPECT_DOUBLE_EQ(image.threshold, clf.threshold_real());
+}
+
+TEST(RomImageTest, RoundTripClassifierAgreesEverywhere) {
+  support::Rng rng(5);
+  const core::FixedClassifier original = sample_classifier();
+  const core::FixedClassifier restored =
+      parse_rom_image(rom_image_text(original)).classifier();
+  for (int trial = 0; trial < 200; ++trial) {
+    Vector x(3);
+    for (std::size_t i = 0; i < 3; ++i) x[i] = rng.uniform(-3.0, 3.0);
+    EXPECT_EQ(original.classify(x), restored.classify(x));
+  }
+}
+
+TEST(RomImageTest, NegativeWordsEncodeTwosComplement) {
+  // Q2.4 word -1.5 has raw -24 -> 6-bit pattern 0x28.
+  const std::string text = rom_image_text(sample_classifier());
+  EXPECT_NE(text.find("28"), std::string::npos);
+}
+
+TEST(RomImageTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "weights.hex";
+  save_rom_image(path, sample_classifier());
+  const RomImage image = load_rom_image(path);
+  EXPECT_EQ(image.weights.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(RomImageTest, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse_rom_image(""), ldafp::IoError);
+  EXPECT_THROW(parse_rom_image("0a\n1b\n"), ldafp::IoError);  // no header
+  EXPECT_THROW(parse_rom_image("// format Q2.4\nzz\n00\n"), ldafp::IoError);
+  EXPECT_THROW(parse_rom_image("// format Q2.4\n00\n"), ldafp::IoError);
+  // Word wider than the 6-bit format.
+  EXPECT_THROW(parse_rom_image("// format Q2.4\nfff\n00\n"),
+               ldafp::IoError);
+  // Header word-count mismatch.
+  EXPECT_THROW(parse_rom_image("// format Q2.4\n// words 5 weights\n"
+                               "00\n01\n"),
+               ldafp::IoError);
+}
+
+TEST(RomImageTest, MissingFileThrows) {
+  EXPECT_THROW(load_rom_image("/no/such/rom.hex"), ldafp::IoError);
+}
+
+}  // namespace
+}  // namespace ldafp::hw

@@ -1,0 +1,167 @@
+// Integration tests: the full train -> quantize -> simulate-on-datapath
+// -> score pipeline, crossing every library boundary.
+#include <gtest/gtest.h>
+
+#include "core/format_policy.h"
+#include "core/lda.h"
+#include "core/ldafp.h"
+#include "data/bci_synthetic.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "data/ecg_synthetic.h"
+#include "hw/mac_datapath.h"
+#include "hw/rom_image.h"
+#include "hw/power_model.h"
+#include "stats/normal.h"
+
+namespace ldafp {
+namespace {
+
+TEST(EndToEndTest, SyntheticPipelineLdaFpBeatsLdaAtShortWordLength) {
+  support::Rng rng(101);
+  const auto train = data::make_synthetic(1500, rng);
+  const auto test = data::make_synthetic(4000, rng);
+  eval::ExperimentConfig config;
+  config.word_lengths = {4};
+  config.ldafp.bnb.max_nodes = 2000;
+  config.ldafp.bnb.max_seconds = 10.0;
+  const eval::TrialResult row = eval::run_trial(train, test, 4, config);
+  // The paper's core claim at 4 bits: LDA is near chance, LDA-FP is not.
+  EXPECT_GT(row.lda_error, 0.40);
+  EXPECT_LT(row.ldafp_error, 0.40);
+}
+
+TEST(EndToEndTest, TrainedClassifierRunsOnDatapathWithoutFinalOverflow) {
+  // The Eq. 20 constraints enforced during training must hold at
+  // inference: no final-sum overflow on in-distribution data.
+  support::Rng rng(102);
+  const auto dataset = data::make_synthetic(800, rng);
+  const core::TrainingSet raw = dataset.to_training_set();
+
+  const double beta = stats::confidence_beta(0.9999);
+  const core::FormatChoice choice = core::choose_format(raw, 6, beta, 2);
+  const core::TrainingSet scaled =
+      core::scale_training_set(raw, choice.feature_scale);
+
+  core::LdaFpOptions options;
+  options.bnb.max_nodes = 800;
+  options.bnb.max_seconds = 10.0;
+  const core::LdaFpTrainer trainer(choice.format, options);
+  const core::LdaFpResult result = trainer.train(scaled);
+  ASSERT_TRUE(result.found());
+
+  const hw::MacDatapath datapath(choice.format, result.weights,
+                                 result.threshold);
+  int final_overflows = 0;
+  for (const auto& x : dataset.samples) {
+    linalg::Vector xs = x;
+    xs *= choice.feature_scale;
+    const hw::MacTrace trace = datapath.run(xs);
+    if (trace.final_overflow) ++final_overflows;
+  }
+  // rho = 0.9999 bounds the per-sample overflow odds; allow a whisker.
+  EXPECT_LE(final_overflows, 2);
+}
+
+TEST(EndToEndTest, FixedClassifierAndDatapathAgreeOnRealWorkload) {
+  support::Rng rng(103);
+  const auto dataset = data::make_bci_synthetic(rng);
+  const core::TrainingSet raw = dataset.to_training_set();
+  const double beta = stats::confidence_beta(0.999);
+  const core::FormatChoice choice = core::choose_format(raw, 5, beta, 2);
+  const core::TrainingSet scaled =
+      core::scale_training_set(raw, choice.feature_scale);
+
+  const core::LdaModel lda = core::fit_lda(scaled);
+  const auto model =
+      core::fit_two_class_model(quantize_training_set(scaled,
+                                                      choice.format));
+  const core::FixedClassifier clf = core::quantize_lda(
+      lda, model, beta, choice.format, core::LdaGainPolicy::kMaxRange);
+  const hw::MacDatapath datapath(choice.format, clf.weights_real(),
+                                 clf.threshold_real());
+
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    linalg::Vector xs = dataset.samples[i];
+    xs *= choice.feature_scale;
+    const bool clf_a = clf.classify(xs) == core::Label::kClassA;
+    EXPECT_EQ(datapath.run(xs).decision_class_a, clf_a) << "sample " << i;
+  }
+}
+
+TEST(EndToEndTest, PowerStoryWordLengthSavingsTranslateToPower) {
+  // Tie the accuracy experiment to the power model: if LDA-FP reaches the
+  // target error at W bits while LDA needs W' > W, report the power win.
+  const hw::PowerModel power;
+  const double ratio = power.power_ratio(12, 4);
+  EXPECT_DOUBLE_EQ(ratio, 9.0);  // the paper's 3x -> 9x headline
+}
+
+TEST(EndToEndTest, BciCvPipelineRuns) {
+  support::Rng rng(104);
+  const auto dataset = data::make_bci_synthetic(rng);
+  eval::ExperimentConfig config;
+  config.word_lengths = {5};
+  config.ldafp.bnb.max_nodes = 60;  // keep the integration test quick
+  config.ldafp.bnb.max_seconds = 20.0;
+  config.ldafp.bnb.rel_gap = 0.05;
+  support::Rng cv_rng(105);
+  const auto rows = eval::run_cv_sweep(dataset, 5, config, cv_rng);
+  ASSERT_EQ(rows.size(), 1u);
+  // Both algorithms must do better than flipping a coin badly; wide
+  // bounds, this is a smoke check of the full 42-feature pipeline.
+  EXPECT_LT(rows[0].ldafp_error, 0.55);
+  EXPECT_GT(rows[0].ldafp_seconds, 0.0);
+}
+
+TEST(EndToEndTest, RomImageRoundTripsThroughDatapath) {
+  // Train -> export the weight ROM -> reload -> the reconstructed
+  // classifier and the original drive the cycle-level datapath to
+  // identical decisions (the tapeout handoff path).
+  support::Rng rng(106);
+  const auto dataset = data::make_synthetic(600, rng);
+  const core::TrainingSet raw = dataset.to_training_set();
+  const double beta = stats::confidence_beta(0.9999);
+  const core::FormatChoice choice = core::choose_format(raw, 6, beta, 2);
+  const core::TrainingSet scaled =
+      core::scale_training_set(raw, choice.feature_scale);
+
+  core::LdaFpOptions options;
+  options.bnb.max_nodes = 500;
+  options.bnb.max_seconds = 10.0;
+  const core::LdaFpTrainer trainer(choice.format, options);
+  const core::LdaFpResult result = trainer.train(scaled);
+  ASSERT_TRUE(result.found());
+  const core::FixedClassifier original = trainer.make_classifier(result);
+
+  const hw::RomImage image =
+      hw::parse_rom_image(hw::rom_image_text(original));
+  const core::FixedClassifier restored = image.classifier();
+  const hw::MacDatapath datapath(image.format, image.weights,
+                                 image.threshold);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    linalg::Vector x = dataset.samples[i];
+    x *= choice.feature_scale;
+    const bool a = original.classify(x) == core::Label::kClassA;
+    EXPECT_EQ(restored.classify(x) == core::Label::kClassA, a);
+    EXPECT_EQ(datapath.run(x).decision_class_a, a);
+  }
+}
+
+TEST(EndToEndTest, EcgWorkloadTrainsAtSixBits) {
+  support::Rng rng(107);
+  data::EcgOptions ecg;
+  ecg.separation = 0.5;
+  const auto train = data::make_ecg_synthetic(800, rng, ecg);
+  const auto test = data::make_ecg_synthetic(800, rng, ecg);
+  eval::ExperimentConfig config;
+  config.word_lengths = {6};
+  config.ldafp.bnb.max_nodes = 500;
+  config.ldafp.bnb.max_seconds = 10.0;
+  const eval::TrialResult row = eval::run_trial(train, test, 6, config);
+  EXPECT_LT(row.ldafp_error, 0.25);  // the task is ~10% at this overlap
+}
+
+}  // namespace
+}  // namespace ldafp

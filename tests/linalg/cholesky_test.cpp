@@ -1,0 +1,92 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/ops.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ldafp::linalg {
+namespace {
+
+TEST(CholeskyTest, FactorsKnownMatrix) {
+  // A = [[4, 2], [2, 3]] has L = [[2, 0], [1, sqrt(2)]].
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const Cholesky chol(a);
+  EXPECT_NEAR(chol.factor()(0, 0), 2.0, 1e-14);
+  EXPECT_NEAR(chol.factor()(1, 0), 1.0, 1e-14);
+  EXPECT_NEAR(chol.factor()(1, 1), std::sqrt(2.0), 1e-14);
+}
+
+TEST(CholeskyTest, SolveKnownSystem) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const Vector x = Cholesky(a).solve(Vector{10.0, 8.0});
+  // Check residual A x == b.
+  const Vector r = a * x - Vector{10.0, 8.0};
+  EXPECT_LT(r.norm_inf(), 1e-12);
+}
+
+TEST(CholeskyTest, ThrowsOnIndefinite) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(Cholesky{a}, ldafp::NumericalError);
+}
+
+TEST(CholeskyTest, ThrowsOnAsymmetric) {
+  const Matrix a{{1.0, 0.5}, {0.0, 1.0}};
+  EXPECT_THROW(Cholesky{a}, ldafp::InvalidArgumentError);
+}
+
+TEST(CholeskyTest, LogDetMatchesKnownDeterminant) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};  // det = 8
+  EXPECT_NEAR(Cholesky(a).log_det(), std::log(8.0), 1e-12);
+}
+
+TEST(CholeskyTest, InverseTimesOriginalIsIdentity) {
+  support::Rng rng(5);
+  const Matrix a = random_spd(5, 0.5, 4.0, rng);
+  const Matrix prod = Cholesky(a).inverse() * a;
+  EXPECT_LT(max_abs_diff(prod, Matrix::identity(5)), 1e-10);
+}
+
+TEST(CholeskyTest, JitterRescuesSemidefinite) {
+  // Rank-1 PSD matrix: plain Cholesky fails, jitter succeeds.
+  const Matrix a = Matrix::outer(Vector{1.0, 2.0}, Vector{1.0, 2.0});
+  EXPECT_THROW(Cholesky{a}, ldafp::NumericalError);
+  double used = 0.0;
+  const Cholesky chol = Cholesky::with_jitter(a, 0.0, 1.0, &used);
+  EXPECT_GT(used, 0.0);
+  EXPECT_EQ(chol.size(), 2u);
+}
+
+TEST(CholeskyTest, JitterThrowsBeyondMax) {
+  const Matrix a{{-10.0, 0.0}, {0.0, -10.0}};
+  EXPECT_THROW(Cholesky::with_jitter(a, 1e-12, 1e-6, nullptr),
+               ldafp::NumericalError);
+}
+
+class CholeskyRandomTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskyRandomTest, ReconstructionAndSolveResidual) {
+  const std::size_t n = GetParam();
+  support::Rng rng(100 + n);
+  const Matrix a = random_spd(n, 0.1, 10.0, rng);
+  const Cholesky chol(a);
+
+  // L Lᵀ == A.
+  const Matrix recon = chol.factor() * chol.factor().transposed();
+  EXPECT_LT(max_abs_diff(recon, a), 1e-10 * (1.0 + a.norm_max()));
+
+  // Solve residual.
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = rng.gaussian();
+  const Vector x = chol.solve(b);
+  EXPECT_LT((a * x - b).norm_inf(), 1e-9 * (1.0 + b.norm_inf()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+}  // namespace
+}  // namespace ldafp::linalg

@@ -1,0 +1,117 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace ldafp::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFactories) {
+  const Matrix z(2, 3);
+  EXPECT_EQ(z.rows(), 2u);
+  EXPECT_EQ(z.cols(), 3u);
+  EXPECT_DOUBLE_EQ(z(1, 2), 0.0);
+
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+
+  const Matrix d = Matrix::diagonal(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 0.0);
+
+  const Matrix o = Matrix::outer(Vector{1.0, 2.0}, Vector{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(o(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(o(0, 1), 4.0);
+}
+
+TEST(MatrixTest, InitializerListRejectsRagged) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), ldafp::InvalidArgumentError);
+}
+
+TEST(MatrixTest, RowColDiagAccess) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.row(1)[0], 3.0);
+  EXPECT_DOUBLE_EQ(m.col(1)[0], 2.0);
+  EXPECT_DOUBLE_EQ(m.diag()[1], 4.0);
+  EXPECT_THROW(m.row(2), ldafp::InvalidArgumentError);
+  EXPECT_THROW(m.at(0, 5), ldafp::InvalidArgumentError);
+}
+
+TEST(MatrixTest, SetRowSetCol) {
+  Matrix m(2, 2);
+  m.set_row(0, Vector{1.0, 2.0});
+  m.set_col(1, Vector{7.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 8.0);
+  EXPECT_THROW(m.set_row(0, Vector{1.0}), ldafp::InvalidArgumentError);
+}
+
+TEST(MatrixTest, MatVecProduct) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector y = m * Vector{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_THROW(m * Vector{1.0}, ldafp::InvalidArgumentError);
+}
+
+TEST(MatrixTest, MatMulMatchesHandComputation) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(t.transposed(), m), 0.0);
+}
+
+TEST(MatrixTest, QuadraticFormMatchesExpansion) {
+  const Matrix m{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector x{1.0, 2.0};
+  // xᵀMx = 2 + 2 + 2 + 12 = 18.
+  EXPECT_DOUBLE_EQ(quadratic_form(m, x), 18.0);
+}
+
+TEST(MatrixTest, TransposeTimesMatchesExplicit) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Vector x{1.0, 1.0, 1.0};
+  const Vector got = transpose_times(m, x);
+  const Vector want = m.transposed() * x;
+  EXPECT_DOUBLE_EQ(max_abs_diff(got, want), 0.0);
+}
+
+TEST(MatrixTest, SymmetryHelpers) {
+  Matrix m{{1.0, 2.0}, {2.0000001, 1.0}};
+  EXPECT_FALSE(m.is_symmetric(1e-9));
+  EXPECT_TRUE(m.is_symmetric(1e-3));
+  m.symmetrize();
+  EXPECT_TRUE(m.is_symmetric(1e-15));
+}
+
+TEST(MatrixTest, Norms) {
+  const Matrix m{{3.0, 0.0}, {0.0, -4.0}};
+  EXPECT_DOUBLE_EQ(m.norm_frobenius(), 5.0);
+  EXPECT_DOUBLE_EQ(m.norm_max(), 4.0);
+}
+
+TEST(MatrixTest, AdditionSubtractionScaling) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = Matrix::identity(2);
+  EXPECT_DOUBLE_EQ((a + b)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((a - b)(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ((2.0 * a)(1, 0), 6.0);
+  EXPECT_THROW(a + Matrix(3, 3), ldafp::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldafp::linalg

@@ -1,0 +1,93 @@
+#include "linalg/vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace ldafp::linalg {
+namespace {
+
+TEST(VectorTest, ConstructionVariants) {
+  EXPECT_TRUE(Vector().empty());
+  EXPECT_EQ(Vector(3).size(), 3u);
+  EXPECT_DOUBLE_EQ(Vector(3)[1], 0.0);
+  EXPECT_DOUBLE_EQ(Vector(2, 7.0)[1], 7.0);
+  const Vector v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(VectorTest, AtThrowsOutOfRange) {
+  Vector v(2);
+  EXPECT_THROW(v.at(2), ldafp::InvalidArgumentError);
+  EXPECT_NO_THROW(v.at(1));
+}
+
+TEST(VectorTest, ArithmeticOperators) {
+  const Vector a{1.0, 2.0};
+  const Vector b{3.0, -1.0};
+  const Vector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 4.0);
+  EXPECT_DOUBLE_EQ(sum[1], 1.0);
+  const Vector diff = a - b;
+  EXPECT_DOUBLE_EQ(diff[0], -2.0);
+  const Vector scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled[1], 4.0);
+  const Vector divided = a / 2.0;
+  EXPECT_DOUBLE_EQ(divided[0], 0.5);
+  const Vector neg = -a;
+  EXPECT_DOUBLE_EQ(neg[0], -1.0);
+}
+
+TEST(VectorTest, DimensionMismatchThrows) {
+  const Vector a{1.0};
+  const Vector b{1.0, 2.0};
+  EXPECT_THROW(a + b, ldafp::InvalidArgumentError);
+  EXPECT_THROW(dot(a, b), ldafp::InvalidArgumentError);
+  EXPECT_THROW(hadamard(a, b), ldafp::InvalidArgumentError);
+}
+
+TEST(VectorTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot(Vector{1.0, 2.0, 3.0}, Vector{4.0, -5.0, 6.0}),
+                   4.0 - 10.0 + 18.0);
+}
+
+TEST(VectorTest, Axpy) {
+  Vector y{1.0, 1.0};
+  y.axpy(2.0, Vector{3.0, -1.0});
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(VectorTest, Norms) {
+  const Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm1(), 7.0);
+  EXPECT_DOUBLE_EQ(v.norm_inf(), 4.0);
+  EXPECT_DOUBLE_EQ(v.sum(), -1.0);
+  EXPECT_DOUBLE_EQ(Vector().norm2(), 0.0);
+}
+
+TEST(VectorTest, Norm2AvoidsOverflow) {
+  const Vector v{1e200, 1e200};
+  EXPECT_TRUE(std::isfinite(v.norm2()));
+  EXPECT_NEAR(v.norm2(), std::sqrt(2.0) * 1e200, 1e186);
+}
+
+TEST(VectorTest, HadamardAndMaxAbsDiff) {
+  const Vector h = hadamard(Vector{2.0, 3.0}, Vector{4.0, -1.0});
+  EXPECT_DOUBLE_EQ(h[0], 8.0);
+  EXPECT_DOUBLE_EQ(h[1], -3.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(Vector{1.0, 5.0}, Vector{2.0, 5.5}), 1.0);
+}
+
+TEST(VectorTest, FillAndToString) {
+  Vector v(3);
+  v.fill(2.5);
+  EXPECT_DOUBLE_EQ(v[2], 2.5);
+  EXPECT_EQ(v.to_string(1), "[2.5, 2.5, 2.5]");
+}
+
+}  // namespace
+}  // namespace ldafp::linalg

@@ -1,0 +1,145 @@
+#include "opt/barrier_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace ldafp::opt {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(BarrierSolverTest, UnconstrainedMinimumInsideBox) {
+  // min x² + y² over [-1, 1]²: optimum at the origin, value 0.
+  ConvexProblem p(Matrix::identity(2));
+  p.set_box(Box(2, Interval{-1.0, 1.0}));
+  const BarrierResult r = BarrierSolver().solve(p);
+  EXPECT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 0.0, 1e-5);
+  EXPECT_LE(r.lower_bound, r.objective + 1e-12);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-3);
+}
+
+TEST(BarrierSolverTest, BoxActiveAtOptimum) {
+  // min (x-3)² ≡ min x² - 6x + 9 over [-1, 1]: optimum at x = 1.
+  // Encode via objective xᵀQx with shifted box: minimize x² over [2, 4]
+  // -> optimum x = 2, value 4.
+  ConvexProblem p(Matrix::identity(1));
+  p.set_box(Box(1, Interval{2.0, 4.0}));
+  const BarrierResult r = BarrierSolver().solve(p);
+  EXPECT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-3);
+  EXPECT_NEAR(r.objective, 4.0, 1e-2);
+  EXPECT_LE(r.lower_bound, r.objective);
+  EXPECT_GE(r.lower_bound, 3.9);  // certificate is tight
+}
+
+TEST(BarrierSolverTest, LinearConstraintActive) {
+  // min x² + y² s.t. x + y >= 1 (i.e. -x - y <= -1), box [-5, 5]².
+  // Optimum (0.5, 0.5), value 0.5.
+  ConvexProblem p(Matrix::identity(2));
+  p.set_box(Box(2, Interval{-5.0, 5.0}));
+  p.add_linear({Vector{-1.0, -1.0}, -1.0});
+  const BarrierResult r = BarrierSolver().solve(p);
+  EXPECT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 0.5, 1e-3);
+  EXPECT_NEAR(r.x[0], 0.5, 1e-2);
+  EXPECT_NEAR(r.x[1], 0.5, 1e-2);
+}
+
+TEST(BarrierSolverTest, SocConstraintActive) {
+  // min (x-2)² via objective x² over box [0,5] with SOC cutting at
+  // sqrt(x² + eps) <= 1.5 (so |x| <= ~1.5) and a linear pull x >= 1
+  // making the optimum sit on the box/linear boundary x = 1... simpler:
+  // min x² s.t. sqrt(x²+eps)*1 + (-x) <= 0.4 -> for x >= 0 this is
+  // always ~0 <= 0.4 (slack); for x < 0 it is -2x <= 0.4 -> x >= -0.2.
+  ConvexProblem p(Matrix::identity(1));
+  p.set_box(Box(1, Interval{-3.0, -0.0}));
+  SocConstraint soc;
+  soc.beta = 1.0;
+  soc.sigma = Matrix::identity(1);
+  soc.c = Vector{-1.0};
+  soc.d = 0.4;
+  p.add_soc(soc);
+  // Objective pushes toward 0 but we shift the box to force tension:
+  // minimize x² over x in [-3, 0] subject to x >= -0.2: optimum ~0.
+  const BarrierResult r = BarrierSolver().solve(p);
+  EXPECT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_GE(r.x[0], -0.2 - 1e-6);
+}
+
+TEST(BarrierSolverTest, QuadraticWithCrossTerms) {
+  // min wᵀQw with Q = [[2,1],[1,2]] s.t. w1 + w2 = pushed up by linear
+  // constraint -(w1+w2) <= -2 (w1 + w2 >= 2).  By symmetry optimum at
+  // (1,1), value 6.
+  ConvexProblem p(Matrix{{2.0, 1.0}, {1.0, 2.0}});
+  p.set_box(Box(2, Interval{-10.0, 10.0}));
+  p.add_linear({Vector{-1.0, -1.0}, -2.0});
+  const BarrierResult r = BarrierSolver().solve(p);
+  EXPECT_NEAR(r.objective, 6.0, 1e-2);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-2);
+}
+
+TEST(BarrierSolverTest, DetectsInfeasibility) {
+  // x <= -3 conflicts with box [0, 1].
+  ConvexProblem p(Matrix::identity(1));
+  p.set_box(Box(1, Interval{0.0, 1.0}));
+  p.add_linear({Vector{1.0}, -3.0});
+  const BarrierResult r = BarrierSolver().solve(p);
+  EXPECT_EQ(r.status, SolveStatus::kInfeasible);
+  EXPECT_TRUE(std::isinf(r.lower_bound));
+}
+
+TEST(BarrierSolverTest, FindStrictlyFeasiblePoint) {
+  ConvexProblem p(Matrix::identity(2));
+  p.set_box(Box(2, Interval{-1.0, 1.0}));
+  p.add_linear({Vector{1.0, 0.0}, -0.5});  // x <= -0.5
+  const auto feasible = BarrierSolver().find_strictly_feasible(p);
+  ASSERT_TRUE(feasible.has_value());
+  EXPECT_LT(p.max_residual(*feasible), 0.0);
+}
+
+TEST(BarrierSolverTest, WarmStartSkipsPhaseOne) {
+  ConvexProblem p(Matrix::identity(2));
+  p.set_box(Box(2, Interval{-1.0, 1.0}));
+  const BarrierResult r =
+      BarrierSolver().solve(p, Vector{0.5, 0.5});
+  EXPECT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 0.0, 1e-5);
+}
+
+TEST(BarrierSolverTest, ZeroWidthBoxDimensionHandled) {
+  // A pinned variable (lo == hi) must not break the barrier (the solver
+  // inflates it internally).
+  ConvexProblem p(Matrix::identity(2));
+  Box box(2, Interval{-1.0, 1.0});
+  box[1] = Interval{0.5, 0.5};
+  p.set_box(box);
+  const BarrierResult r = BarrierSolver().solve(p);
+  EXPECT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.x[1], 0.5, 1e-6);
+  EXPECT_NEAR(r.objective, 0.25, 1e-3);
+}
+
+TEST(BarrierSolverTest, RequiresBox) {
+  ConvexProblem p(Matrix::identity(1));
+  EXPECT_THROW(BarrierSolver().solve(p), ldafp::InvalidArgumentError);
+}
+
+TEST(BarrierSolverTest, LowerBoundNeverExceedsTrueOptimum) {
+  // Family of box QPs with known optimum: min x² over [a, a+1], a > 0
+  // -> optimum a².
+  for (const double a : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    ConvexProblem p(Matrix::identity(1));
+    p.set_box(Box(1, Interval{a, a + 1.0}));
+    const BarrierResult r = BarrierSolver().solve(p);
+    EXPECT_LE(r.lower_bound, a * a + 1e-9) << "a=" << a;
+    EXPECT_GE(r.lower_bound, a * a - 0.05 * (1.0 + a * a)) << "a=" << a;
+  }
+}
+
+}  // namespace
+}  // namespace ldafp::opt

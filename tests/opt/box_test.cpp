@@ -1,0 +1,69 @@
+#include "opt/box.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace ldafp::opt {
+namespace {
+
+TEST(IntervalTest, Basics) {
+  const Interval iv{-1.0, 3.0};
+  EXPECT_DOUBLE_EQ(iv.width(), 4.0);
+  EXPECT_DOUBLE_EQ(iv.mid(), 1.0);
+  EXPECT_TRUE(iv.contains(0.0));
+  EXPECT_TRUE(iv.contains(-1.0));
+  EXPECT_FALSE(iv.contains(3.1));
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE((Interval{1.0, 0.0}).empty());
+}
+
+TEST(BoxTest, ConstructionAndAccess) {
+  const Box uniform(3, Interval{-1.0, 1.0});
+  EXPECT_EQ(uniform.size(), 3u);
+  EXPECT_DOUBLE_EQ(uniform[2].hi, 1.0);
+
+  const Box box({Interval{0.0, 1.0}, Interval{-2.0, 2.0}});
+  EXPECT_EQ(box.size(), 2u);
+  EXPECT_FALSE(box.empty());
+}
+
+TEST(BoxTest, EmptyDetection) {
+  Box box(2, Interval{0.0, 1.0});
+  box[1] = Interval{2.0, 1.0};
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(BoxTest, WidestDimensionAndMaxWidth) {
+  const Box box({Interval{0.0, 1.0}, Interval{-3.0, 3.0},
+                 Interval{0.0, 2.0}});
+  EXPECT_EQ(box.widest_dimension(), 1u);
+  EXPECT_DOUBLE_EQ(box.max_width(), 6.0);
+}
+
+TEST(BoxTest, Center) {
+  const Box box({Interval{0.0, 2.0}, Interval{-4.0, 0.0}});
+  const auto c = box.center();
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], -2.0);
+}
+
+TEST(BoxTest, SplitProducesTouchingChildren) {
+  const Box box(2, Interval{0.0, 4.0});
+  const auto [left, right] = box.split(0, 1.0);
+  EXPECT_DOUBLE_EQ(left[0].hi, 1.0);
+  EXPECT_DOUBLE_EQ(right[0].lo, 1.0);
+  EXPECT_DOUBLE_EQ(left[1].hi, 4.0);  // other dimension untouched
+  EXPECT_THROW(box.split(0, 9.0), ldafp::InvalidArgumentError);
+  EXPECT_THROW(box.split(5, 1.0), ldafp::InvalidArgumentError);
+}
+
+TEST(BoxTest, ToStringMentionsBounds) {
+  const Box box(1, Interval{-0.5, 0.5});
+  const std::string s = box.to_string(1);
+  EXPECT_NE(s.find("-0.5"), std::string::npos);
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldafp::opt

@@ -1,0 +1,95 @@
+#include "opt/convex_problem.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace ldafp::opt {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+ConvexProblem make_problem() {
+  ConvexProblem p(Matrix::identity(2));
+  p.set_box(Box(2, Interval{-1.0, 1.0}));
+  p.add_linear({Vector{1.0, 1.0}, 1.5});
+  SocConstraint soc;
+  soc.beta = 2.0;
+  soc.sigma = Matrix::identity(2);
+  soc.c = Vector{1.0, 0.0};
+  soc.d = 3.0;
+  p.add_soc(soc);
+  return p;
+}
+
+TEST(ConvexProblemTest, ObjectiveAndGradient) {
+  const ConvexProblem p = make_problem();
+  const Vector w{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(p.objective(w), 5.0);
+  const Vector g = p.objective_gradient(w);
+  EXPECT_DOUBLE_EQ(g[0], 2.0);
+  EXPECT_DOUBLE_EQ(g[1], 4.0);
+}
+
+TEST(ConvexProblemTest, ConstraintCount) {
+  const ConvexProblem p = make_problem();
+  EXPECT_EQ(p.constraint_count(), 1u + 1u + 4u);
+}
+
+TEST(ConvexProblemTest, LinearResidual) {
+  const ConvexProblem p = make_problem();
+  EXPECT_DOUBLE_EQ(p.linear_residual(0, Vector{1.0, 1.0}), 0.5);
+  EXPECT_DOUBLE_EQ(p.linear_residual(0, Vector{0.0, 0.0}), -1.5);
+}
+
+TEST(ConvexProblemTest, SocResidualMatchesFormula) {
+  const ConvexProblem p = make_problem();
+  const Vector w{3.0, 4.0};
+  // beta*sqrt(25 + eps) + 3 - 3 ≈ 10.
+  EXPECT_NEAR(p.soc_residual(0, w), 10.0, 1e-5);
+}
+
+TEST(ConvexProblemTest, SocGradientMatchesFiniteDifference) {
+  const ConvexProblem p = make_problem();
+  const Vector w{0.7, -0.3};
+  const Vector g = p.soc_gradient(0, w);
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < 2; ++i) {
+    Vector wp = w;
+    Vector wm = w;
+    wp[i] += h;
+    wm[i] -= h;
+    const double fd =
+        (p.soc_residual(0, wp) - p.soc_residual(0, wm)) / (2.0 * h);
+    EXPECT_NEAR(g[i], fd, 1e-6);
+  }
+}
+
+TEST(ConvexProblemTest, MaxResidualAndFeasibility) {
+  const ConvexProblem p = make_problem();
+  // Origin: linear -1.5, soc 2*sqrt(eps)-3 ≈ -3, box -1 -> max = -1.
+  EXPECT_NEAR(p.max_residual(Vector{0.0, 0.0}), -1.0, 1e-6);
+  EXPECT_TRUE(p.is_feasible(Vector{0.0, 0.0}, 1e-9));
+  // Outside the box.
+  EXPECT_FALSE(p.is_feasible(Vector{2.0, 0.0}, 1e-9));
+}
+
+TEST(ConvexProblemTest, ConstructionGuards) {
+  EXPECT_THROW(ConvexProblem(Matrix(2, 3)), ldafp::InvalidArgumentError);
+  ConvexProblem p(Matrix::identity(2));
+  EXPECT_THROW(p.set_box(Box(3, Interval{0.0, 1.0})),
+               ldafp::InvalidArgumentError);
+  EXPECT_THROW(p.add_linear({Vector{1.0}, 0.0}),
+               ldafp::InvalidArgumentError);
+  SocConstraint bad;
+  bad.beta = -1.0;
+  bad.sigma = Matrix::identity(2);
+  bad.c = Vector{0.0, 0.0};
+  EXPECT_THROW(p.add_soc(bad), ldafp::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldafp::opt

@@ -1,0 +1,91 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ldafp::stats {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(DescriptiveTest, MeanOfKnownSamples) {
+  const std::vector<Vector> samples{Vector{1.0, 2.0}, Vector{3.0, 6.0}};
+  const Vector mean = sample_mean(samples);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 4.0);
+  EXPECT_THROW(sample_mean({}), ldafp::InvalidArgumentError);
+}
+
+TEST(DescriptiveTest, CovarianceOfKnownSamples) {
+  // Two points (±1, ∓1): population covariance [[1, -1], [-1, 1]].
+  const std::vector<Vector> samples{Vector{1.0, -1.0}, Vector{-1.0, 1.0}};
+  const Matrix cov = sample_covariance(samples);
+  EXPECT_DOUBLE_EQ(cov(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cov(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(cov(1, 1), 1.0);
+}
+
+TEST(DescriptiveTest, CovarianceUsesPopulationNormalization) {
+  // Paper Eqs. 5-6 divide by N, not N-1.
+  const std::vector<Vector> samples{Vector{0.0}, Vector{2.0}};
+  const Matrix cov = sample_covariance(samples);
+  EXPECT_DOUBLE_EQ(cov(0, 0), 1.0);  // (1 + 1)/2, not /1
+}
+
+TEST(DescriptiveTest, CovarianceIsSymmetricPsd) {
+  support::Rng rng(3);
+  std::vector<Vector> samples;
+  for (int i = 0; i < 50; ++i) {
+    Vector x(4);
+    for (std::size_t j = 0; j < 4; ++j) x[j] = rng.gaussian();
+    samples.push_back(std::move(x));
+  }
+  const Matrix cov = sample_covariance(samples);
+  EXPECT_TRUE(cov.is_symmetric(1e-12));
+  // PSD: quadratic forms non-negative.
+  for (int trial = 0; trial < 10; ++trial) {
+    Vector v(4);
+    for (std::size_t j = 0; j < 4; ++j) v[j] = rng.gaussian();
+    EXPECT_GE(linalg::quadratic_form(cov, v), -1e-10);
+  }
+}
+
+TEST(DescriptiveTest, BetweenClassScatterIsRankOneOuter) {
+  const Vector mu_a{1.0, 0.0};
+  const Vector mu_b{0.0, 1.0};
+  const Matrix sb = between_class_scatter(mu_a, mu_b);
+  // (1,-1)(1,-1)ᵀ.
+  EXPECT_DOUBLE_EQ(sb(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sb(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(sb(1, 1), 1.0);
+}
+
+TEST(DescriptiveTest, WithinClassScatterAverages) {
+  const Matrix sa = Matrix::identity(2);
+  const Matrix sb = 3.0 * Matrix::identity(2);
+  const Matrix sw = within_class_scatter(sa, sb);
+  EXPECT_DOUBLE_EQ(sw(0, 0), 2.0);  // (1 + 3)/2
+  EXPECT_DOUBLE_EQ(sw(0, 1), 0.0);
+}
+
+TEST(DescriptiveTest, FeatureRange) {
+  const std::vector<Vector> samples{Vector{1.0, -5.0}, Vector{-2.0, 3.0}};
+  const FeatureRange r = feature_range(samples);
+  EXPECT_DOUBLE_EQ(r.min[0], -2.0);
+  EXPECT_DOUBLE_EQ(r.max[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.min[1], -5.0);
+  EXPECT_DOUBLE_EQ(r.max[1], 3.0);
+}
+
+TEST(DescriptiveTest, DimensionMismatchThrows) {
+  const std::vector<Vector> bad{Vector{1.0}, Vector{1.0, 2.0}};
+  EXPECT_THROW(sample_mean(bad), ldafp::InvalidArgumentError);
+  EXPECT_THROW(between_class_scatter(Vector{1.0}, Vector{1.0, 2.0}),
+               ldafp::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldafp::stats

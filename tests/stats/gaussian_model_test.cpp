@@ -1,0 +1,106 @@
+#include "stats/gaussian_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/ops.h"
+#include "stats/descriptive.h"
+#include "support/error.h"
+
+namespace ldafp::stats {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+GaussianModel make_model() {
+  return GaussianModel(Vector{1.0, -1.0},
+                       Matrix{{4.0, 1.0}, {1.0, 2.0}});
+}
+
+TEST(GaussianModelTest, ConstructionGuards) {
+  EXPECT_THROW(GaussianModel(Vector{1.0}, Matrix::identity(2)),
+               ldafp::InvalidArgumentError);
+  EXPECT_THROW(GaussianModel(Vector{1.0, 2.0},
+                             Matrix{{1.0, 0.5}, {0.0, 1.0}}),
+               ldafp::InvalidArgumentError);
+}
+
+TEST(GaussianModelTest, MarginalSigma) {
+  const GaussianModel m = make_model();
+  EXPECT_DOUBLE_EQ(m.marginal_sigma(0), 2.0);
+  EXPECT_DOUBLE_EQ(m.marginal_sigma(1), std::sqrt(2.0));
+  EXPECT_THROW(m.marginal_sigma(2), ldafp::InvalidArgumentError);
+}
+
+TEST(GaussianModelTest, ProjectionMoments) {
+  const GaussianModel m = make_model();
+  const Vector w{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(m.projection_mean(w), 1.0 - 2.0);
+  // wᵀΣw = 4 + 2*2*1 + 4*2 = 16.
+  EXPECT_DOUBLE_EQ(m.projection_variance(w), 16.0);
+}
+
+TEST(GaussianModelTest, ProductIntervalMatchesEq17) {
+  const GaussianModel m = make_model();
+  // w0 = -3, feature 0: center = -3*1 = -3, half = beta*3*2.
+  const Interval iv = m.product_interval(-3.0, 0, 2.0);
+  EXPECT_DOUBLE_EQ(iv.lo, -3.0 - 12.0);
+  EXPECT_DOUBLE_EQ(iv.hi, -3.0 + 12.0);
+}
+
+TEST(GaussianModelTest, ProjectionIntervalMatchesEq19) {
+  const GaussianModel m = make_model();
+  const Vector w{1.0, 2.0};
+  const Interval iv = m.projection_interval(w, 1.5);
+  EXPECT_DOUBLE_EQ(iv.lo, -1.0 - 1.5 * 4.0);  // sqrt(16) = 4
+  EXPECT_DOUBLE_EQ(iv.hi, -1.0 + 1.5 * 4.0);
+}
+
+TEST(GaussianModelTest, FitRecoversMoments) {
+  support::Rng rng(55);
+  const GaussianModel truth = make_model();
+  const auto samples = truth.sample(20000, rng);
+  const GaussianModel fitted = GaussianModel::fit(samples);
+  EXPECT_LT(linalg::max_abs_diff(fitted.mu(), truth.mu()), 0.06);
+  EXPECT_LT(linalg::max_abs_diff(fitted.sigma(), truth.sigma()), 0.15);
+}
+
+TEST(GaussianModelTest, SamplingRespectsCovarianceStructure) {
+  support::Rng rng(66);
+  // Degenerate (rank-1) covariance: samples must lie on the line x1 = x0.
+  const GaussianModel m(Vector{0.0, 0.0}, Matrix{{1.0, 1.0}, {1.0, 1.0}});
+  for (int i = 0; i < 50; ++i) {
+    const Vector x = m.sample(rng);
+    EXPECT_NEAR(x[0], x[1], 1e-9);
+  }
+}
+
+TEST(TwoClassModelTest, DerivedQuantities) {
+  const TwoClassModel model{
+      GaussianModel(Vector{1.0, 0.0}, Matrix::identity(2)),
+      GaussianModel(Vector{-1.0, 0.0}, 3.0 * Matrix::identity(2))};
+  const Vector diff = model.mean_difference();
+  EXPECT_DOUBLE_EQ(diff[0], 2.0);
+  EXPECT_DOUBLE_EQ(diff[1], 0.0);
+  const Matrix sw = model.within_class_scatter();
+  EXPECT_DOUBLE_EQ(sw(0, 0), 2.0);
+  const Matrix sb = model.between_class_scatter();
+  EXPECT_DOUBLE_EQ(sb(0, 0), 4.0);
+}
+
+TEST(TwoClassModelTest, FisherCostKnownValue) {
+  const TwoClassModel model{
+      GaussianModel(Vector{1.0, 0.0}, Matrix::identity(2)),
+      GaussianModel(Vector{-1.0, 0.0}, Matrix::identity(2))};
+  // w = (1, 0): cost = 1 / (2)² = 0.25.
+  EXPECT_DOUBLE_EQ(model.fisher_cost(Vector{1.0, 0.0}), 0.25);
+  // Scale invariance.
+  EXPECT_DOUBLE_EQ(model.fisher_cost(Vector{5.0, 0.0}), 0.25);
+  // Orthogonal direction: infinite cost.
+  EXPECT_TRUE(std::isinf(model.fisher_cost(Vector{0.0, 1.0})));
+}
+
+}  // namespace
+}  // namespace ldafp::stats

@@ -1,0 +1,75 @@
+#include "stats/normal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace ldafp::stats {
+namespace {
+
+TEST(NormalTest, PdfKnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_DOUBLE_EQ(normal_pdf(1.0), normal_pdf(-1.0));
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0) + normal_cdf(-1.0), 1.0, 1e-15);
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-10);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963984540054, 1e-10);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-10);
+}
+
+TEST(NormalTest, QuantileDomainGuard) {
+  EXPECT_THROW(normal_quantile(0.0), ldafp::InvalidArgumentError);
+  EXPECT_THROW(normal_quantile(1.0), ldafp::InvalidArgumentError);
+  EXPECT_THROW(normal_quantile(-0.5), ldafp::InvalidArgumentError);
+}
+
+TEST(NormalTest, ConfidenceBetaKnownValues) {
+  // rho = 0.95 -> beta = Phi^-1(0.975) = 1.96.
+  EXPECT_NEAR(confidence_beta(0.95), 1.959963984540054, 1e-10);
+  // rho = 0.9999 -> beta ~ 3.89.
+  EXPECT_NEAR(confidence_beta(0.9999), 3.8905918864131455, 1e-8);
+  EXPECT_DOUBLE_EQ(confidence_beta(0.0), 0.0);
+  EXPECT_THROW(confidence_beta(1.0), ldafp::InvalidArgumentError);
+  EXPECT_THROW(confidence_beta(-0.1), ldafp::InvalidArgumentError);
+}
+
+/// Property: Φ⁻¹(Φ(x)) == x across the practical range.
+class QuantileRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTripTest, InverseOfCdf) {
+  const double x = GetParam();
+  // Far tails are limited by double precision of 1-p itself (at x = 6,
+  // 1-p ~ 1e-9 so the representable p grid is ~1e-7 apart in x).
+  const double tol =
+      std::fabs(x) > 5.0 ? 1e-7 : 1e-9 * (1.0 + std::fabs(x));
+  EXPECT_NEAR(normal_quantile(normal_cdf(x)), x, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, QuantileRoundTripTest,
+                         ::testing::Values(-6.0, -3.5, -2.0, -1.0, -0.1, 0.0,
+                                           0.1, 0.5, 1.0, 2.5, 4.0, 6.0));
+
+/// Property: CDF is monotone increasing.
+TEST(NormalTest, CdfMonotone) {
+  double prev = 0.0;
+  for (double x = -8.0; x <= 8.0; x += 0.25) {
+    const double c = normal_cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+}  // namespace
+}  // namespace ldafp::stats

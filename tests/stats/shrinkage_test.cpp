@@ -1,0 +1,115 @@
+#include "stats/shrinkage.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/eigen_sym.h"
+#include "linalg/ops.h"
+#include "stats/descriptive.h"
+#include "stats/gaussian_model.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ldafp::stats {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+std::vector<Vector> draw(const GaussianModel& model, std::size_t n,
+                         support::Rng& rng) {
+  return model.sample(n, rng);
+}
+
+TEST(ShrinkageTest, LambdaStaysInUnitInterval) {
+  support::Rng rng(1);
+  const GaussianModel truth(Vector(6), linalg::random_spd(6, 0.5, 3.0, rng));
+  for (const std::size_t n : {4u, 10u, 100u, 1000u}) {
+    const auto samples = draw(truth, n, rng);
+    const auto result =
+        ledoit_wolf_covariance(samples, sample_mean(samples));
+    EXPECT_GE(result.lambda, 0.0) << "n=" << n;
+    EXPECT_LE(result.lambda, 1.0) << "n=" << n;
+  }
+}
+
+TEST(ShrinkageTest, ShrinksMoreWithFewerSamples) {
+  support::Rng rng(2);
+  const GaussianModel truth(Vector(8), linalg::random_spd(8, 0.5, 3.0, rng));
+  const auto few = draw(truth, 10, rng);
+  const auto many = draw(truth, 2000, rng);
+  const double lambda_few =
+      ledoit_wolf_covariance(few, sample_mean(few)).lambda;
+  const double lambda_many =
+      ledoit_wolf_covariance(many, sample_mean(many)).lambda;
+  EXPECT_GT(lambda_few, lambda_many);
+  EXPECT_LT(lambda_many, 0.1);
+}
+
+TEST(ShrinkageTest, EstimateIsConvexCombination) {
+  support::Rng rng(3);
+  const GaussianModel truth(Vector(4), linalg::random_spd(4, 0.5, 2.0, rng));
+  const auto samples = draw(truth, 20, rng);
+  const Vector mean = sample_mean(samples);
+  const auto result = ledoit_wolf_covariance(samples, mean);
+  const Matrix s = sample_covariance(samples, mean);
+  // Reconstruct (1-λ)S + λμI and compare.
+  Matrix expected = s;
+  expected *= 1.0 - result.lambda;
+  for (std::size_t i = 0; i < 4; ++i) {
+    expected(i, i) += result.lambda * result.mu;
+  }
+  EXPECT_LT(max_abs_diff(expected, result.covariance), 1e-12);
+}
+
+TEST(ShrinkageTest, ImprovesConditioningInSmallSampleRegime) {
+  // p = 20, n = 25: the empirical covariance is near-singular; the
+  // shrunk one must be far better conditioned.
+  support::Rng rng(4);
+  const GaussianModel truth(Vector(20),
+                            linalg::random_spd(20, 0.5, 2.0, rng));
+  const auto samples = draw(truth, 25, rng);
+  const Vector mean = sample_mean(samples);
+  const Matrix s = sample_covariance(samples, mean);
+  const auto shrunk = ledoit_wolf_covariance(samples, mean);
+  const auto eig_s = linalg::eigen_symmetric(s);
+  const auto eig_shrunk = linalg::eigen_symmetric(shrunk.covariance);
+  EXPECT_GT(eig_shrunk.eigenvalues[0], eig_s.eigenvalues[0]);
+  EXPECT_GT(eig_shrunk.eigenvalues[0], 0.0);
+}
+
+TEST(ShrinkageTest, EstimatorDispatch) {
+  support::Rng rng(5);
+  const GaussianModel truth(Vector(3), Matrix::identity(3));
+  const auto samples = draw(truth, 50, rng);
+  const Vector mean = sample_mean(samples);
+  const Matrix empirical =
+      estimate_covariance(samples, mean, CovarianceEstimator::kEmpirical);
+  EXPECT_LT(max_abs_diff(empirical, sample_covariance(samples, mean)),
+            1e-15);
+  const Matrix lw =
+      estimate_covariance(samples, mean, CovarianceEstimator::kLedoitWolf);
+  EXPECT_GT(max_abs_diff(lw, empirical), 0.0);  // some shrinkage happened
+}
+
+TEST(ShrinkageTest, GaussianModelFitUsesEstimator) {
+  support::Rng rng(6);
+  const GaussianModel truth(Vector(5), linalg::random_spd(5, 0.5, 2.0, rng));
+  const auto samples = draw(truth, 8, rng);
+  const GaussianModel lw =
+      GaussianModel::fit(samples, CovarianceEstimator::kLedoitWolf);
+  const GaussianModel empirical = GaussianModel::fit(samples);
+  EXPECT_GT(max_abs_diff(lw.sigma(), empirical.sigma()), 0.0);
+}
+
+TEST(ShrinkageTest, Names) {
+  EXPECT_STREQ(to_string(CovarianceEstimator::kEmpirical), "empirical");
+  EXPECT_STREQ(to_string(CovarianceEstimator::kLedoitWolf), "ledoit-wolf");
+}
+
+TEST(ShrinkageTest, Guards) {
+  EXPECT_THROW(ledoit_wolf_covariance({}, Vector(2)),
+               ldafp::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldafp::stats

@@ -1,0 +1,66 @@
+#include "support/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "support/error.h"
+
+namespace ldafp::support {
+namespace {
+
+TEST(CsvTest, ParsesRowsAndHeader) {
+  const auto table = parse_csv("a,b\n1,2\n3,4\n", true);
+  ASSERT_EQ(table.header.size(), 2u);
+  EXPECT_EQ(table.header[0], "a");
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[1][1], 4.0);
+  EXPECT_EQ(table.cols(), 2u);
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  const auto table = parse_csv("# comment\n\n1,2\n# more\n3,4\n", false);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_TRUE(table.header.empty());
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  const auto table = parse_csv("1,2\r\n3,4\r\n", false);
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[0][1], 2.0);
+}
+
+TEST(CsvTest, ThrowsOnRaggedRows) {
+  EXPECT_THROW(parse_csv("1,2\n3\n", false), IoError);
+}
+
+TEST(CsvTest, ThrowsOnNonNumericCell) {
+  EXPECT_THROW(parse_csv("1,x\n", false), IoError);
+}
+
+TEST(CsvTest, ThrowsWhenRowWidthDisagreesWithHeader) {
+  EXPECT_THROW(parse_csv("a,b,c\n1,2\n", true), IoError);
+}
+
+TEST(CsvTest, ThrowsOnMissingFile) {
+  EXPECT_THROW(read_csv("/nonexistent/definitely_missing.csv", false),
+               IoError);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "csv_roundtrip.csv";
+  CsvTable table;
+  table.header = {"x", "y"};
+  table.rows = {{1.5, -2.25}, {0.0, 1e-3}};
+  write_csv(path, table);
+  const auto back = read_csv(path, true);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.rows[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(back.rows[1][1], 1e-3);
+  EXPECT_EQ(back.header[1], "y");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ldafp::support

@@ -1,0 +1,34 @@
+#include "support/error.h"
+
+#include <gtest/gtest.h>
+
+namespace ldafp {
+namespace {
+
+TEST(ErrorTest, CheckMacroThrowsOnFalse) {
+  EXPECT_THROW(LDAFP_CHECK(false, "boom"), InvalidArgumentError);
+}
+
+TEST(ErrorTest, CheckMacroPassesOnTrue) {
+  EXPECT_NO_THROW(LDAFP_CHECK(true, "fine"));
+}
+
+TEST(ErrorTest, CheckMessageMentionsExpressionAndText) {
+  try {
+    LDAFP_CHECK(1 == 2, "custom detail");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgumentError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, HierarchyIsCatchableAsBase) {
+  EXPECT_THROW(throw NumericalError("x"), Error);
+  EXPECT_THROW(throw IoError("x"), Error);
+  EXPECT_THROW(throw InvalidArgumentError("x"), Error);
+}
+
+}  // namespace
+}  // namespace ldafp

@@ -1,0 +1,63 @@
+#include "support/str.h"
+
+#include <gtest/gtest.h>
+
+namespace ldafp::support {
+namespace {
+
+TEST(StrTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StrTest, SplitSingleField) {
+  const auto parts = split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(StrTest, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("nospace"), "nospace");
+}
+
+TEST(StrTest, JoinWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StrTest, FormatDoubleRespectsDigits) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+  EXPECT_EQ(format_double(0.5, 4), "0.5000");
+}
+
+TEST(StrTest, FormatPercent) {
+  EXPECT_EQ(format_percent(0.2683), "26.83%");
+  EXPECT_EQ(format_percent(0.5), "50.00%");
+}
+
+TEST(StrTest, ParseDoubleAcceptsValidNumbers) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("3.5", v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(parse_double("  -2e3 ", v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+}
+
+TEST(StrTest, ParseDoubleRejectsGarbage) {
+  double v = 0.0;
+  EXPECT_FALSE(parse_double("", v));
+  EXPECT_FALSE(parse_double("abc", v));
+  EXPECT_FALSE(parse_double("1.5x", v));
+}
+
+}  // namespace
+}  // namespace ldafp::support

@@ -1,0 +1,41 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace ldafp::support {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable table({"Word Length", "Error"});
+  table.add_row({"4", "50.00%"});
+  table.add_row({"16", "19.33%"});
+  const std::string out = table.to_string();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("Word Length"), std::string::npos);
+  EXPECT_NE(out.find("19.33%"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMustMatchHeader) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), ldafp::InvalidArgumentError);
+}
+
+TEST(TableTest, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), ldafp::InvalidArgumentError);
+}
+
+TEST(TableTest, SizeCountsRows) {
+  TextTable table({"a"});
+  EXPECT_EQ(table.size(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ldafp::support
