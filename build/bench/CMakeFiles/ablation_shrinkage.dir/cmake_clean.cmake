@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shrinkage.dir/ablation_shrinkage.cpp.o"
+  "CMakeFiles/ablation_shrinkage.dir/ablation_shrinkage.cpp.o.d"
+  "ablation_shrinkage"
+  "ablation_shrinkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shrinkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

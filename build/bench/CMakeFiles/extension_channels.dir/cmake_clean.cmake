@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_channels.dir/extension_channels.cpp.o"
+  "CMakeFiles/extension_channels.dir/extension_channels.cpp.o.d"
+  "extension_channels"
+  "extension_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

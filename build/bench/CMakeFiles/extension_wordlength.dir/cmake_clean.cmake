@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_wordlength.dir/extension_wordlength.cpp.o"
+  "CMakeFiles/extension_wordlength.dir/extension_wordlength.cpp.o.d"
+  "extension_wordlength"
+  "extension_wordlength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_wordlength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

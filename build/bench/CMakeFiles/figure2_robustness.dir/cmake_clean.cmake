@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_robustness.dir/figure2_robustness.cpp.o"
+  "CMakeFiles/figure2_robustness.dir/figure2_robustness.cpp.o.d"
+  "figure2_robustness"
+  "figure2_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

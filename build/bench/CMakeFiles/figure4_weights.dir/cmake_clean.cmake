@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_weights.dir/figure4_weights.cpp.o"
+  "CMakeFiles/figure4_weights.dir/figure4_weights.cpp.o.d"
+  "figure4_weights"
+  "figure4_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

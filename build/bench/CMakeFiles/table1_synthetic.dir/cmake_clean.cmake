@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_synthetic.dir/table1_synthetic.cpp.o"
+  "CMakeFiles/table1_synthetic.dir/table1_synthetic.cpp.o.d"
+  "table1_synthetic"
+  "table1_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_bci.dir/table2_bci.cpp.o"
+  "CMakeFiles/table2_bci.dir/table2_bci.cpp.o.d"
+  "table2_bci"
+  "table2_bci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_bci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bci_decoder.cpp" "examples/CMakeFiles/bci_decoder.dir/bci_decoder.cpp.o" "gcc" "examples/CMakeFiles/bci_decoder.dir/bci_decoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/ldafp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ldafp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ldafp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ldafp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ldafp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ldafp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/ldafp_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ldafp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ldafp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bci_decoder.dir/bci_decoder.cpp.o"
+  "CMakeFiles/bci_decoder.dir/bci_decoder.cpp.o.d"
+  "bci_decoder"
+  "bci_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bci_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldafp_cli.dir/ldafp_cli.cpp.o"
+  "CMakeFiles/ldafp_cli.dir/ldafp_cli.cpp.o.d"
+  "ldafp_cli"
+  "ldafp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldafp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onchip_pipeline.dir/onchip_pipeline.cpp.o"
+  "CMakeFiles/onchip_pipeline.dir/onchip_pipeline.cpp.o.d"
+  "onchip_pipeline"
+  "onchip_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onchip_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordlength_explorer.dir/wordlength_explorer.cpp.o"
+  "CMakeFiles/wordlength_explorer.dir/wordlength_explorer.cpp.o.d"
+  "wordlength_explorer"
+  "wordlength_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordlength_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bit_allocation.cpp" "src/core/CMakeFiles/ldafp_core.dir/bit_allocation.cpp.o" "gcc" "src/core/CMakeFiles/ldafp_core.dir/bit_allocation.cpp.o.d"
+  "/root/repo/src/core/classifier.cpp" "src/core/CMakeFiles/ldafp_core.dir/classifier.cpp.o" "gcc" "src/core/CMakeFiles/ldafp_core.dir/classifier.cpp.o.d"
+  "/root/repo/src/core/constraints.cpp" "src/core/CMakeFiles/ldafp_core.dir/constraints.cpp.o" "gcc" "src/core/CMakeFiles/ldafp_core.dir/constraints.cpp.o.d"
+  "/root/repo/src/core/feature_selection.cpp" "src/core/CMakeFiles/ldafp_core.dir/feature_selection.cpp.o" "gcc" "src/core/CMakeFiles/ldafp_core.dir/feature_selection.cpp.o.d"
+  "/root/repo/src/core/format_policy.cpp" "src/core/CMakeFiles/ldafp_core.dir/format_policy.cpp.o" "gcc" "src/core/CMakeFiles/ldafp_core.dir/format_policy.cpp.o.d"
+  "/root/repo/src/core/lda.cpp" "src/core/CMakeFiles/ldafp_core.dir/lda.cpp.o" "gcc" "src/core/CMakeFiles/ldafp_core.dir/lda.cpp.o.d"
+  "/root/repo/src/core/ldafp.cpp" "src/core/CMakeFiles/ldafp_core.dir/ldafp.cpp.o" "gcc" "src/core/CMakeFiles/ldafp_core.dir/ldafp.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/core/CMakeFiles/ldafp_core.dir/local_search.cpp.o" "gcc" "src/core/CMakeFiles/ldafp_core.dir/local_search.cpp.o.d"
+  "/root/repo/src/core/multiclass.cpp" "src/core/CMakeFiles/ldafp_core.dir/multiclass.cpp.o" "gcc" "src/core/CMakeFiles/ldafp_core.dir/multiclass.cpp.o.d"
+  "/root/repo/src/core/training_set.cpp" "src/core/CMakeFiles/ldafp_core.dir/training_set.cpp.o" "gcc" "src/core/CMakeFiles/ldafp_core.dir/training_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/ldafp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ldafp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/ldafp_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ldafp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ldafp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

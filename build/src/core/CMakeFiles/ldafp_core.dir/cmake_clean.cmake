@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldafp_core.dir/bit_allocation.cpp.o"
+  "CMakeFiles/ldafp_core.dir/bit_allocation.cpp.o.d"
+  "CMakeFiles/ldafp_core.dir/classifier.cpp.o"
+  "CMakeFiles/ldafp_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/ldafp_core.dir/constraints.cpp.o"
+  "CMakeFiles/ldafp_core.dir/constraints.cpp.o.d"
+  "CMakeFiles/ldafp_core.dir/feature_selection.cpp.o"
+  "CMakeFiles/ldafp_core.dir/feature_selection.cpp.o.d"
+  "CMakeFiles/ldafp_core.dir/format_policy.cpp.o"
+  "CMakeFiles/ldafp_core.dir/format_policy.cpp.o.d"
+  "CMakeFiles/ldafp_core.dir/lda.cpp.o"
+  "CMakeFiles/ldafp_core.dir/lda.cpp.o.d"
+  "CMakeFiles/ldafp_core.dir/ldafp.cpp.o"
+  "CMakeFiles/ldafp_core.dir/ldafp.cpp.o.d"
+  "CMakeFiles/ldafp_core.dir/local_search.cpp.o"
+  "CMakeFiles/ldafp_core.dir/local_search.cpp.o.d"
+  "CMakeFiles/ldafp_core.dir/multiclass.cpp.o"
+  "CMakeFiles/ldafp_core.dir/multiclass.cpp.o.d"
+  "CMakeFiles/ldafp_core.dir/training_set.cpp.o"
+  "CMakeFiles/ldafp_core.dir/training_set.cpp.o.d"
+  "libldafp_core.a"
+  "libldafp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldafp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libldafp_core.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/bci_synthetic.cpp" "src/data/CMakeFiles/ldafp_data.dir/bci_synthetic.cpp.o" "gcc" "src/data/CMakeFiles/ldafp_data.dir/bci_synthetic.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/ldafp_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/ldafp_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/ecg_synthetic.cpp" "src/data/CMakeFiles/ldafp_data.dir/ecg_synthetic.cpp.o" "gcc" "src/data/CMakeFiles/ldafp_data.dir/ecg_synthetic.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/data/CMakeFiles/ldafp_data.dir/io.cpp.o" "gcc" "src/data/CMakeFiles/ldafp_data.dir/io.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/ldafp_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/ldafp_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ldafp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ldafp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ldafp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ldafp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ldafp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/ldafp_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldafp_data.dir/bci_synthetic.cpp.o"
+  "CMakeFiles/ldafp_data.dir/bci_synthetic.cpp.o.d"
+  "CMakeFiles/ldafp_data.dir/dataset.cpp.o"
+  "CMakeFiles/ldafp_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/ldafp_data.dir/ecg_synthetic.cpp.o"
+  "CMakeFiles/ldafp_data.dir/ecg_synthetic.cpp.o.d"
+  "CMakeFiles/ldafp_data.dir/io.cpp.o"
+  "CMakeFiles/ldafp_data.dir/io.cpp.o.d"
+  "CMakeFiles/ldafp_data.dir/synthetic.cpp.o"
+  "CMakeFiles/ldafp_data.dir/synthetic.cpp.o.d"
+  "libldafp_data.a"
+  "libldafp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldafp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

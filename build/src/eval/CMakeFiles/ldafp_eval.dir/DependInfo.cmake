@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cpp" "src/eval/CMakeFiles/ldafp_eval.dir/experiment.cpp.o" "gcc" "src/eval/CMakeFiles/ldafp_eval.dir/experiment.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/ldafp_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/ldafp_eval.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ldafp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ldafp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ldafp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ldafp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ldafp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/ldafp_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ldafp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldafp_eval.dir/experiment.cpp.o"
+  "CMakeFiles/ldafp_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/ldafp_eval.dir/metrics.cpp.o"
+  "CMakeFiles/ldafp_eval.dir/metrics.cpp.o.d"
+  "libldafp_eval.a"
+  "libldafp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldafp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fixed/dot.cpp" "src/fixed/CMakeFiles/ldafp_fixed.dir/dot.cpp.o" "gcc" "src/fixed/CMakeFiles/ldafp_fixed.dir/dot.cpp.o.d"
+  "/root/repo/src/fixed/format.cpp" "src/fixed/CMakeFiles/ldafp_fixed.dir/format.cpp.o" "gcc" "src/fixed/CMakeFiles/ldafp_fixed.dir/format.cpp.o.d"
+  "/root/repo/src/fixed/grid.cpp" "src/fixed/CMakeFiles/ldafp_fixed.dir/grid.cpp.o" "gcc" "src/fixed/CMakeFiles/ldafp_fixed.dir/grid.cpp.o.d"
+  "/root/repo/src/fixed/mixed_dot.cpp" "src/fixed/CMakeFiles/ldafp_fixed.dir/mixed_dot.cpp.o" "gcc" "src/fixed/CMakeFiles/ldafp_fixed.dir/mixed_dot.cpp.o.d"
+  "/root/repo/src/fixed/value.cpp" "src/fixed/CMakeFiles/ldafp_fixed.dir/value.cpp.o" "gcc" "src/fixed/CMakeFiles/ldafp_fixed.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ldafp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ldafp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldafp_fixed.dir/dot.cpp.o"
+  "CMakeFiles/ldafp_fixed.dir/dot.cpp.o.d"
+  "CMakeFiles/ldafp_fixed.dir/format.cpp.o"
+  "CMakeFiles/ldafp_fixed.dir/format.cpp.o.d"
+  "CMakeFiles/ldafp_fixed.dir/grid.cpp.o"
+  "CMakeFiles/ldafp_fixed.dir/grid.cpp.o.d"
+  "CMakeFiles/ldafp_fixed.dir/mixed_dot.cpp.o"
+  "CMakeFiles/ldafp_fixed.dir/mixed_dot.cpp.o.d"
+  "CMakeFiles/ldafp_fixed.dir/value.cpp.o"
+  "CMakeFiles/ldafp_fixed.dir/value.cpp.o.d"
+  "libldafp_fixed.a"
+  "libldafp_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldafp_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

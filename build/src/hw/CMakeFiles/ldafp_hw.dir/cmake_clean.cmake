@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldafp_hw.dir/mac_datapath.cpp.o"
+  "CMakeFiles/ldafp_hw.dir/mac_datapath.cpp.o.d"
+  "CMakeFiles/ldafp_hw.dir/power_model.cpp.o"
+  "CMakeFiles/ldafp_hw.dir/power_model.cpp.o.d"
+  "CMakeFiles/ldafp_hw.dir/rom_image.cpp.o"
+  "CMakeFiles/ldafp_hw.dir/rom_image.cpp.o.d"
+  "CMakeFiles/ldafp_hw.dir/verilog_gen.cpp.o"
+  "CMakeFiles/ldafp_hw.dir/verilog_gen.cpp.o.d"
+  "libldafp_hw.a"
+  "libldafp_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldafp_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

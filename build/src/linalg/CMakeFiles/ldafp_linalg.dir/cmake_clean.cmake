@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldafp_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/ldafp_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/ldafp_linalg.dir/eigen_sym.cpp.o"
+  "CMakeFiles/ldafp_linalg.dir/eigen_sym.cpp.o.d"
+  "CMakeFiles/ldafp_linalg.dir/lu.cpp.o"
+  "CMakeFiles/ldafp_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/ldafp_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/ldafp_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/ldafp_linalg.dir/ops.cpp.o"
+  "CMakeFiles/ldafp_linalg.dir/ops.cpp.o.d"
+  "CMakeFiles/ldafp_linalg.dir/qr.cpp.o"
+  "CMakeFiles/ldafp_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/ldafp_linalg.dir/vector.cpp.o"
+  "CMakeFiles/ldafp_linalg.dir/vector.cpp.o.d"
+  "libldafp_linalg.a"
+  "libldafp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldafp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/barrier_solver.cpp" "src/opt/CMakeFiles/ldafp_opt.dir/barrier_solver.cpp.o" "gcc" "src/opt/CMakeFiles/ldafp_opt.dir/barrier_solver.cpp.o.d"
+  "/root/repo/src/opt/bnb.cpp" "src/opt/CMakeFiles/ldafp_opt.dir/bnb.cpp.o" "gcc" "src/opt/CMakeFiles/ldafp_opt.dir/bnb.cpp.o.d"
+  "/root/repo/src/opt/box.cpp" "src/opt/CMakeFiles/ldafp_opt.dir/box.cpp.o" "gcc" "src/opt/CMakeFiles/ldafp_opt.dir/box.cpp.o.d"
+  "/root/repo/src/opt/convex_problem.cpp" "src/opt/CMakeFiles/ldafp_opt.dir/convex_problem.cpp.o" "gcc" "src/opt/CMakeFiles/ldafp_opt.dir/convex_problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ldafp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ldafp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

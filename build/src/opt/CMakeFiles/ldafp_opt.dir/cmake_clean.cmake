@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldafp_opt.dir/barrier_solver.cpp.o"
+  "CMakeFiles/ldafp_opt.dir/barrier_solver.cpp.o.d"
+  "CMakeFiles/ldafp_opt.dir/bnb.cpp.o"
+  "CMakeFiles/ldafp_opt.dir/bnb.cpp.o.d"
+  "CMakeFiles/ldafp_opt.dir/box.cpp.o"
+  "CMakeFiles/ldafp_opt.dir/box.cpp.o.d"
+  "CMakeFiles/ldafp_opt.dir/convex_problem.cpp.o"
+  "CMakeFiles/ldafp_opt.dir/convex_problem.cpp.o.d"
+  "libldafp_opt.a"
+  "libldafp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldafp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

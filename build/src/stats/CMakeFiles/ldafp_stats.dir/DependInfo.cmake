@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/ldafp_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/ldafp_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/gaussian_model.cpp" "src/stats/CMakeFiles/ldafp_stats.dir/gaussian_model.cpp.o" "gcc" "src/stats/CMakeFiles/ldafp_stats.dir/gaussian_model.cpp.o.d"
+  "/root/repo/src/stats/normal.cpp" "src/stats/CMakeFiles/ldafp_stats.dir/normal.cpp.o" "gcc" "src/stats/CMakeFiles/ldafp_stats.dir/normal.cpp.o.d"
+  "/root/repo/src/stats/shrinkage.cpp" "src/stats/CMakeFiles/ldafp_stats.dir/shrinkage.cpp.o" "gcc" "src/stats/CMakeFiles/ldafp_stats.dir/shrinkage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ldafp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ldafp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

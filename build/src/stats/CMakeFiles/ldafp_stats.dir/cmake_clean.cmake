@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldafp_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/ldafp_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/ldafp_stats.dir/gaussian_model.cpp.o"
+  "CMakeFiles/ldafp_stats.dir/gaussian_model.cpp.o.d"
+  "CMakeFiles/ldafp_stats.dir/normal.cpp.o"
+  "CMakeFiles/ldafp_stats.dir/normal.cpp.o.d"
+  "CMakeFiles/ldafp_stats.dir/shrinkage.cpp.o"
+  "CMakeFiles/ldafp_stats.dir/shrinkage.cpp.o.d"
+  "libldafp_stats.a"
+  "libldafp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldafp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

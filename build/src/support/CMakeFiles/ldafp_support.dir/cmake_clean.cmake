@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldafp_support.dir/csv.cpp.o"
+  "CMakeFiles/ldafp_support.dir/csv.cpp.o.d"
+  "CMakeFiles/ldafp_support.dir/error.cpp.o"
+  "CMakeFiles/ldafp_support.dir/error.cpp.o.d"
+  "CMakeFiles/ldafp_support.dir/log.cpp.o"
+  "CMakeFiles/ldafp_support.dir/log.cpp.o.d"
+  "CMakeFiles/ldafp_support.dir/rng.cpp.o"
+  "CMakeFiles/ldafp_support.dir/rng.cpp.o.d"
+  "CMakeFiles/ldafp_support.dir/str.cpp.o"
+  "CMakeFiles/ldafp_support.dir/str.cpp.o.d"
+  "CMakeFiles/ldafp_support.dir/table.cpp.o"
+  "CMakeFiles/ldafp_support.dir/table.cpp.o.d"
+  "libldafp_support.a"
+  "libldafp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldafp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bit_allocation_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/core/bit_allocation_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/core/bit_allocation_test.cpp.o.d"
+  "/root/repo/tests/core/classifier_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/core/classifier_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/core/classifier_test.cpp.o.d"
+  "/root/repo/tests/core/constraints_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/core/constraints_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/core/constraints_test.cpp.o.d"
+  "/root/repo/tests/core/feature_selection_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/core/feature_selection_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/core/feature_selection_test.cpp.o.d"
+  "/root/repo/tests/core/format_policy_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/core/format_policy_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/core/format_policy_test.cpp.o.d"
+  "/root/repo/tests/core/lda_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/core/lda_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/core/lda_test.cpp.o.d"
+  "/root/repo/tests/core/ldafp_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/core/ldafp_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/core/ldafp_test.cpp.o.d"
+  "/root/repo/tests/core/local_search_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/core/local_search_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/core/local_search_test.cpp.o.d"
+  "/root/repo/tests/core/multiclass_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/core/multiclass_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/core/multiclass_test.cpp.o.d"
+  "/root/repo/tests/data/bci_synthetic_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/data/bci_synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/data/bci_synthetic_test.cpp.o.d"
+  "/root/repo/tests/data/dataset_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/data/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/data/dataset_test.cpp.o.d"
+  "/root/repo/tests/data/ecg_synthetic_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/data/ecg_synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/data/ecg_synthetic_test.cpp.o.d"
+  "/root/repo/tests/data/io_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/data/io_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/data/io_test.cpp.o.d"
+  "/root/repo/tests/data/synthetic_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/data/synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/data/synthetic_test.cpp.o.d"
+  "/root/repo/tests/eval/experiment_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/eval/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/eval/experiment_test.cpp.o.d"
+  "/root/repo/tests/eval/metrics_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/eval/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/eval/metrics_test.cpp.o.d"
+  "/root/repo/tests/fixed/dot_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/fixed/dot_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/fixed/dot_test.cpp.o.d"
+  "/root/repo/tests/fixed/exhaustive_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/fixed/exhaustive_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/fixed/exhaustive_test.cpp.o.d"
+  "/root/repo/tests/fixed/format_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/fixed/format_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/fixed/format_test.cpp.o.d"
+  "/root/repo/tests/fixed/grid_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/fixed/grid_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/fixed/grid_test.cpp.o.d"
+  "/root/repo/tests/fixed/mixed_dot_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/fixed/mixed_dot_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/fixed/mixed_dot_test.cpp.o.d"
+  "/root/repo/tests/fixed/value_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/fixed/value_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/fixed/value_test.cpp.o.d"
+  "/root/repo/tests/hw/mac_datapath_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/hw/mac_datapath_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/hw/mac_datapath_test.cpp.o.d"
+  "/root/repo/tests/hw/power_model_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/hw/power_model_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/hw/power_model_test.cpp.o.d"
+  "/root/repo/tests/hw/rom_image_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/hw/rom_image_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/hw/rom_image_test.cpp.o.d"
+  "/root/repo/tests/hw/verilog_gen_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/hw/verilog_gen_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/hw/verilog_gen_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/linalg/cholesky_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/linalg/cholesky_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/linalg/cholesky_test.cpp.o.d"
+  "/root/repo/tests/linalg/eigen_sym_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/linalg/eigen_sym_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/linalg/eigen_sym_test.cpp.o.d"
+  "/root/repo/tests/linalg/lu_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/linalg/lu_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/linalg/lu_test.cpp.o.d"
+  "/root/repo/tests/linalg/matrix_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/linalg/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/linalg/matrix_test.cpp.o.d"
+  "/root/repo/tests/linalg/qr_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/linalg/qr_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/linalg/qr_test.cpp.o.d"
+  "/root/repo/tests/linalg/vector_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/linalg/vector_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/linalg/vector_test.cpp.o.d"
+  "/root/repo/tests/opt/barrier_solver_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/opt/barrier_solver_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/opt/barrier_solver_test.cpp.o.d"
+  "/root/repo/tests/opt/bnb_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/opt/bnb_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/opt/bnb_test.cpp.o.d"
+  "/root/repo/tests/opt/box_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/opt/box_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/opt/box_test.cpp.o.d"
+  "/root/repo/tests/opt/convex_problem_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/opt/convex_problem_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/opt/convex_problem_test.cpp.o.d"
+  "/root/repo/tests/stats/descriptive_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/stats/descriptive_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/stats/descriptive_test.cpp.o.d"
+  "/root/repo/tests/stats/gaussian_model_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/stats/gaussian_model_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/stats/gaussian_model_test.cpp.o.d"
+  "/root/repo/tests/stats/normal_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/stats/normal_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/stats/normal_test.cpp.o.d"
+  "/root/repo/tests/stats/shrinkage_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/stats/shrinkage_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/stats/shrinkage_test.cpp.o.d"
+  "/root/repo/tests/support/csv_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/support/csv_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/support/csv_test.cpp.o.d"
+  "/root/repo/tests/support/error_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/support/error_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/support/error_test.cpp.o.d"
+  "/root/repo/tests/support/rng_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/support/rng_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/support/rng_test.cpp.o.d"
+  "/root/repo/tests/support/str_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/support/str_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/support/str_test.cpp.o.d"
+  "/root/repo/tests/support/table_test.cpp" "tests/CMakeFiles/ldafp_tests.dir/support/table_test.cpp.o" "gcc" "tests/CMakeFiles/ldafp_tests.dir/support/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/ldafp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ldafp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ldafp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ldafp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ldafp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ldafp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/ldafp_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ldafp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ldafp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
