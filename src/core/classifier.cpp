@@ -51,4 +51,26 @@ Label FixedClassifier::classify(const linalg::Vector& x,
   return y.raw() >= threshold_.raw() ? Label::kClassA : Label::kClassB;
 }
 
+std::vector<Label> FixedClassifier::classify_batch(
+    const std::vector<linalg::Vector>& xs, fixed::DotDiagnostics* diag) const {
+  std::vector<Label> out;
+  out.reserve(xs.size());
+  // One scratch buffer for the quantized features, refilled in place per
+  // sample; the weights were quantized once at construction.
+  std::vector<fixed::Fixed> xq;
+  xq.reserve(dim());
+  for (const linalg::Vector& x : xs) {
+    LDAFP_CHECK(x.size() == dim(), "classify_batch dimension mismatch");
+    xq.clear();
+    for (std::size_t m = 0; m < x.size(); ++m) {
+      xq.push_back(fixed::Fixed::from_real_saturate(fmt_, x[m], mode_));
+    }
+    const fixed::Fixed y = fixed::dot_datapath(weights_, xq, fmt_, mode_,
+                                               acc_, diag);
+    out.push_back(y.raw() >= threshold_.raw() ? Label::kClassA
+                                              : Label::kClassB);
+  }
+  return out;
+}
+
 }  // namespace ldafp::core

@@ -59,8 +59,14 @@ class FixedClassifier {
   const fixed::FixedFormat& format() const { return fmt_; }
   /// The quantized weights as reals (exact grid values).
   linalg::Vector weights_real() const;
+  /// The weight words quantized once at construction.  Hot-path callers
+  /// (the serving runtime's BatchScorer, ROM export) read these instead
+  /// of re-quantizing weights_real() on every call.
+  const std::vector<fixed::Fixed>& weights_fixed() const { return weights_; }
   /// The quantized threshold as a real (exact grid value).
   double threshold_real() const { return threshold_.to_real(); }
+  /// The threshold word (exact bits, for W-bit comparator clients).
+  const fixed::Fixed& threshold_fixed() const { return threshold_; }
   std::size_t dim() const { return weights_.size(); }
 
   /// Runs the datapath on a real feature vector (features are quantized
@@ -74,8 +80,19 @@ class FixedClassifier {
   Label classify(const linalg::Vector& x,
                  fixed::DotDiagnostics* diag = nullptr) const;
 
+  /// Batched decision rule: classifies every sample with the identical
+  /// datapath (bit-for-bit equal to calling classify per sample), reusing
+  /// one quantization scratch buffer across the batch so steady-state
+  /// scoring allocates nothing per sample.  Diagnostics, when requested,
+  /// aggregate over the whole batch.
+  std::vector<Label> classify_batch(const std::vector<linalg::Vector>& xs,
+                                    fixed::DotDiagnostics* diag =
+                                        nullptr) const;
+
   /// The accumulator architecture this classifier models.
   fixed::AccumulatorMode accumulator() const { return acc_; }
+  /// The rounding mode of the datapath's narrowing stages.
+  fixed::RoundingMode rounding() const { return mode_; }
 
  private:
   fixed::FixedFormat fmt_;

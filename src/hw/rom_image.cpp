@@ -51,6 +51,14 @@ std::int64_t from_hex(const std::string& text,
 
 }  // namespace
 
+RomImage RomImage::from_classifier(const core::FixedClassifier& clf) {
+  RomImage image;
+  image.format = clf.format();
+  image.weights = clf.weights_real();
+  image.threshold = clf.threshold_real();
+  return image;
+}
+
 core::FixedClassifier RomImage::classifier(
     fixed::RoundingMode mode, fixed::AccumulatorMode acc) const {
   return core::FixedClassifier(format, weights, threshold, mode, acc);
@@ -62,17 +70,12 @@ std::string rom_image_text(const core::FixedClassifier& clf) {
   os << "// ldafp weight ROM\n";
   os << "// format " << fmt.to_string() << "\n";
   os << "// words " << clf.dim() << " weights + 1 threshold\n";
-  const linalg::Vector w = clf.weights_real();
-  for (std::size_t m = 0; m < w.size(); ++m) {
-    os << to_hex(fmt.quantize_saturate(w[m],
-                                       fixed::RoundingMode::kNearestEven),
-                 fmt)
-       << "\n";
+  // The classifier stores its words quantized; emit those bits directly
+  // instead of re-quantizing the real values per call.
+  for (const fixed::Fixed& w : clf.weights_fixed()) {
+    os << to_hex(w.raw(), fmt) << "\n";
   }
-  os << to_hex(fmt.quantize_saturate(clf.threshold_real(),
-                                     fixed::RoundingMode::kNearestEven),
-               fmt)
-     << "\n";
+  os << to_hex(clf.threshold_fixed().raw(), fmt) << "\n";
   return os.str();
 }
 

@@ -23,6 +23,11 @@ struct RomImage {
   linalg::Vector weights;      ///< exact grid values
   double threshold = 0.0;      ///< exact grid value
 
+  /// Captures a trained classifier's exact bits as an image — the
+  /// snapshot hook the serving runtime uses to export/install models
+  /// without a text round-trip.
+  static RomImage from_classifier(const core::FixedClassifier& clf);
+
   /// The classifier these bits implement.
   core::FixedClassifier classifier(
       fixed::RoundingMode mode = fixed::RoundingMode::kNearestEven,

@@ -1,0 +1,88 @@
+#include "runtime/batch_scorer.h"
+
+#include "fixed/value.h"
+#include "support/error.h"
+
+namespace ldafp::runtime {
+
+BatchScorer::BatchScorer(const core::FixedClassifier& clf)
+    : fmt_(clf.format()),
+      wide_fmt_(clf.format().integer_bits(), 2 * clf.format().frac_bits()),
+      mode_(clf.rounding()),
+      acc_(clf.accumulator()),
+      threshold_raw_(clf.threshold_fixed().raw()) {
+  weights_raw_.reserve(clf.dim());
+  for (const fixed::Fixed& w : clf.weights_fixed()) {
+    weights_raw_.push_back(w.raw());
+  }
+}
+
+void BatchScorer::pack_into(PackedBatch& out, const linalg::Vector* xs,
+                            std::size_t n) const {
+  out.dim = dim();
+  out.words.reserve(out.words.size() + n * dim());
+  for (std::size_t r = 0; r < n; ++r) {
+    LDAFP_CHECK(xs[r].size() == dim(), "batch scorer dimension mismatch");
+    for (std::size_t m = 0; m < dim(); ++m) {
+      out.words.push_back(fmt_.quantize_saturate(xs[r][m], mode_));
+    }
+  }
+  out.rows += n;
+}
+
+PackedBatch BatchScorer::pack(const std::vector<linalg::Vector>& xs) const {
+  PackedBatch batch;
+  pack_into(batch, xs.data(), xs.size());
+  return batch;
+}
+
+void BatchScorer::score(const PackedBatch& batch, ScoreResult* out) const {
+  LDAFP_CHECK(batch.dim == dim(), "batch scorer dimension mismatch");
+  const std::size_t m_count = dim();
+  const std::int64_t* w = weights_raw_.data();
+  for (std::size_t r = 0; r < batch.rows; ++r) {
+    const std::int64_t* x = batch.row(r);
+    std::int64_t y_raw;
+    if (acc_ == fixed::AccumulatorMode::kWide) {
+      // Mirrors fixed::dot_wide: exact products at scale 2^-2F, wrapping
+      // accumulation in the K.2F register, one final rounding to QK.F.
+      std::int64_t acc = 0;
+      for (std::size_t m = 0; m < m_count; ++m) {
+        acc = wide_fmt_.wrap_raw(acc + w[m] * x[m]);
+      }
+      y_raw = fmt_.wrap_raw(
+          fixed::Fixed::narrow_raw(acc, fmt_.frac_bits(), mode_));
+    } else {
+      // Mirrors fixed::dot_narrow: every product rounded to QK.F and
+      // wrapped, accumulator wraps in QK.F.
+      std::int64_t acc = 0;
+      for (std::size_t m = 0; m < m_count; ++m) {
+        const std::int64_t prod = fmt_.wrap_raw(
+            fixed::Fixed::narrow_raw(w[m] * x[m], fmt_.frac_bits(), mode_));
+        acc = fmt_.wrap_raw(acc + prod);
+      }
+      y_raw = acc;
+    }
+    out[r].projection_raw = y_raw;
+    out[r].label = y_raw >= threshold_raw_ ? core::Label::kClassA
+                                           : core::Label::kClassB;
+  }
+}
+
+std::vector<ScoreResult> BatchScorer::score(
+    const std::vector<linalg::Vector>& xs) const {
+  const PackedBatch batch = pack(xs);
+  std::vector<ScoreResult> out(batch.rows);
+  score(batch, out.data());
+  return out;
+}
+
+std::vector<core::Label> BatchScorer::classify(
+    const std::vector<linalg::Vector>& xs) const {
+  std::vector<core::Label> labels;
+  labels.reserve(xs.size());
+  for (const ScoreResult& r : score(xs)) labels.push_back(r.label);
+  return labels;
+}
+
+}  // namespace ldafp::runtime

@@ -1,0 +1,87 @@
+// Batched evaluation of the W-bit MAC datapath.
+//
+// A BatchScorer snapshots a trained core::FixedClassifier into raw
+// integer form once — weight words, threshold word, format constants —
+// then scores whole batches of feature vectors over a contiguous packed
+// buffer.  The arithmetic replays fixed::dot_datapath step for step
+// (same product narrowing, same wrapping accumulator, same final
+// rounding), so every label and projection is bit-identical to calling
+// FixedClassifier::classify sample by sample; the batch path only
+// removes the per-call allocations and per-element format re-checks.
+// tests/runtime/batch_scorer_test.cpp holds the cross-check.
+//
+// Const methods are thread-safe: a scorer is immutable after
+// construction, which is what lets the serving engine share one
+// snapshot across its worker pool without locks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/classifier.h"
+#include "fixed/dot.h"
+#include "fixed/format.h"
+#include "linalg/vector.h"
+
+namespace ldafp::runtime {
+
+/// Feature vectors quantized into one contiguous row-major buffer of
+/// raw QK.F words.  Reused across scoring calls to keep the hot path
+/// allocation-free once the buffer has grown to the working batch size.
+struct PackedBatch {
+  std::size_t rows = 0;
+  std::size_t dim = 0;
+  std::vector<std::int64_t> words;  ///< rows * dim raw words, row-major
+
+  const std::int64_t* row(std::size_t r) const { return words.data() + r * dim; }
+  void clear() { rows = 0; words.clear(); }
+};
+
+/// One scored sample: the decision plus the W-bit projection word the
+/// comparator saw (exact datapath bits, useful for margin/telemetry).
+struct ScoreResult {
+  core::Label label = core::Label::kClassA;
+  std::int64_t projection_raw = 0;
+};
+
+/// Immutable batched evaluator of one fixed-point classifier.
+class BatchScorer {
+ public:
+  /// Snapshots the classifier's quantized words (no re-quantization —
+  /// the exact bits are copied via FixedClassifier::weights_fixed).
+  explicit BatchScorer(const core::FixedClassifier& clf);
+
+  std::size_t dim() const { return weights_raw_.size(); }
+  const fixed::FixedFormat& format() const { return fmt_; }
+  fixed::AccumulatorMode accumulator() const { return acc_; }
+
+  /// Quantizes `n` feature vectors (saturating, as the classifier's
+  /// preprocessing prescribes) into `out`, appending after out.rows.
+  /// Throws InvalidArgumentError on a dimension mismatch.
+  void pack_into(PackedBatch& out, const linalg::Vector* xs,
+                 std::size_t n) const;
+
+  /// Fresh packed batch from a sample list.
+  PackedBatch pack(const std::vector<linalg::Vector>& xs) const;
+
+  /// Scores every row of the batch into `out[0..rows)`.  `out` must
+  /// have room for batch.rows results.
+  void score(const PackedBatch& batch, ScoreResult* out) const;
+
+  /// Convenience: pack + score, returning one result per sample.
+  std::vector<ScoreResult> score(const std::vector<linalg::Vector>& xs) const;
+
+  /// Convenience: labels only (bit-identical to
+  /// FixedClassifier::classify per sample).
+  std::vector<core::Label> classify(const std::vector<linalg::Vector>& xs) const;
+
+ private:
+  fixed::FixedFormat fmt_;
+  fixed::FixedFormat wide_fmt_;  ///< K integer + 2F fractional bits
+  fixed::RoundingMode mode_;
+  fixed::AccumulatorMode acc_;
+  std::vector<std::int64_t> weights_raw_;
+  std::int64_t threshold_raw_ = 0;
+};
+
+}  // namespace ldafp::runtime

@@ -1,0 +1,192 @@
+#include "runtime/engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "support/error.h"
+
+namespace ldafp::runtime {
+
+const char* to_string(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted: return "accepted";
+    case SubmitStatus::kQueueFull: return "queue-full";
+    case SubmitStatus::kShuttingDown: return "shutting-down";
+    case SubmitStatus::kInvalidRequest: return "invalid-request";
+  }
+  return "?";
+}
+
+InferenceEngine::InferenceEngine(EngineOptions options)
+    : options_(options),
+      queue_(options.queue_capacity),
+      paused_(options.start_paused) {
+  LDAFP_CHECK(options_.workers >= 1, "engine needs at least one worker");
+  LDAFP_CHECK(options_.max_batch >= 1, "max_batch must be positive");
+  LDAFP_CHECK(options_.max_wait_seconds >= 0.0,
+              "max_wait_seconds must be non-negative");
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+InferenceEngine::~InferenceEngine() { shutdown(); }
+
+Submission InferenceEngine::submit(ModelHandle model,
+                                   std::vector<linalg::Vector> samples) {
+  Submission submission;
+  if (model == nullptr || samples.empty()) {
+    submission.status = SubmitStatus::kInvalidRequest;
+    return submission;
+  }
+  const std::size_t dim = model->classifier.dim();
+  for (const linalg::Vector& x : samples) {
+    if (x.size() != dim) {
+      submission.status = SubmitStatus::kInvalidRequest;
+      return submission;
+    }
+  }
+  if (!accepting_.load(std::memory_order_acquire)) {
+    submission.status = SubmitStatus::kShuttingDown;
+    return submission;
+  }
+
+  Request request;
+  request.model = std::move(model);
+  request.samples = std::move(samples);
+  // The future must be taken before the request is moved into the queue:
+  // a worker may fulfill (and destroy) the promise immediately.
+  submission.result = request.promise.get_future();
+
+  switch (queue_.try_push(std::move(request))) {
+    case PushResult::kOk:
+      submission.status = SubmitStatus::kAccepted;
+      stats_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+      // The queue's high-water mark is monotone; mirroring it into the
+      // stats block keeps report() self-contained.
+      stats_.queue_depth_high_water.store(queue_.high_water_mark(),
+                                          std::memory_order_relaxed);
+      break;
+    case PushResult::kFull:
+      submission.status = SubmitStatus::kQueueFull;
+      stats_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+      submission.result = {};
+      break;
+    case PushResult::kClosed:
+      submission.status = SubmitStatus::kShuttingDown;
+      submission.result = {};
+      break;
+  }
+  return submission;
+}
+
+Submission InferenceEngine::submit(ModelHandle model, linalg::Vector sample) {
+  std::vector<linalg::Vector> samples;
+  samples.push_back(std::move(sample));
+  return submit(std::move(model), std::move(samples));
+}
+
+void InferenceEngine::pause() {
+  std::lock_guard lock(pause_mu_);
+  paused_ = true;
+}
+
+void InferenceEngine::resume() {
+  {
+    std::lock_guard lock(pause_mu_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+void InferenceEngine::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    accepting_.store(false, std::memory_order_release);
+    // Closing the queue flips pushes to kClosed and lets the workers
+    // drain the backlog; parked workers must wake up to drain it.
+    queue_.close();
+    resume();
+    for (std::thread& worker : workers_) worker.join();
+  });
+}
+
+void InferenceEngine::worker_loop() {
+  using clock = std::chrono::steady_clock;
+  const auto linger = std::chrono::nanoseconds(
+      static_cast<long long>(options_.max_wait_seconds * 1e9));
+  std::vector<Request> batch;
+  while (true) {
+    {
+      std::unique_lock lock(pause_mu_);
+      pause_cv_.wait(lock, [this] { return !paused_ || queue_.closed(); });
+    }
+    batch.clear();
+
+    // Open a micro-batch: block for the first request, then linger up to
+    // max_wait for more while the batch holds fewer than max_batch
+    // samples.  Requests ride whole, so one oversized request still
+    // scores in a single pass.
+    Request first;
+    if (!queue_.pop(first)) return;  // closed and drained
+    std::size_t sample_count = first.samples.size();
+    batch.push_back(std::move(first));
+    const auto deadline = clock::now() + linger;
+    while (sample_count < options_.max_batch) {
+      Request next;
+      if (queue_.pop_wait_until(next, deadline) != PopResult::kItem) break;
+      sample_count += next.samples.size();
+      batch.push_back(std::move(next));
+    }
+
+    // Group by model snapshot (pointer identity — a hot-swap installs a
+    // new snapshot, so mixed traffic around a swap splits cleanly) and
+    // score each group as one contiguous packed batch.
+    std::vector<Request*> group;
+    std::vector<bool> grouped(batch.size(), false);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (grouped[i]) continue;
+      group.clear();
+      for (std::size_t j = i; j < batch.size(); ++j) {
+        if (!grouped[j] && batch[j].model == batch[i].model) {
+          grouped[j] = true;
+          group.push_back(&batch[j]);
+        }
+      }
+      score_group(*batch[i].model, group);
+    }
+  }
+}
+
+void InferenceEngine::score_group(const ModelSnapshot& model,
+                                  std::vector<Request*>& group) {
+  for (const Request* request : group) {
+    stats_.queue_wait.record(request->submitted.seconds());
+  }
+
+  support::WallTimer exec;
+  PackedBatch packed;
+  for (const Request* request : group) {
+    model.scorer.pack_into(packed, request->samples.data(),
+                           request->samples.size());
+  }
+  std::vector<ScoreResult> scored(packed.rows);
+  model.scorer.score(packed, scored.data());
+  stats_.batch_execute.record(exec.seconds());
+
+  std::size_t offset = 0;
+  for (Request* request : group) {
+    const std::size_t n = request->samples.size();
+    std::vector<ScoreResult> slice(scored.begin() + offset,
+                                   scored.begin() + offset + n);
+    offset += n;
+    stats_.request_total.record(request->submitted.seconds());
+    request->promise.set_value(std::move(slice));
+  }
+  stats_.batches_scored.fetch_add(1, std::memory_order_relaxed);
+  stats_.samples_scored.fetch_add(packed.rows, std::memory_order_relaxed);
+  stats_.requests_completed.fetch_add(group.size(),
+                                      std::memory_order_relaxed);
+}
+
+}  // namespace ldafp::runtime

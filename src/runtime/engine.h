@@ -1,0 +1,132 @@
+// Multi-threaded batched inference engine.
+//
+// The serving pipeline is: submit() packs a request (model handle + one
+// or more feature vectors + a promise) into a bounded MPMC queue; a
+// fixed pool of workers pops micro-batches (up to max_batch samples,
+// lingering up to max_wait for stragglers), groups them by model
+// snapshot, scores each group through the model's BatchScorer in one
+// contiguous pass, and fulfills the promises.  Results are bit-identical
+// to calling FixedClassifier::classify per sample — batching changes
+// throughput, never bits (tests/runtime/engine_test.cpp holds the
+// cross-check under producer/worker concurrency).
+//
+// Overload behaviour is explicit: a full queue rejects the submission
+// with SubmitStatus::kQueueFull instead of buffering without bound, and
+// shutdown() closes admission, drains every in-flight request, then
+// joins the workers — a drained engine never breaks a promise.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "linalg/vector.h"
+#include "runtime/batch_scorer.h"
+#include "runtime/queue.h"
+#include "runtime/registry.h"
+#include "runtime/stats.h"
+#include "support/timer.h"
+
+namespace ldafp::runtime {
+
+/// Engine sizing and micro-batching policy.
+struct EngineOptions {
+  /// Worker threads in the scoring pool (>= 1).
+  std::size_t workers = 4;
+  /// Bounded request-queue capacity (requests, not samples).
+  std::size_t queue_capacity = 1024;
+  /// Micro-batch target: a worker scores at most this many samples per
+  /// pass (requests are admitted whole, so a single oversized request
+  /// still scores in one pass).
+  std::size_t max_batch = 64;
+  /// How long a worker lingers for more requests while its batch is
+  /// short.  0 disables lingering (score whatever is queued).
+  double max_wait_seconds = 500e-6;
+  /// Start with workers parked; traffic is admitted (and backpressure
+  /// applies) but nothing scores until resume().  Deterministic testing
+  /// and warm-start hook.
+  bool start_paused = false;
+};
+
+/// Admission outcome of submit().
+enum class SubmitStatus {
+  kAccepted,
+  kQueueFull,      ///< backpressure — shed or retry with backoff
+  kShuttingDown,   ///< engine no longer admits work
+  kInvalidRequest, ///< null model or empty/mismatched sample list
+};
+
+/// Short display name of a submit status.
+const char* to_string(SubmitStatus status);
+
+/// An admitted (or rejected) request: when status == kAccepted, `result`
+/// resolves to one ScoreResult per submitted sample, in order.
+struct Submission {
+  SubmitStatus status = SubmitStatus::kInvalidRequest;
+  std::future<std::vector<ScoreResult>> result;
+};
+
+/// Fixed-pool batched scoring engine over registry model handles.
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(EngineOptions options = {});
+
+  /// Drains and joins (see shutdown()).
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Enqueues `samples` for scoring against `model`.  All samples of a
+  /// request ride in one queue slot and resolve through one future.
+  Submission submit(ModelHandle model, std::vector<linalg::Vector> samples);
+
+  /// Single-sample convenience.
+  Submission submit(ModelHandle model, linalg::Vector sample);
+
+  /// Parks the workers (in-flight batches finish first).
+  void pause();
+  /// Unparks the workers.
+  void resume();
+
+  /// Stops admission, drains every queued request, joins the pool.
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+  /// Telemetry (live; readable while traffic flows).
+  const RuntimeStats& stats() const { return stats_; }
+  /// Current queue depth (requests waiting for a worker).
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t worker_count() const { return workers_.size(); }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    ModelHandle model;
+    std::vector<linalg::Vector> samples;
+    std::promise<std::vector<ScoreResult>> promise;
+    support::WallTimer submitted;  ///< started at admission
+  };
+
+  void worker_loop();
+  void score_group(const ModelSnapshot& model, std::vector<Request*>& group);
+
+  EngineOptions options_;
+  RuntimeStats stats_;
+  BoundedQueue<Request> queue_;
+
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+
+  std::atomic<bool> accepting_{true};
+  std::once_flag shutdown_once_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ldafp::runtime

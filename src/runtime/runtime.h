@@ -1,0 +1,17 @@
+// Umbrella header of ldafp_runtime — the serving layer.
+//
+// Train with core::, export bits with hw::RomImage, then serve:
+//
+//   runtime::ModelRegistry registry;
+//   auto model = registry.install("bci", trained_classifier);
+//   runtime::InferenceEngine engine({.workers = 4});
+//   auto sub = engine.submit(model, features);
+//   if (sub.status == runtime::SubmitStatus::kAccepted)
+//     auto results = sub.result.get();   // bit-exact datapath labels
+#pragma once
+
+#include "runtime/batch_scorer.h"
+#include "runtime/engine.h"
+#include "runtime/queue.h"
+#include "runtime/registry.h"
+#include "runtime/stats.h"

@@ -1,0 +1,46 @@
+// Serving telemetry: counters + per-stage latency histograms.
+//
+// One RuntimeStats block lives in the engine; submit paths and workers
+// update it with relaxed atomics and lock-free histogram records, so
+// telemetry never serializes the hot path.  report() renders the block
+// through support::TextTable for logs/benches.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "support/histogram.h"
+
+namespace ldafp::runtime {
+
+/// Counter block of one InferenceEngine.
+class RuntimeStats {
+ public:
+  // -- submission admission --
+  std::atomic<std::uint64_t> requests_submitted{0};  ///< accepted
+  std::atomic<std::uint64_t> requests_rejected{0};   ///< queue full
+  std::atomic<std::uint64_t> requests_completed{0};
+  std::atomic<std::uint64_t> samples_scored{0};
+
+  // -- worker batching --
+  std::atomic<std::uint64_t> batches_scored{0};
+
+  /// Deepest the request queue has been (mirrored from the queue at
+  /// report time by the engine; kept here so report() is self-contained).
+  std::atomic<std::uint64_t> queue_depth_high_water{0};
+
+  // -- per-stage latency (seconds) --
+  support::LatencyHistogram queue_wait;     ///< submit -> batch formation
+  support::LatencyHistogram batch_execute;  ///< pack + score of one batch
+  support::LatencyHistogram request_total;  ///< submit -> promise fulfilled
+
+  /// Mean samples per scored batch (the micro-batcher's achieved
+  /// amortization).
+  double mean_batch_size() const;
+
+  /// Renders counters and histogram quantiles as an aligned text table.
+  std::string report() const;
+};
+
+}  // namespace ldafp::runtime

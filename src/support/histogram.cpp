@@ -1,0 +1,107 @@
+#include "support/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ldafp::support {
+namespace {
+
+/// Static table of bucket upper edges (exclusive).  Built once; lookup
+/// afterwards is read-only and thread-safe.
+const std::array<double, LatencyHistogram::kBuckets - 1>& edge_table() {
+  static const auto edges = [] {
+    std::array<double, LatencyHistogram::kBuckets - 1> e{};
+    for (int i = 0; i < LatencyHistogram::kBuckets - 1; ++i) {
+      e[i] = LatencyHistogram::kMinSeconds *
+             std::pow(10.0, static_cast<double>(i + 1) /
+                                LatencyHistogram::kPerDecade);
+    }
+    return e;
+  }();
+  return edges;
+}
+
+std::uint64_t to_nanos(double seconds) {
+  return seconds <= 0.0 ? 0
+                        : static_cast<std::uint64_t>(seconds * 1e9 + 0.5);
+}
+
+}  // namespace
+
+int LatencyHistogram::bucket_index(double seconds) {
+  const auto& edges = edge_table();
+  const auto it = std::upper_bound(edges.begin(), edges.end(), seconds);
+  return static_cast<int>(it - edges.begin());
+}
+
+double LatencyHistogram::bucket_upper_edge(int i) {
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return edge_table()[static_cast<std::size_t>(i < 0 ? 0 : i)];
+}
+
+void LatencyHistogram::record(double seconds) {
+  const int bucket = bucket_index(seconds);
+  counts_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t nanos = to_nanos(seconds);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  std::uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_nanos_.compare_exchange_weak(seen, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot snap;
+  for (int i = 0; i < kBuckets; ++i) {
+    snap.counts[static_cast<std::size_t>(i)] =
+        counts_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    snap.total_count += snap.counts[static_cast<std::size_t>(i)];
+  }
+  snap.sum_seconds =
+      static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  snap.max_seconds =
+      static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  return snap;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Snapshot::mean() const {
+  return total_count == 0 ? 0.0
+                          : sum_seconds / static_cast<double>(total_count);
+}
+
+double LatencyHistogram::Snapshot::quantile(double q) const {
+  if (total_count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_count)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[static_cast<std::size_t>(i)];
+    if (seen >= rank && rank > 0) {
+      // The overflow bucket has no finite edge; the observed max is the
+      // tightest bound we track.  Same for q=1 anywhere.
+      if (i == kBuckets - 1 || q >= 1.0) return max_seconds;
+      // The observed max also caps every quantile (a bucket's upper
+      // edge can overshoot it within the top bucket).
+      return std::min(bucket_upper_edge(i), max_seconds);
+    }
+  }
+  return max_seconds;
+}
+
+}  // namespace ldafp::support

@@ -1,0 +1,87 @@
+// Lock-free latency histogram for the serving runtime's hot path.
+//
+// Companion of WallTimer (timer.h): workers time a stage with the
+// monotonic clock and record the elapsed seconds here.  The bucket
+// layout is fixed at compile time — log-spaced edges from 100 ns to
+// 100 s, five buckets per decade — so record() is a binary search over
+// a static edge table plus relaxed atomic increments: no allocation, no
+// locks, safe to call concurrently from any number of threads.
+//
+// Aggregation (percentiles, mean) happens on a Snapshot taken outside
+// the hot path; percentile values are bucket upper edges, i.e. accurate
+// to one log-spaced bucket (~58% relative width), which is the right
+// fidelity for throughput dashboards.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ldafp::support {
+
+/// Concurrent fixed-bucket log-spaced histogram of durations in seconds.
+class LatencyHistogram {
+ public:
+  /// Bucket count: kPerDecade buckets per decade across
+  /// [kMinSeconds, kMaxSeconds), plus one overflow bucket at the top.
+  static constexpr int kPerDecade = 5;
+  static constexpr int kDecades = 9;  // 1e-7 s .. 1e2 s
+  static constexpr int kBuckets = kPerDecade * kDecades + 1;
+  static constexpr double kMinSeconds = 1e-7;
+
+  LatencyHistogram() = default;
+
+  // The atomic counters pin the histogram in place; share by reference.
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one duration.  Negative values clamp to the first bucket,
+  /// values past the table into the overflow bucket.  Lock-free,
+  /// allocation-free.
+  void record(double seconds);
+
+  /// Number of recorded durations so far.
+  std::uint64_t count() const;
+
+  /// Upper edge (exclusive) of bucket `i` in seconds; the overflow
+  /// bucket reports +infinity.
+  static double bucket_upper_edge(int i);
+
+  /// Index of the bucket a duration falls into.
+  static int bucket_index(double seconds);
+
+  /// Immutable copy of the counters for aggregation off the hot path.
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t total_count = 0;
+    double sum_seconds = 0.0;
+    double max_seconds = 0.0;
+
+    /// Mean recorded duration (0 when empty).
+    double mean() const;
+
+    /// Upper edge of the bucket holding the q-quantile (q in [0,1]);
+    /// the overflow bucket and q=1 report the exact observed max.
+    double quantile(double q) const;
+  };
+
+  /// Takes a consistent-enough snapshot for reporting (individual
+  /// counters are read atomically; cross-counter skew of a few in-flight
+  /// records is acceptable for stats output).
+  Snapshot snapshot() const;
+
+  /// Zeroes all counters.  Not linearizable against concurrent record()
+  /// calls; intended for quiescent periods (e.g. between bench phases).
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> count_{0};
+  /// Sum/max in integer nanoseconds so plain fetch_add/CAS work on
+  /// every toolchain (atomic<double>::fetch_add is C++20 but spotty).
+  std::atomic<std::uint64_t> sum_nanos_{0};
+  std::atomic<std::uint64_t> max_nanos_{0};
+};
+
+}  // namespace ldafp::support

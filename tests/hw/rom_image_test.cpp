@@ -47,6 +47,24 @@ TEST(RomImageTest, RoundTripClassifierAgreesEverywhere) {
   }
 }
 
+TEST(RomImageTest, FromClassifierMatchesTextRoundTrip) {
+  const core::FixedClassifier clf = sample_classifier();
+  const RomImage direct = RomImage::from_classifier(clf);
+  const RomImage round_trip = parse_rom_image(rom_image_text(clf));
+  EXPECT_EQ(direct.format, round_trip.format);
+  EXPECT_DOUBLE_EQ(
+      linalg::max_abs_diff(direct.weights, round_trip.weights), 0.0);
+  EXPECT_DOUBLE_EQ(direct.threshold, round_trip.threshold);
+  // The snapshot's classifier scores the identical bits.
+  const core::FixedClassifier restored = direct.classifier();
+  support::Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    Vector x(3);
+    for (std::size_t i = 0; i < 3; ++i) x[i] = rng.uniform(-3.0, 3.0);
+    EXPECT_EQ(clf.classify(x), restored.classify(x));
+  }
+}
+
 TEST(RomImageTest, NegativeWordsEncodeTwosComplement) {
   // Q2.4 word -1.5 has raw -24 -> 6-bit pattern 0x28.
   const std::string text = rom_image_text(sample_classifier());

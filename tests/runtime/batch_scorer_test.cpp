@@ -1,0 +1,121 @@
+#include "runtime/batch_scorer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ldafp::runtime {
+namespace {
+
+using linalg::Vector;
+
+/// Random grid-representable classifier in `fmt`.
+core::FixedClassifier random_classifier(const fixed::FixedFormat& fmt,
+                                        std::size_t dim, support::Rng& rng,
+                                        fixed::RoundingMode mode,
+                                        fixed::AccumulatorMode acc) {
+  Vector w(dim);
+  for (std::size_t m = 0; m < dim; ++m) {
+    w[m] = fmt.to_real(rng.uniform_int(fmt.raw_min(), fmt.raw_max()));
+  }
+  const double threshold =
+      fmt.to_real(rng.uniform_int(fmt.raw_min(), fmt.raw_max()));
+  return core::FixedClassifier(fmt, w, threshold, mode, acc);
+}
+
+std::vector<Vector> random_samples(std::size_t n, std::size_t dim,
+                                   double range, support::Rng& rng) {
+  std::vector<Vector> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector x(dim);
+    for (std::size_t m = 0; m < dim; ++m) x[m] = rng.uniform(-range, range);
+    xs.push_back(std::move(x));
+  }
+  return xs;
+}
+
+TEST(BatchScorerTest, BitExactAgainstPerSampleClassifyAcrossConfigs) {
+  support::Rng rng(42);
+  const std::vector<fixed::FixedFormat> formats = {
+      {2, 2}, {2, 4}, {3, 5}, {2, 10}, {4, 12}};
+  const std::vector<fixed::RoundingMode> modes = {
+      fixed::RoundingMode::kNearestEven, fixed::RoundingMode::kFloor,
+      fixed::RoundingMode::kTowardZero};
+  for (const auto& fmt : formats) {
+    for (const auto mode : modes) {
+      for (const auto acc : {fixed::AccumulatorMode::kWide,
+                             fixed::AccumulatorMode::kNarrow}) {
+        const auto clf = random_classifier(fmt, 7, rng, mode, acc);
+        const BatchScorer scorer(clf);
+        // Sample range past the representable range so saturation paths
+        // are exercised too.
+        const auto xs =
+            random_samples(64, 7, 2.0 * fmt.max_value() + 1.0, rng);
+        const auto scored = scorer.score(xs);
+        ASSERT_EQ(scored.size(), xs.size());
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+          EXPECT_EQ(scored[i].label, clf.classify(xs[i]))
+              << fmt.to_string() << " sample " << i;
+          EXPECT_EQ(scored[i].projection_raw, clf.project(xs[i]).raw())
+              << fmt.to_string() << " sample " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchScorerTest, MatchesClassifyBatchConvenienceOverload) {
+  support::Rng rng(7);
+  const fixed::FixedFormat fmt(2, 6);
+  const auto clf = random_classifier(fmt, 12, rng,
+                                     fixed::RoundingMode::kNearestEven,
+                                     fixed::AccumulatorMode::kWide);
+  const BatchScorer scorer(clf);
+  const auto xs = random_samples(50, 12, 3.0, rng);
+  EXPECT_EQ(scorer.classify(xs), clf.classify_batch(xs));
+}
+
+TEST(BatchScorerTest, PackLayoutIsRowMajorQuantized) {
+  const fixed::FixedFormat fmt(2, 2);
+  const core::FixedClassifier clf(fmt, Vector{0.25, -0.5}, 0.0);
+  const BatchScorer scorer(clf);
+  const auto batch = scorer.pack({Vector{0.25, 1.0}, Vector{-0.75, 0.5}});
+  ASSERT_EQ(batch.rows, 2u);
+  ASSERT_EQ(batch.dim, 2u);
+  ASSERT_EQ(batch.words.size(), 4u);
+  // Q2.2: 0.25 -> raw 1, 1.0 -> raw 4, -0.75 -> raw -3, 0.5 -> raw 2.
+  EXPECT_EQ(batch.words[0], 1);
+  EXPECT_EQ(batch.words[1], 4);
+  EXPECT_EQ(batch.words[2], -3);
+  EXPECT_EQ(batch.words[3], 2);
+}
+
+TEST(BatchScorerTest, PackIntoAppends) {
+  const fixed::FixedFormat fmt(2, 2);
+  const core::FixedClassifier clf(fmt, Vector{0.25, -0.5}, 0.0);
+  const BatchScorer scorer(clf);
+  PackedBatch batch;
+  const std::vector<Vector> a = {Vector{0.0, 0.0}};
+  const std::vector<Vector> b = {Vector{1.0, 1.0}, Vector{0.5, 0.5}};
+  scorer.pack_into(batch, a.data(), a.size());
+  scorer.pack_into(batch, b.data(), b.size());
+  EXPECT_EQ(batch.rows, 3u);
+  EXPECT_EQ(batch.words.size(), 6u);
+  batch.clear();
+  EXPECT_EQ(batch.rows, 0u);
+  EXPECT_TRUE(batch.words.empty());
+}
+
+TEST(BatchScorerTest, DimensionMismatchThrows) {
+  const fixed::FixedFormat fmt(2, 2);
+  const core::FixedClassifier clf(fmt, Vector{0.25, -0.5}, 0.0);
+  const BatchScorer scorer(clf);
+  EXPECT_THROW(scorer.score({Vector{1.0}}), ldafp::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldafp::runtime
