@@ -1,9 +1,10 @@
 // Command-line trainer: the adoption path for users with their own data.
 //
 //   ldafp_cli train  <train.csv> <word_length> [--k K] [--rho R]
-//                    [--nodes N] [--seconds S] [--rom out.hex]
+//                    [--nodes N] [--seconds S] [--threads T] [--rom out.hex]
 //   ldafp_cli eval   <rom.hex> <test.csv> [--scale S]
 //   ldafp_cli sweep  <data.csv> <target_error_percent> [--folds F]
+//                    [--threads T]
 //
 // CSV rows are features... , label (0 = class A, 1 = class B).
 // `train` fits LDA-FP, prints the baseline comparison, and optionally
@@ -22,6 +23,7 @@
 #include "eval/metrics.h"
 #include "hw/rom_image.h"
 #include "hw/verilog_gen.h"
+#include "sched/executor.h"
 #include "stats/normal.h"
 #include "support/error.h"
 #include "support/rng.h"
@@ -34,10 +36,15 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  ldafp_cli train <train.csv> <word_length> [--k K] "
-               "[--rho R] [--nodes N] [--seconds S] [--rom out.hex]\n"
+               "[--rho R] [--nodes N] [--seconds S] [--threads T] "
+               "[--rom out.hex]\n"
                "  ldafp_cli eval <rom.hex> <test.csv> [--scale S]\n"
                "  ldafp_cli sweep <data.csv> <target_error_percent> "
-               "[--folds F]\n");
+               "[--folds F] [--threads T]\n"
+               "\n"
+               "  --threads T   worker threads for training / the sweep\n"
+               "                (default: all hardware threads; results\n"
+               "                are bit-identical at any thread count)\n");
   return 2;
 }
 
@@ -54,6 +61,15 @@ const char* flag_string(int argc, char** argv, const char* name) {
     if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
   }
   return nullptr;
+}
+
+/// The --threads flag as an executor: default 0 = all hardware threads,
+/// 1 = today's single-threaded path, N > 1 = a pool of N workers.
+/// Results are bit-identical at any thread count (DESIGN.md §9).
+sched::Executor threads_flag(int argc, char** argv) {
+  const auto threads =
+      static_cast<std::size_t>(flag_value(argc, argv, "--threads", 0));
+  return sched::Executor::pooled(threads);
 }
 
 int cmd_train(int argc, char** argv) {
@@ -79,6 +95,7 @@ int cmd_train(int argc, char** argv) {
   options.bnb.max_nodes = static_cast<std::size_t>(
       flag_value(argc, argv, "--nodes", 5000));
   options.bnb.max_seconds = flag_value(argc, argv, "--seconds", 60);
+  options.bnb.executor = threads_flag(argc, argv);
   const core::LdaFpTrainer trainer(choice.format, options);
   const core::LdaFpResult result = trainer.train(scaled);
   if (!result.found()) {
@@ -154,6 +171,7 @@ int cmd_sweep(int argc, char** argv) {
   config.ldafp.bnb.max_nodes = 1000;
   config.ldafp.bnb.max_seconds = 30.0;
   config.ldafp.bnb.rel_gap = 1e-3;
+  config.executor = threads_flag(argc, argv);
   support::Rng rng(1);
   const auto choice =
       eval::select_min_word_length(data, folds, config, target, rng);

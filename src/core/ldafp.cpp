@@ -1,5 +1,6 @@
 #include "core/ldafp.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -53,7 +54,7 @@ class LdaFpSearchProblem : public opt::BnbProblem {
     lambda_min_ = std::max(eig.eigenvalues[0], 0.0);
   }
 
-  std::size_t relaxations_solved() const { return relaxations_; }
+  std::size_t relaxations_solved() const { return relaxations_.load(); }
 
   opt::NodeBounds bound(const opt::Box& box) override {
     opt::NodeBounds out;
@@ -67,7 +68,7 @@ class LdaFpSearchProblem : public opt::BnbProblem {
     const double secondary = lambda_min_ * res * res / eta_sup;
 
     const opt::ConvexProblem relaxation = build_relaxation(box);
-    ++relaxations_;
+    relaxations_.fetch_add(1, std::memory_order_relaxed);
     const opt::BarrierResult solve = solver_.solve(relaxation);
     if (solve.status == opt::SolveStatus::kInfeasible) {
       out.lower = kInf;
@@ -281,7 +282,10 @@ class LdaFpSearchProblem : public opt::BnbProblem {
   double min_t_width_;
   std::size_t dim_ = 0;
   double lambda_min_ = 0.0;
-  std::size_t relaxations_ = 0;
+  /// bound() may run concurrently from the solver's speculation workers
+  /// (the BnbProblem concurrency contract); this telemetry counter is
+  /// the class's only mutable state, so an atomic keeps it honest.
+  std::atomic<std::size_t> relaxations_{0};
 };
 
 }  // namespace

@@ -38,6 +38,10 @@ struct LdaFpOptions {
   /// Branch-and-bound budgets (node/time/gap).  The defaults prove
   /// optimality on small problems; large problems (e.g. the 42-feature
   /// BCI set) stop at the budget and report the achieved gap.
+  /// `bnb.executor` selects the execution resource: the default inline
+  /// executor trains single-threaded exactly as before, while
+  /// sched::Executor::pooled(N) expands search nodes on N workers with
+  /// bit-identical weights, cost, and certified gap (DESIGN.md §9).
   opt::BnbOptions bnb;
 
   /// Barrier solver tuning for the per-node relaxations.

@@ -1,9 +1,12 @@
 #include "eval/experiment.h"
 #include <algorithm>
+#include <limits>
 
 #include "eval/metrics.h"
+#include "sched/parallel_for.h"
 #include "stats/normal.h"
 #include "support/error.h"
+#include "support/timer.h"
 
 namespace ldafp::eval {
 
@@ -64,39 +67,74 @@ TrialResult run_trial(const data::LabeledDataset& train,
 std::vector<TrialResult> run_sweep(const data::LabeledDataset& train,
                                    const data::LabeledDataset& test,
                                    const ExperimentConfig& config) {
-  std::vector<TrialResult> rows;
-  rows.reserve(config.word_lengths.size());
-  for (const int w : config.word_lengths) {
-    rows.push_back(run_trial(train, test, w, config));
-  }
-  return rows;
+  // Each trial is a pure function of (train, test, w, config), so the
+  // fan-out is bit-deterministic at any thread count; parallel_map
+  // returns results in word-length order regardless of finish order.
+  return sched::parallel_map(
+      config.executor, config.word_lengths.size(), [&](std::size_t i) {
+        return run_trial(train, test, config.word_lengths[i], config);
+      });
 }
 
 std::vector<CvTrialResult> run_cv_sweep(const data::LabeledDataset& data,
                                         std::size_t folds,
                                         const ExperimentConfig& config,
                                         support::Rng& rng) {
+  // All randomness is consumed here, before the fan-out: the fold
+  // assignment is the sweep's only stochastic input, so the caller's
+  // Rng advances exactly as in sequential execution and every trial
+  // below is a pure function of its (train, test, w, config) inputs.
   const std::vector<data::Split> splits =
       data::stratified_k_fold(data, folds, rng);
+
+  // Flatten the (word length × fold) grid so a slow word length cannot
+  // serialize the sweep, and timestamp each trial against one shared
+  // clock for the per-row wall-time spans.
+  struct TimedTrial {
+    TrialResult trial;
+    double start = 0.0;  ///< seconds since sweep start
+    double end = 0.0;
+  };
+  const std::size_t n_words = config.word_lengths.size();
+  support::WallTimer sweep_timer;
+  const std::vector<TimedTrial> trials = sched::parallel_map(
+      config.executor, n_words * splits.size(), [&](std::size_t flat) {
+        const int w = config.word_lengths[flat / splits.size()];
+        const data::Split& split = splits[flat % splits.size()];
+        TimedTrial timed;
+        timed.start = sweep_timer.seconds();
+        timed.trial = run_trial(split.train, split.test, w, config);
+        timed.end = sweep_timer.seconds();
+        return timed;
+      });
+
+  // Aggregate per row in fold order — the identical floating-point
+  // summation order as the sequential loop.
   std::vector<CvTrialResult> rows;
-  rows.reserve(config.word_lengths.size());
-  for (const int w : config.word_lengths) {
+  rows.reserve(n_words);
+  for (std::size_t i = 0; i < n_words; ++i) {
     CvTrialResult row;
-    row.word_length = w;
+    row.word_length = config.word_lengths[i];
     double lda_weighted = 0.0;
     double fp_weighted = 0.0;
     std::size_t total = 0;
-    for (const auto& split : splits) {
-      const TrialResult fold = run_trial(split.train, split.test, w, config);
-      const std::size_t n = split.test.size();
+    double first_start = std::numeric_limits<double>::infinity();
+    double last_end = 0.0;
+    for (std::size_t f = 0; f < splits.size(); ++f) {
+      const TimedTrial& timed = trials[i * splits.size() + f];
+      const TrialResult& fold = timed.trial;
+      const std::size_t n = splits[f].test.size();
       lda_weighted += fold.lda_error * static_cast<double>(n);
       fp_weighted += fold.ldafp_error * static_cast<double>(n);
       total += n;
       row.ldafp_seconds += fold.ldafp_seconds;
       row.max_gap = std::max(row.max_gap, fold.ldafp_gap);
+      first_start = std::min(first_start, timed.start);
+      last_end = std::max(last_end, timed.end);
     }
     row.lda_error = lda_weighted / static_cast<double>(total);
     row.ldafp_error = fp_weighted / static_cast<double>(total);
+    row.wall_seconds = last_end - first_start;
     rows.push_back(row);
   }
   return rows;

@@ -1,10 +1,15 @@
 #include "opt/bnb.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "sched/task_group.h"
 #include "support/error.h"
 #include "support/log.h"
 #include "support/str.h"
@@ -13,15 +18,209 @@
 namespace ldafp::opt {
 namespace {
 
+// ---------------------------------------------------------------------------
+// Deterministic speculative parallelism.
+//
+// Expanding a node — solve_terminal for terminal boxes, branch + bound
+// of both children otherwise — reads nothing but the box (the
+// BnbProblem concurrency contract), so it can run speculatively on any
+// thread, in any order, even for nodes that end up pruned.  Everything
+// that touches search state (incumbent updates, pruning, pushes,
+// budgets, status) happens on the one control thread, in the exact
+// order the sequential search would use; an Expansion is the plain-data
+// courier between the two.  That split is why the parallel search is
+// bit-identical to the sequential one at every thread count: thread
+// scheduling can only change *when* an expansion is computed, never
+// what it contains nor the order its effects are committed.
+
+/// Speculation slot lifecycle.
+enum SpecStage : int {
+  kSpecIdle = 0,     ///< nobody is expanding this node yet
+  kSpecClaimed = 1,  ///< one thread owns the expansion
+  kSpecDone = 2,     ///< expansion (or a skip) is published
+};
+
+struct Expansion {
+  /// False when a speculator skipped the node (hopeless bound at claim
+  /// time); the control thread then expands inline, so skips are a pure
+  /// performance decision and never change results.
+  bool computed = false;
+  bool terminal = false;
+  NodeBounds exact;  ///< terminal payload
+  struct Child {
+    bool present = false;  ///< branch produced a non-empty box here
+    Box box;
+    NodeBounds bounds;
+  };
+  Child children[2];  ///< non-terminal payload, [0]=left, [1]=right
+  std::exception_ptr error;
+};
+
+/// One frontier node's box plus its speculation slot.
+struct SpecState {
+  SpecState(Box b, double l) : box(std::move(b)), lower(l) {}
+  Box box;
+  double lower;
+  std::atomic<int> stage{kSpecIdle};
+  Expansion expansion;
+};
+
 struct QueueNode {
   double lower;
-  Box box;
+  std::shared_ptr<SpecState> spec;
 };
 
 struct LowerBoundGreater {
   bool operator()(const QueueNode& a, const QueueNode& b) const {
     return a.lower > b.lower;  // min-heap on lower bound
   }
+};
+
+using Frontier =
+    std::priority_queue<QueueNode, std::vector<QueueNode>, LowerBoundGreater>;
+
+/// The expansion itself — identical arithmetic on every path.  The
+/// bound/consider/push interleaving of the original sequential loop is
+/// reassociated here (both children are bounded before any incumbent
+/// update), which is observationally identical because bound() never
+/// reads search state.
+Expansion expand_node(BnbProblem& problem, const Box& box) {
+  Expansion e;
+  e.computed = true;
+  try {
+    if (problem.is_terminal(box)) {
+      e.terminal = true;
+      e.exact = problem.solve_terminal(box);
+    } else {
+      auto [left, right] = problem.branch(box);
+      Box* children[2] = {&left, &right};
+      for (int k = 0; k < 2; ++k) {
+        if (children[k]->empty()) continue;
+        e.children[k].present = true;
+        e.children[k].bounds = problem.bound(*children[k]);
+        e.children[k].box = std::move(*children[k]);
+      }
+    }
+  } catch (...) {
+    e.error = std::current_exception();
+  }
+  return e;
+}
+
+/// Runs speculative expansions on the executor's pool.  The control
+/// thread feeds it frontier nodes; workers claim the most promising
+/// backlog entries (ordering is advisory — correctness never depends on
+/// which entries workers pick, because obtain() falls back to inline
+/// expansion for anything unclaimed or skipped).  Pool tasks are
+/// one-shot steps that resubmit themselves, so a helping thread is
+/// never trapped in a long drain loop.  The TaskGroup member joins all
+/// in-flight steps before the engine (and the borrowed problem
+/// reference) goes out of scope.
+class SpecEngine {
+ public:
+  SpecEngine(BnbProblem& problem, const sched::Executor& executor)
+      : problem_(problem), executor_(executor), group_(executor) {}
+
+  ~SpecEngine() { shutdown(); }
+
+  bool parallel() const { return executor_.parallel(); }
+
+  /// Adds a frontier node to the speculation backlog and tops up the
+  /// self-resubmitting worker steps.  No-op on inline executors.
+  void fuel(std::shared_ptr<SpecState> state) {
+    if (!parallel()) return;
+    {
+      std::lock_guard lock(mu_);
+      heap_.push_back(std::move(state));
+      std::push_heap(heap_.begin(), heap_.end(), LowerGreater{});
+    }
+    if (active_.load() < executor_.threads()) {
+      active_.fetch_add(1);
+      group_.run([this] { step(); });
+    }
+  }
+
+  /// Mirrors the control thread's committed prune threshold; workers
+  /// skip backlog entries above it (advisory only).
+  void publish_threshold(double threshold) {
+    advisory_threshold_.store(threshold);
+  }
+
+  /// The control thread's single entry point: expands inline when the
+  /// node is unclaimed (or was skipped), otherwise helps the pool until
+  /// the in-flight speculative expansion is published.
+  Expansion obtain(SpecState& state) {
+    if (parallel()) {
+      int expected = kSpecIdle;
+      if (!state.stage.compare_exchange_strong(expected, kSpecClaimed)) {
+        sched::ThreadPool* pool = executor_.pool();
+        while (state.stage.load() != kSpecDone) {
+          if (pool == nullptr || !pool->try_run_one()) {
+            state.stage.wait(kSpecClaimed);
+          }
+        }
+        if (state.expansion.computed) return std::move(state.expansion);
+        // Speculator published a skip: expand inline below.
+      }
+    }
+    return expand_node(problem_, state.box);
+  }
+
+  /// Stops speculation and joins in-flight steps.  Safe to call twice.
+  void shutdown() {
+    stop_.store(true);
+    {
+      std::lock_guard lock(mu_);
+      heap_.clear();
+    }
+    group_.wait();  // our steps never throw (expand_node catches)
+  }
+
+ private:
+  struct LowerGreater {
+    bool operator()(const std::shared_ptr<SpecState>& a,
+                    const std::shared_ptr<SpecState>& b) const {
+      return a->lower > b->lower;
+    }
+  };
+
+  std::shared_ptr<SpecState> pop_best() {
+    std::lock_guard lock(mu_);
+    if (heap_.empty()) return nullptr;
+    std::pop_heap(heap_.begin(), heap_.end(), LowerGreater{});
+    std::shared_ptr<SpecState> out = std::move(heap_.back());
+    heap_.pop_back();
+    return out;
+  }
+
+  void step() {
+    if (!stop_.load()) {
+      if (std::shared_ptr<SpecState> state = pop_best()) {
+        int expected = kSpecIdle;
+        if (state->stage.compare_exchange_strong(expected, kSpecClaimed)) {
+          if (!stop_.load() &&
+              state->lower <= advisory_threshold_.load()) {
+            state->expansion = expand_node(problem_, state->box);
+          }  // else: leave computed == false (a published skip)
+          state->stage.store(kSpecDone);
+          state->stage.notify_all();
+        }
+        group_.run([this] { step(); });  // keep draining
+        return;
+      }
+    }
+    active_.fetch_sub(1);  // chain ends; fuel() revives it
+  }
+
+  BnbProblem& problem_;
+  sched::Executor executor_;
+  sched::TaskGroup group_;
+  std::mutex mu_;
+  std::vector<std::shared_ptr<SpecState>> heap_;
+  std::atomic<double> advisory_threshold_{
+      std::numeric_limits<double>::infinity()};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> active_{0};
 };
 
 }  // namespace
@@ -49,16 +248,8 @@ BnbResult BnbSolver::run(
     result.best_value = initial_incumbent->second;
   }
 
-  std::priority_queue<QueueNode, std::vector<QueueNode>, LowerBoundGreater>
-      queue;
-
-  auto consider_candidate = [&](const NodeBounds& bounds) {
-    if (bounds.candidate.has_value() &&
-        bounds.candidate_value < result.best_value) {
-      result.best_point = bounds.candidate;
-      result.best_value = bounds.candidate_value;
-    }
-  };
+  SpecEngine engine(problem, options_.executor);
+  Frontier queue;
 
   auto prune_threshold = [&]() {
     // A node whose lower bound exceeds this cannot improve the incumbent
@@ -71,10 +262,25 @@ BnbResult BnbSolver::run(
                     options_.rel_gap * std::fabs(result.best_value));
   };
 
+  auto consider_candidate = [&](const NodeBounds& bounds) {
+    if (bounds.candidate.has_value() &&
+        bounds.candidate_value < result.best_value) {
+      result.best_point = bounds.candidate;
+      result.best_value = bounds.candidate_value;
+      engine.publish_threshold(prune_threshold());
+    }
+  };
+
   // Infeasible boxes report lower = +inf and must never enter the queue.
   auto should_push = [&](double lower) {
     return lower < std::numeric_limits<double>::infinity() &&
            lower <= prune_threshold();
+  };
+
+  auto push_node = [&](double lower, Box box) {
+    auto spec = std::make_shared<SpecState>(std::move(box), lower);
+    queue.push(QueueNode{lower, spec});
+    engine.fuel(std::move(spec));
   };
 
   // Root node.
@@ -82,7 +288,7 @@ BnbResult BnbSolver::run(
     const NodeBounds bounds = problem.bound(root);
     consider_candidate(bounds);
     if (should_push(bounds.lower)) {
-      queue.push(QueueNode{bounds.lower, root});
+      push_node(bounds.lower, root);
     }
   }
 
@@ -125,19 +331,21 @@ BnbResult BnbSolver::run(
       return result;
     }
 
-    if (problem.is_terminal(node.box)) {
-      const NodeBounds exact = problem.solve_terminal(node.box);
-      consider_candidate(exact);
+    Expansion expansion = engine.obtain(*node.spec);
+    if (expansion.error) {
+      std::rethrow_exception(expansion.error);
+    }
+
+    if (expansion.terminal) {
+      consider_candidate(expansion.exact);
       continue;  // terminal boxes are fully resolved
     }
 
-    const auto [left, right] = problem.branch(node.box);
-    for (const Box* child : {&left, &right}) {
-      if (child->empty()) continue;
-      const NodeBounds bounds = problem.bound(*child);
-      consider_candidate(bounds);
-      if (should_push(bounds.lower)) {
-        queue.push(QueueNode{bounds.lower, *child});
+    for (Expansion::Child& child : expansion.children) {
+      if (!child.present) continue;
+      consider_candidate(child.bounds);
+      if (should_push(child.bounds.lower)) {
+        push_node(child.bounds.lower, std::move(child.box));
       } else {
         ++result.nodes_pruned;
       }

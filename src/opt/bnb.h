@@ -18,6 +18,7 @@
 
 #include "linalg/vector.h"
 #include "opt/box.h"
+#include "sched/executor.h"
 
 namespace ldafp::opt {
 
@@ -33,6 +34,16 @@ struct NodeBounds {
 };
 
 /// Problem plug-in interface for the solver.
+///
+/// Concurrency contract: when BnbOptions::executor is parallel, the
+/// solver evaluates bound() / is_terminal() / solve_terminal() /
+/// branch() speculatively from pool workers — concurrently, and
+/// possibly for boxes that sequential execution would never expand.
+/// Implementations must therefore be thread-safe and functionally pure
+/// (the returned values may depend only on the box argument, never on
+/// call order or hidden mutable state; internal counters need atomics).
+/// Under the default inline executor calls arrive strictly one at a
+/// time, exactly as before.
 class BnbProblem {
  public:
   virtual ~BnbProblem() = default;
@@ -67,6 +78,15 @@ struct BnbOptions {
   /// this for anytime reporting.
   std::function<void(const struct BnbResult&)> progress;
   std::size_t progress_interval = 1000;
+  /// Execution resource for node expansions.  The default inline
+  /// executor reproduces the single-threaded search exactly.  A pooled
+  /// executor expands frontier nodes speculatively on the workers while
+  /// one control thread commits results in the sequential order, so the
+  /// incumbent, certified gap, status, and node counts are bit-identical
+  /// to the sequential search at any thread count (see DESIGN.md §9;
+  /// wall-clock time budgets remain wall-clock, so kTimeLimit runs stop
+  /// at a machine-dependent node in either mode).
+  sched::Executor executor;
 };
 
 /// Why the search stopped.

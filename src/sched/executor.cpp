@@ -1,0 +1,17 @@
+#include "sched/executor.h"
+
+#include <thread>
+
+namespace ldafp::sched {
+
+Executor Executor::pooled(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;  // the standard allows "unknown"
+  }
+  Executor ex;
+  if (threads > 1) ex.pool_ = std::make_shared<ThreadPool>(threads);
+  return ex;
+}
+
+}  // namespace ldafp::sched

@@ -1,0 +1,72 @@
+#include "sched/task_group.h"
+
+#include <chrono>
+#include <utility>
+
+namespace ldafp::sched {
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // Destructor join is best-effort; wait() is where errors surface.
+  }
+}
+
+void TaskGroup::record_exception() {
+  std::lock_guard lock(error_mu_);
+  if (!error_) error_ = std::current_exception();
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  ThreadPool* pool = executor_.pool();
+  if (pool == nullptr) {
+    try {
+      task();
+    } catch (...) {
+      record_exception();
+    }
+    return;
+  }
+  pending_.fetch_add(1);
+  pool->submit([this, task = std::move(task)]() mutable {
+    try {
+      task();
+    } catch (...) {
+      record_exception();
+    }
+    // The final decrement and its notify run under done_mu_: a waiter
+    // can then only observe pending_ == 0 once this critical section is
+    // entered, and wait()'s closing rendezvous lock keeps the group
+    // alive until it is left — without both, wait() could return (and
+    // the group be destroyed) while notify_all is still executing.
+    std::lock_guard lock(done_mu_);
+    if (pending_.fetch_sub(1) == 1) done_cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  if (ThreadPool* pool = executor_.pool()) {
+    while (pending_.load() != 0) {
+      if (pool->try_run_one()) continue;
+      // Nothing to help with: the remaining tasks are mid-flight on
+      // other threads.  Park briefly; the finisher notifies.
+      std::unique_lock lock(done_mu_);
+      done_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                        [this] { return pending_.load() == 0; });
+    }
+    // Rendezvous with the finishing task: its decrement-and-notify holds
+    // done_mu_, so acquiring the lock here guarantees the notifier has
+    // left the group's members before wait() returns and the group may
+    // be destroyed.
+    std::lock_guard rendezvous(done_mu_);
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(error_mu_);
+    std::swap(error, error_);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ldafp::sched

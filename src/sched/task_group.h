@@ -1,0 +1,63 @@
+// Structured fork/join.
+//
+// A TaskGroup scopes a set of forked tasks: run() forks, wait() joins
+// them all and rethrows the first exception any of them raised.  On an
+// inline executor the tasks run immediately on the calling thread (same
+// semantics, zero threads).  On a pooled executor the waiting thread
+// *helps*: instead of blocking it executes queued pool tasks, which is
+// what makes nested groups on one shared pool (a parallel sweep whose
+// trials run a parallel branch-and-bound) deadlock-free — every waiter
+// is also a worker.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+
+#include "sched/executor.h"
+
+namespace ldafp::sched {
+
+/// Fork/join scope.  run() is thread-safe — forked tasks may fork
+/// further tasks into their own group (a task that spawns a follow-up
+/// keeps the group's pending count above zero until the follow-up
+/// finishes, so wait() cannot return early).  wait() may only be called
+/// from one thread at a time.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Executor executor) : executor_(std::move(executor)) {}
+
+  /// Joins outstanding tasks; any stored exception is swallowed here
+  /// (call wait() first if you care — you should).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Forks one task.  Inline executors run it before returning (its
+  /// exception, if any, is captured and deferred to wait() so both
+  /// executor kinds behave identically).
+  void run(std::function<void()> task);
+
+  /// Joins every forked task, helping the pool while it waits, then
+  /// rethrows the first captured exception (the group is reusable
+  /// afterwards).
+  void wait();
+
+  const Executor& executor() const { return executor_; }
+
+ private:
+  void record_exception();
+
+  Executor executor_;
+  std::atomic<std::size_t> pending_{0};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace ldafp::sched

@@ -1,0 +1,135 @@
+#include "sched/thread_pool.h"
+
+#include <utility>
+
+#include "support/error.h"
+
+namespace ldafp::sched {
+namespace {
+
+// Which pool (if any) the current thread is a worker of, and its index.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_index = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  LDAFP_CHECK(threads > 0, "thread pool needs at least one worker");
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true);
+  idle_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Belt and braces: a submit racing the final pending_ update could in
+  // principle leave a task behind; the contract says it must still run.
+  while (try_run_one()) {
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  LDAFP_CHECK(task != nullptr, "cannot submit a null task");
+  if (tls_pool == this) {
+    std::lock_guard lock(queues_[tls_index]->mu);
+    queues_[tls_index]->tasks.push_back(std::move(task));
+  } else {
+    std::lock_guard lock(inject_mu_);
+    injected_.push_back(std::move(task));
+  }
+  {
+    // The increment is fenced by idle_mu_ so a parking worker either sees
+    // pending_ > 0 in its predicate or is already waiting when the notify
+    // lands — no lost wakeups.
+    std::lock_guard lock(idle_mu_);
+    pending_.fetch_add(1);
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::pop_own(std::size_t index, Task& out) {
+  WorkerQueue& q = *queues_[index];
+  std::lock_guard lock(q.mu);
+  if (q.tasks.empty()) return false;
+  out = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  pending_.fetch_sub(1);
+  return true;
+}
+
+bool ThreadPool::pop_injected(Task& out) {
+  std::lock_guard lock(inject_mu_);
+  if (injected_.empty()) return false;
+  out = std::move(injected_.front());
+  injected_.pop_front();
+  pending_.fetch_sub(1);
+  return true;
+}
+
+bool ThreadPool::steal(std::size_t thief, Task& out) {
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t victim = (thief + 1 + k) % n;
+    if (victim == thief) continue;
+    WorkerQueue& q = *queues_[victim];
+    std::lock_guard lock(q.mu);
+    if (q.tasks.empty()) continue;
+    out = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    pending_.fetch_sub(1);
+    steals_.fetch_add(1);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::run(Task& task) {
+  executed_.fetch_add(1);
+  task();  // tasks must not throw (TaskGroup wraps user code)
+}
+
+bool ThreadPool::try_run_one() {
+  Task task;
+  const bool is_worker = tls_pool == this;
+  const std::size_t self = is_worker ? tls_index : queues_.size();
+  if (is_worker && pop_own(self, task)) {
+    run(task);
+    return true;
+  }
+  if (pop_injected(task)) {
+    run(task);
+    return true;
+  }
+  if (steal(self, task)) {
+    run(task);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_pool = this;
+  tls_index = index;
+  Task task;
+  while (true) {
+    if (pop_own(index, task) || pop_injected(task) || steal(index, task)) {
+      run(task);
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+      return stop_.load() || pending_.load() > 0;
+    });
+    if (stop_.load() && pending_.load() <= 0) return;
+  }
+}
+
+}  // namespace ldafp::sched

@@ -1,0 +1,229 @@
+// Thread-invariance property tests for the parallel branch-and-bound
+// driver: at any thread count the search must reproduce the sequential
+// incumbent, certified bound, status, and node counters bit-for-bit
+// (DESIGN.md §9).  The problem below is the bnb_test.cpp toy with its
+// telemetry made atomic, satisfying the BnbProblem concurrency contract.
+#include "opt/bnb.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "sched/executor.h"
+
+namespace ldafp::opt {
+namespace {
+
+using linalg::Vector;
+
+/// Minimize Σ (x_i - target_i)² over integer points in the box.
+/// bound / is_terminal / solve_terminal / branch are pure functions of
+/// the box; the call counter is the only mutable state and is atomic.
+class AtomicIntegerQuadratic : public BnbProblem {
+ public:
+  explicit AtomicIntegerQuadratic(Vector target)
+      : target_(std::move(target)) {}
+
+  std::atomic<int> bound_calls{0};
+
+  double value(const Vector& x) const {
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - target_[i];
+      s += d * d;
+    }
+    return s;
+  }
+
+  NodeBounds bound(const Box& box) override {
+    bound_calls.fetch_add(1, std::memory_order_relaxed);
+    NodeBounds out;
+    Vector rounded(target_.size());
+    double lb = 0.0;
+    for (std::size_t i = 0; i < target_.size(); ++i) {
+      const double clamped =
+          std::min(std::max(target_[i], box[i].lo), box[i].hi);
+      const double d = clamped - target_[i];
+      lb += d * d;
+      rounded[i] = std::round(clamped);
+      rounded[i] = std::min(std::max(rounded[i], std::ceil(box[i].lo)),
+                            std::floor(box[i].hi));
+    }
+    out.lower = lb;
+    out.candidate = rounded;
+    out.candidate_value = value(rounded);
+    return out;
+  }
+
+  bool is_terminal(const Box& box) const override {
+    for (std::size_t i = 0; i < box.size(); ++i) {
+      if (box[i].width() > 2.0) return false;
+    }
+    return true;
+  }
+
+  NodeBounds solve_terminal(const Box& box) override {
+    NodeBounds out;
+    std::vector<std::vector<double>> axes(box.size());
+    for (std::size_t i = 0; i < box.size(); ++i) {
+      for (double v = std::ceil(box[i].lo); v <= box[i].hi; v += 1.0) {
+        axes[i].push_back(v);
+      }
+      if (axes[i].empty()) return out;
+    }
+    std::vector<std::size_t> idx(box.size(), 0);
+    Vector x(box.size());
+    for (std::size_t i = 0; i < box.size(); ++i) x[i] = axes[i][0];
+    while (true) {
+      const double v = value(x);
+      if (v < out.candidate_value) {
+        out.candidate = x;
+        out.candidate_value = v;
+        out.lower = v;
+      }
+      std::size_t i = 0;
+      while (i < box.size()) {
+        if (++idx[i] < axes[i].size()) {
+          x[i] = axes[i][idx[i]];
+          break;
+        }
+        idx[i] = 0;
+        x[i] = axes[i][0];
+        ++i;
+      }
+      if (i == box.size()) break;
+    }
+    return out;
+  }
+
+  std::pair<Box, Box> branch(const Box& box) override {
+    const std::size_t dim = box.widest_dimension();
+    return box.split(dim, std::floor(box[dim].mid()) + 0.5);
+  }
+
+ private:
+  Vector target_;
+};
+
+/// The fields the determinism contract covers (everything but seconds).
+void expect_identical(const BnbResult& a, const BnbResult& b,
+                      std::size_t threads) {
+  EXPECT_EQ(a.status, b.status) << threads << " threads";
+  EXPECT_EQ(a.nodes_processed, b.nodes_processed) << threads << " threads";
+  EXPECT_EQ(a.nodes_pruned, b.nodes_pruned) << threads << " threads";
+  EXPECT_EQ(a.best_value, b.best_value) << threads << " threads";
+  EXPECT_EQ(a.lower_bound, b.lower_bound) << threads << " threads";
+  EXPECT_EQ(a.gap(), b.gap()) << threads << " threads";
+  ASSERT_EQ(a.best_point.has_value(), b.best_point.has_value());
+  if (a.best_point.has_value()) {
+    ASSERT_EQ(a.best_point->size(), b.best_point->size());
+    for (std::size_t i = 0; i < a.best_point->size(); ++i) {
+      EXPECT_EQ((*a.best_point)[i], (*b.best_point)[i])
+          << threads << " threads, coordinate " << i;
+    }
+  }
+}
+
+BnbResult run_with_threads(const Box& root, std::size_t threads,
+                           BnbOptions options = {}) {
+  AtomicIntegerQuadratic problem(Vector{1.3, -2.7, 0.5, 3.1});
+  options.executor = threads <= 1 ? sched::Executor::inline_exec()
+                                  : sched::Executor::pooled(threads);
+  return BnbSolver(options).run(problem, root);
+}
+
+TEST(BnbParallelTest, FullSearchInvariantAcrossThreadCounts) {
+  const Box root(4, Interval{-20.0, 20.0});
+  const BnbResult reference = run_with_threads(root, 1);
+  EXPECT_EQ(reference.status, BnbStatus::kOptimal);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    expect_identical(reference, run_with_threads(root, threads), threads);
+  }
+}
+
+TEST(BnbParallelTest, NodeBudgetStopsAtSameNodeAnyThreadCount) {
+  // An exhausted budget is the sharpest determinism probe: one extra or
+  // missing expansion shifts the anytime incumbent and the gap.
+  const Box root(4, Interval{-50.0, 50.0});
+  BnbOptions options;
+  options.max_nodes = 11;
+  const BnbResult reference = run_with_threads(root, 1, options);
+  EXPECT_EQ(reference.status, BnbStatus::kNodeLimit);
+  EXPECT_EQ(reference.nodes_processed, 11u);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    expect_identical(reference, run_with_threads(root, threads, options),
+                     threads);
+  }
+}
+
+TEST(BnbParallelTest, GapToleranceStopsIdentically) {
+  const Box root(4, Interval{-50.0, 50.0});
+  BnbOptions options;
+  options.abs_gap = 1.0;
+  const BnbResult reference = run_with_threads(root, 1, options);
+  for (const std::size_t threads : {2u, 4u}) {
+    expect_identical(reference, run_with_threads(root, threads, options),
+                     threads);
+  }
+}
+
+TEST(BnbParallelTest, ExpiredTimeBudgetStopsBeforeFirstNodeEverywhere) {
+  // max_seconds = 0 expires before the first pop in both modes — the
+  // one time-budget outcome that *is* machine-independent.
+  const Box root(4, Interval{-50.0, 50.0});
+  BnbOptions options;
+  options.max_seconds = 0.0;
+  for (const std::size_t threads : {1u, 4u}) {
+    const BnbResult r = run_with_threads(root, threads, options);
+    EXPECT_EQ(r.status, BnbStatus::kTimeLimit) << threads << " threads";
+    EXPECT_EQ(r.nodes_processed, 0u) << threads << " threads";
+  }
+}
+
+TEST(BnbParallelTest, WarmStartInvariantAcrossThreadCounts) {
+  const Box root(4, Interval{-100.0, 100.0});
+  const auto incumbent = std::make_pair(Vector{1.0, -3.0, 0.0, 3.0}, 0.43);
+  BnbResult results[2];
+  const std::size_t counts[2] = {1, 4};
+  for (int k = 0; k < 2; ++k) {
+    AtomicIntegerQuadratic problem(Vector{1.3, -2.7, 0.5, 3.1});
+    BnbOptions options;
+    options.executor = counts[k] <= 1
+                           ? sched::Executor::inline_exec()
+                           : sched::Executor::pooled(counts[k]);
+    results[k] = BnbSolver(options).run(problem, root, incumbent);
+  }
+  expect_identical(results[0], results[1], 4);
+}
+
+TEST(BnbParallelTest, ProgressSnapshotsIdenticalUnderParallelism) {
+  // The snapshot sequence is part of the committed sequential order, so
+  // it too must be thread-invariant (modulo the timing field).
+  const Box root(3, Interval{-30.0, 30.0});
+  auto collect = [&root](std::size_t threads) {
+    AtomicIntegerQuadratic problem(Vector{1.3, -2.7, 0.5});
+    BnbOptions options;
+    options.progress_interval = 1;
+    options.executor = threads <= 1 ? sched::Executor::inline_exec()
+                                    : sched::Executor::pooled(threads);
+    std::vector<std::pair<double, double>> trace;  // (best, bound)
+    options.progress = [&trace](const BnbResult& snapshot) {
+      trace.emplace_back(snapshot.best_value, snapshot.lower_bound);
+    };
+    BnbSolver(options).run(problem, root);
+    return trace;
+  };
+  const auto sequential = collect(1);
+  const auto parallel = collect(4);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].first, parallel[i].first) << "snapshot " << i;
+    EXPECT_EQ(sequential[i].second, parallel[i].second)
+        << "snapshot " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ldafp::opt

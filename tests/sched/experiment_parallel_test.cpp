@@ -1,0 +1,169 @@
+// Determinism tests for the parallel experiment harness and the
+// end-to-end LDA-FP trainer on a pooled executor: every reported number
+// must be bit-identical to sequential execution (DESIGN.md §9).  These
+// run under the `sched` label so ThreadSanitizer exercises the real
+// LdaFpSearchProblem, not just the toy problems.
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/format_policy.h"
+#include "core/ldafp.h"
+#include "data/synthetic.h"
+#include "sched/executor.h"
+#include "stats/normal.h"
+#include "support/rng.h"
+
+namespace ldafp::eval {
+namespace {
+
+ExperimentConfig quick_config() {
+  ExperimentConfig config;
+  config.word_lengths = {4, 6, 8};
+  config.ldafp.bnb.max_nodes = 150;
+  config.ldafp.bnb.max_seconds = 10.0;
+  config.ldafp.bnb.rel_gap = 1e-2;
+  return config;
+}
+
+void expect_identical(const TrialResult& a, const TrialResult& b) {
+  EXPECT_EQ(a.word_length, b.word_length);
+  EXPECT_EQ(a.lda_error, b.lda_error);
+  EXPECT_EQ(a.ldafp_error, b.ldafp_error);
+  EXPECT_EQ(a.ldafp_gap, b.ldafp_gap);
+  EXPECT_EQ(a.ldafp_status, b.ldafp_status);
+  EXPECT_EQ(a.ldafp_nodes, b.ldafp_nodes);
+  EXPECT_EQ(a.lda_threshold, b.lda_threshold);
+  EXPECT_EQ(a.ldafp_threshold, b.ldafp_threshold);
+  EXPECT_EQ(linalg::max_abs_diff(a.lda_weights, b.lda_weights), 0.0);
+  EXPECT_EQ(linalg::max_abs_diff(a.ldafp_weights, b.ldafp_weights), 0.0);
+}
+
+TEST(ExperimentParallelTest, RunSweepBitIdenticalToSequential) {
+  support::Rng rng(21);
+  const auto train = data::make_synthetic(300, rng);
+  const auto test = data::make_synthetic(300, rng);
+
+  ExperimentConfig sequential = quick_config();
+  const auto reference = run_sweep(train, test, sequential);
+
+  for (const std::size_t threads : {2u, 4u}) {
+    ExperimentConfig parallel = quick_config();
+    parallel.executor = sched::Executor::pooled(threads);
+    const auto rows = run_sweep(train, test, parallel);
+    ASSERT_EQ(rows.size(), reference.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      expect_identical(reference[i], rows[i]);
+    }
+  }
+}
+
+TEST(ExperimentParallelTest, RunCvSweepBitIdenticalToSequential) {
+  support::Rng data_rng(22);
+  const auto data = data::make_synthetic(80, data_rng);  // 160 samples
+
+  support::Rng rng_a(7);
+  const auto reference = run_cv_sweep(data, 4, quick_config(), rng_a);
+
+  ExperimentConfig parallel = quick_config();
+  parallel.executor = sched::Executor::pooled(4);
+  support::Rng rng_b(7);
+  const auto rows = run_cv_sweep(data, 4, parallel, rng_b);
+
+  ASSERT_EQ(rows.size(), reference.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].word_length, reference[i].word_length);
+    EXPECT_EQ(rows[i].lda_error, reference[i].lda_error);
+    EXPECT_EQ(rows[i].ldafp_error, reference[i].ldafp_error);
+    EXPECT_EQ(rows[i].max_gap, reference[i].max_gap);
+  }
+  // Both sweeps consumed the same randomness: the generators agree on
+  // the next fold assignment they would produce.
+  const auto next_a = data::stratified_k_fold(data, 2, rng_a);
+  const auto next_b = data::stratified_k_fold(data, 2, rng_b);
+  ASSERT_EQ(next_a.size(), next_b.size());
+  for (std::size_t f = 0; f < next_a.size(); ++f) {
+    EXPECT_EQ(next_a[f].train.size(), next_b[f].train.size());
+    EXPECT_EQ(next_a[f].test.size(), next_b[f].test.size());
+  }
+}
+
+TEST(ExperimentParallelTest, CvSweepReportsWallSpan) {
+  support::Rng data_rng(23);
+  const auto data = data::make_synthetic(60, data_rng);
+  ExperimentConfig config = quick_config();
+  config.word_lengths = {5};
+  config.executor = sched::Executor::pooled(2);
+  support::Rng rng(3);
+  const auto rows = run_cv_sweep(data, 3, config, rng);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GT(rows[0].wall_seconds, 0.0);
+  EXPECT_GT(rows[0].ldafp_seconds, 0.0);
+}
+
+TEST(ExperimentParallelTest, TrainerBitIdenticalWithPooledBnbExecutor) {
+  // End-to-end LDA-FP training with the parallel branch-and-bound: the
+  // weights, cost, node count, and certified gap must match sequential
+  // training exactly.  This is the TSan workout for the concurrency
+  // contract of LdaFpSearchProblem (barrier solves from pool workers).
+  support::Rng rng(24);
+  const auto dataset = data::make_synthetic(250, rng);
+  const core::TrainingSet raw = dataset.to_training_set();
+  const double beta = stats::confidence_beta(0.9999);
+  const core::FormatChoice choice = core::choose_format(raw, 6, beta, 2);
+  const core::TrainingSet scaled =
+      core::scale_training_set(raw, choice.feature_scale);
+
+  auto train_with = [&](sched::Executor executor) {
+    core::LdaFpOptions options;
+    options.bnb.max_nodes = 200;
+    options.bnb.rel_gap = 1e-2;
+    options.bnb.executor = std::move(executor);
+    return core::LdaFpTrainer(choice.format, options).train(scaled);
+  };
+
+  const core::LdaFpResult reference =
+      train_with(sched::Executor::inline_exec());
+  ASSERT_TRUE(reference.found());
+  for (const std::size_t threads : {2u, 4u}) {
+    const core::LdaFpResult parallel =
+        train_with(sched::Executor::pooled(threads));
+    ASSERT_TRUE(parallel.found()) << threads << " threads";
+    EXPECT_EQ(parallel.cost, reference.cost) << threads << " threads";
+    EXPECT_EQ(parallel.threshold, reference.threshold);
+    EXPECT_EQ(parallel.search.nodes_processed,
+              reference.search.nodes_processed);
+    EXPECT_EQ(parallel.search.nodes_pruned, reference.search.nodes_pruned);
+    EXPECT_EQ(parallel.search.status, reference.search.status);
+    EXPECT_EQ(parallel.search.gap(), reference.search.gap());
+    EXPECT_EQ(linalg::max_abs_diff(parallel.weights, reference.weights),
+              0.0);
+  }
+}
+
+TEST(ExperimentParallelTest, SharedPoolAcrossSweepAndSearchIsSafe) {
+  // One pool serving both layers (sweep fan-out + intra-trial B&B):
+  // waiters help, so a 2-thread pool cannot deadlock, and the numbers
+  // still match fully sequential execution.
+  support::Rng rng(25);
+  const auto train = data::make_synthetic(150, rng);
+  const auto test = data::make_synthetic(150, rng);
+
+  ExperimentConfig sequential = quick_config();
+  sequential.word_lengths = {4, 6};
+  const auto reference = run_sweep(train, test, sequential);
+
+  ExperimentConfig nested = quick_config();
+  nested.word_lengths = {4, 6};
+  nested.executor = sched::Executor::pooled(2);
+  nested.ldafp.bnb.executor = nested.executor;  // same pool, both layers
+  const auto rows = run_sweep(train, test, nested);
+
+  ASSERT_EQ(rows.size(), reference.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    expect_identical(reference[i], rows[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ldafp::eval

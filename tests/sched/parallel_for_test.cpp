@@ -1,0 +1,125 @@
+#include "sched/parallel_for.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/executor.h"
+
+namespace ldafp::sched {
+namespace {
+
+void expect_full_coverage(const Executor& executor, std::size_t n,
+                          ForOptions options) {
+  std::vector<std::atomic<int>> counts(n);
+  parallel_for(
+      executor, 0, n, [&](std::size_t i) { counts[i].fetch_add(1); },
+      options);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, StaticCoversEveryIndexExactlyOnce) {
+  // 103 indices over 4 workers: uneven blocks (3 of 26, 1 of 25).
+  expect_full_coverage(Executor::pooled(4), 103,
+                       ForOptions{Chunking::kStatic, 1});
+}
+
+TEST(ParallelForTest, DynamicCoversEveryIndexExactlyOnce) {
+  expect_full_coverage(Executor::pooled(4), 103,
+                       ForOptions{Chunking::kDynamic, 1});
+}
+
+TEST(ParallelForTest, DynamicWithCoarseGrainCoversAll) {
+  // Grain 7 does not divide 103: the last slice is short.
+  expect_full_coverage(Executor::pooled(3), 103,
+                       ForOptions{Chunking::kDynamic, 7});
+}
+
+TEST(ParallelForTest, GrainZeroTreatedAsOne) {
+  expect_full_coverage(Executor::pooled(2), 10,
+                       ForOptions{Chunking::kDynamic, 0});
+}
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  int calls = 0;
+  parallel_for(Executor::pooled(2), 5, 5, [&](std::size_t) { ++calls; });
+  parallel_for(Executor::pooled(2), 5, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, NonZeroBeginRespected) {
+  std::vector<std::atomic<int>> counts(20);
+  parallel_for(Executor::pooled(3), 7, 20,
+               [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(counts[i].load(), i >= 7 ? 1 : 0);
+  }
+}
+
+TEST(ParallelForTest, InlineExecutorRunsSequentiallyInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(Executor::inline_exec(), 0, 8,
+               [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForTest, BodyExceptionRethrownToCaller) {
+  EXPECT_THROW(parallel_for(Executor::pooled(4), 0, 50,
+                            [](std::size_t i) {
+                              if (i == 17) {
+                                throw std::runtime_error("bad index");
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelMapTest, ResultsLandInIndexOrder) {
+  const auto out = parallel_map(Executor::pooled(4), 64, [](std::size_t i) {
+    return i * i;
+  });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMapTest, ZeroElements) {
+  const auto out =
+      parallel_map(Executor::pooled(2), 0, [](std::size_t i) { return i; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ParallelReduceTest, OrderedFoldBitIdenticalToSequential) {
+  // 1/(i+1) sums are order-sensitive in floating point; the ordered
+  // reduction must match the plain sequential loop to the last bit at
+  // any thread count.
+  const std::size_t n = 1000;
+  const auto term = [](std::size_t i) {
+    return 1.0 / static_cast<double>(i + 1);
+  };
+  double sequential = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sequential += term(i);
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const double parallel = parallel_reduce_ordered(
+        Executor::pooled(threads), n, 0.0, term,
+        [](double acc, double v) { return acc + v; });
+    EXPECT_EQ(parallel, sequential) << threads << " threads";
+  }
+}
+
+TEST(ParallelReduceTest, FoldSeesIndexOrder) {
+  // Non-commutative fold: string concatenation exposes any reordering.
+  const auto digit = [](std::size_t i) { return std::to_string(i % 10); };
+  const std::string joined = parallel_reduce_ordered(
+      Executor::pooled(4), 12, std::string(), digit,
+      [](std::string acc, std::string v) { return acc + v; });
+  EXPECT_EQ(joined, "012345678901");
+}
+
+}  // namespace
+}  // namespace ldafp::sched

@@ -1,0 +1,155 @@
+#include "sched/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace ldafp::sched {
+namespace {
+
+TEST(ThreadPoolTest, ConstructAndDestroyIdle) {
+  // The destructor must join cleanly with nothing ever submitted.
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_EQ(pool.tasks_executed(), 0u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRejected) {
+  // Thread-count defaulting (0 -> hardware_concurrency) is the
+  // Executor's job; the pool itself requires an explicit positive count.
+  EXPECT_ANY_THROW(ThreadPool pool(0));
+}
+
+TEST(ThreadPoolTest, DestructorFinishesSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool drains everything already submitted
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, EveryTaskRunsExactlyOnce) {
+  const std::size_t n = 500;
+  std::vector<std::atomic<int>> counts(n);
+  {
+    ThreadPool pool(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&counts, i] { counts[i].fetch_add(1); });
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, WorkerSubmissionsAreStolenByPeers) {
+  // A worker parks a task on its own deque and then spins; the only
+  // threads that can run it are a stealing peer (or an external helper,
+  // which this test does not provide) — so completion proves the steal
+  // path works and ran on a different thread.
+  std::atomic<bool> inner_done{false};
+  std::thread::id outer_id;
+  std::thread::id inner_id;
+  {
+    ThreadPool pool(2);
+    pool.submit([&] {
+      outer_id = std::this_thread::get_id();
+      pool.submit([&] {
+        inner_id = std::this_thread::get_id();
+        inner_done.store(true);
+      });
+      while (!inner_done.load()) std::this_thread::yield();
+    });
+  }
+  EXPECT_TRUE(inner_done.load());
+  EXPECT_NE(outer_id, inner_id);
+}
+
+TEST(ThreadPoolTest, StealTelemetryCounts) {
+  // Same shape as above; the completed steal must be visible in steals().
+  std::atomic<bool> inner_done{false};
+  std::size_t steals = 0;
+  {
+    ThreadPool pool(2);
+    pool.submit([&] {
+      pool.submit([&] { inner_done.store(true); });
+      while (!inner_done.load()) std::this_thread::yield();
+    });
+    // Wait for the steal before reading the counter (the pool is alive).
+    while (!inner_done.load()) std::this_thread::yield();
+    steals = pool.steals();
+  }
+  EXPECT_GE(steals, 1u);
+}
+
+TEST(ThreadPoolTest, TryRunOneExecutesInjectedTaskOnCaller) {
+  ThreadPool pool(1);
+  // Block the single worker so the second task stays queued.
+  std::atomic<bool> release{false};
+  std::atomic<bool> blocked{false};
+  pool.submit([&] {
+    blocked.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!blocked.load()) std::this_thread::yield();
+
+  std::thread::id ran_on;
+  std::atomic<bool> ran{false};
+  pool.submit([&] {
+    ran_on = std::this_thread::get_id();
+    ran.store(true);
+  });
+  // The caller helps: the queued task runs on this thread.
+  while (!ran.load()) {
+    if (!pool.try_run_one()) std::this_thread::yield();
+  }
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+  release.store(true);
+}
+
+TEST(ThreadPoolTest, TryRunOneReturnsFalseWhenEmpty) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.try_run_one());
+}
+
+TEST(ThreadPoolTest, ExecutedTelemetryCounts) {
+  std::atomic<int> ran{0};
+  std::size_t executed = 0;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+    while (ran.load() < 32) std::this_thread::yield();
+    executed = pool.tasks_executed();
+  }
+  EXPECT_EQ(executed, 32u);
+}
+
+TEST(ThreadPoolTest, ManyProducersManyTasks) {
+  // External submissions from several threads at once land in the
+  // injection queue; all must run exactly once.
+  const std::size_t producers = 4;
+  const std::size_t per_producer = 200;
+  std::vector<std::atomic<int>> counts(producers * per_producer);
+  {
+    ThreadPool pool(3);
+    std::vector<std::thread> threads;
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        for (std::size_t i = 0; i < per_producer; ++i) {
+          const std::size_t slot = p * per_producer + i;
+          pool.submit([&counts, slot] { counts[slot].fetch_add(1); });
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+}  // namespace
+}  // namespace ldafp::sched
