@@ -107,6 +107,13 @@ int cmd_train(int argc, char** argv) {
               result.cost, result.search.nodes_processed,
               result.train_seconds, opt::to_string(result.search.status),
               result.search.gap());
+  const opt::NodeStats& solver = result.search.solver_stats;
+  std::printf("Solver: %llu relaxations (%llu phase-I skips), "
+              "%llu Newton iterations, %llu factorizations\n",
+              static_cast<unsigned long long>(solver.relaxations),
+              static_cast<unsigned long long>(solver.phase1_skips),
+              static_cast<unsigned long long>(solver.newton_iterations),
+              static_cast<unsigned long long>(solver.factorizations));
 
   // Training-set error comparison against the rounded-LDA baseline.
   const auto model = core::fit_two_class_model(

@@ -52,11 +52,35 @@ class LdaFpSearchProblem : public opt::BnbProblem {
     // grid point has ‖w‖₂ >= resolution, so cost >= λ_min·res²/η_sup.
     const linalg::SymmetricEigen eig = linalg::eigen_symmetric(sw_);
     lambda_min_ = std::max(eig.eigenvalues[0], 0.0);
+    // Build the tree-invariant relaxation structure once (DESIGN.md §10):
+    // Q = S_W, the two t-interval rows (per-node right-hand sides), and
+    // the four Eq. 20 SOC cones.  Every node view shares it by pointer.
+    opt::ConvexProblem builder(sw_);
+    builder.add_linear({mean_diff_, 0.0});    // dᵀw <= u_t (rhs per node)
+    builder.add_linear({-mean_diff_, 0.0});   // -dᵀw <= -l_t (rhs per node)
+    // Eq. 20: four SOC constraints.  The smoothing eps slightly tightens
+    // each cone, so the right-hand side is loosened by β√eps to keep
+    // every truly feasible w inside the relaxation (bound validity).
+    const double eps = 1e-12;
+    const double slack = beta_ * std::sqrt(eps);
+    for (const stats::GaussianModel* cls :
+         {&model_.class_a, &model_.class_b}) {
+      builder.add_soc({beta_, cls->sigma(), -cls->mu(),
+                       -fmt_.min_value() + slack, eps});
+      builder.add_soc({beta_, cls->sigma(), cls->mu(),
+                       fmt_.max_value() + slack, eps});
+    }
+    structure_ = builder.share_structure();
   }
 
   std::size_t relaxations_solved() const { return relaxations_.load(); }
 
   opt::NodeBounds bound(const opt::Box& box) override {
+    return bound(box, opt::BoundContext{});
+  }
+
+  opt::NodeBounds bound(const opt::Box& box,
+                        const opt::BoundContext& ctx) override {
     opt::NodeBounds out;
     const opt::Interval tv = box[dim_];
     const double eta_sup = std::max(tv.lo * tv.lo, tv.hi * tv.hi);
@@ -69,7 +93,14 @@ class LdaFpSearchProblem : public opt::BnbProblem {
 
     const opt::ConvexProblem relaxation = build_relaxation(box);
     relaxations_.fetch_add(1, std::memory_order_relaxed);
-    const opt::BarrierResult solve = solver_.solve(relaxation);
+    opt::BarrierResult solve =
+        solver_.solve(relaxation, make_seed(ctx, box), &thread_workspace());
+    out.stats.relaxations = 1;
+    out.stats.newton_iterations =
+        static_cast<std::uint64_t>(solve.newton_iterations);
+    out.stats.factorizations =
+        static_cast<std::uint64_t>(solve.factorizations);
+    out.stats.phase1_skips = solve.phase1_skipped ? 1 : 0;
     if (solve.status == opt::SolveStatus::kInfeasible) {
       out.lower = kInf;
       return out;
@@ -89,6 +120,9 @@ class LdaFpSearchProblem : public opt::BnbProblem {
         out.candidate = cand->first;
         out.candidate_value = cand->second;
       }
+      // Hand the relaxation optimum back to the driver: it becomes the
+      // children's warm start (BoundContext).
+      out.relaxation_point = std::move(solve.x);
     }
     return out;
   }
@@ -247,29 +281,73 @@ class LdaFpSearchProblem : public opt::BnbProblem {
     box[dim_].hi = std::min(box[dim_].hi, range.hi);
   }
 
+  /// Node view over the shared structure: O(m) — only the w box and the
+  /// two t-interval right-hand sides differ between nodes.
   opt::ConvexProblem build_relaxation(const opt::Box& box) const {
-    opt::ConvexProblem problem(sw_);
     opt::Box wbox{std::vector<opt::Interval>(dim_)};
     for (std::size_t m = 0; m < dim_; ++m) wbox[m] = box[m];
-    problem.set_box(std::move(wbox));
-
+    opt::ConvexProblem problem(structure_, std::move(wbox));
     const opt::Interval tv = box[dim_];
-    problem.add_linear({mean_diff_, tv.hi});          // dᵀw <= u_t
-    problem.add_linear({-mean_diff_, -tv.lo});        // -dᵀw <= -l_t
-
-    // Eq. 20: four SOC constraints.  The smoothing eps slightly tightens
-    // each cone, so the right-hand side is loosened by β√eps to keep
-    // every truly feasible w inside the relaxation (bound validity).
-    const double eps = 1e-12;
-    const double slack = beta_ * std::sqrt(eps);
-    for (const stats::GaussianModel* cls :
-         {&model_.class_a, &model_.class_b}) {
-      problem.add_soc({beta_, cls->sigma(), -cls->mu(),
-                       -fmt_.min_value() + slack, eps});
-      problem.add_soc({beta_, cls->sigma(), cls->mu(),
-                       fmt_.max_value() + slack, eps});
-    }
+    problem.set_linear_rhs(0, tv.hi);    // dᵀw <= u_t
+    problem.set_linear_rhs(1, -tv.lo);   // -dᵀw <= -l_t
     return problem;
+  }
+
+  /// Warm-start seed for this node: the parent's relaxation optimum
+  /// clamped strictly inside the node's w box.  A pure function of
+  /// (ctx, box), so it preserves the thread-invariance contract.  The
+  /// seed may still violate the node's t rows or a SOC (the solver then
+  /// falls back to phase I); clamping only repairs the box part.
+  std::optional<linalg::Vector> make_seed(const opt::BoundContext& ctx,
+                                          const opt::Box& box) const {
+    if (ctx.parent_relaxation == nullptr ||
+        ctx.parent_relaxation->size() != dim_) {
+      return std::nullopt;
+    }
+    linalg::Vector seed = *ctx.parent_relaxation;
+    const auto clamp_into_box = [&] {
+      for (std::size_t m = 0; m < dim_; ++m) {
+        const double lo = box[m].lo;
+        const double hi = box[m].hi;
+        const double width = hi - lo;
+        if (width <= 0.0) {
+          // Degenerate interval: the solver inflates it centered on the
+          // midpoint, so the midpoint stays strictly interior.
+          seed[m] = 0.5 * (lo + hi);
+          continue;
+        }
+        const double margin = std::min(1e-7, 0.25 * width);
+        seed[m] = std::min(std::max(seed[m], lo + margin), hi - margin);
+      }
+    };
+    clamp_into_box();
+    // Repair the t rows: after a t-split the parent's t = dᵀw usually
+    // falls outside one child's interval, which would force a cold
+    // solve.  Shift along d (the minimum-norm correction) so t lands
+    // strictly inside, then re-clamp — if the clamp pushes t back out,
+    // the solver's phase I fallback still guarantees correctness.
+    const opt::Interval tv = box[dim_];
+    if (tv.width() > 0.0) {
+      const double t_now = linalg::dot(mean_diff_, seed);
+      const double t_margin = std::min(1e-7, 0.25 * tv.width());
+      const double t_target =
+          std::min(std::max(t_now, tv.lo + t_margin), tv.hi - t_margin);
+      if (t_target != t_now) {
+        const double dd = linalg::dot(mean_diff_, mean_diff_);
+        if (dd > 0.0) {
+          seed.axpy((t_target - t_now) / dd, mean_diff_);
+          clamp_into_box();
+        }
+      }
+    }
+    return seed;
+  }
+
+  /// One solver workspace per thread: bound() may run concurrently from
+  /// speculation workers, and each solve needs exclusive scratch.
+  static opt::SolverWorkspace& thread_workspace() {
+    static thread_local opt::SolverWorkspace ws;
+    return ws;
   }
 
   const stats::TwoClassModel& model_;
@@ -282,6 +360,8 @@ class LdaFpSearchProblem : public opt::BnbProblem {
   double min_t_width_;
   std::size_t dim_ = 0;
   double lambda_min_ = 0.0;
+  /// Immutable relaxation structure shared by every node view.
+  std::shared_ptr<const opt::ProblemStructure> structure_;
   /// bound() may run concurrently from the solver's speculation workers
   /// (the BnbProblem concurrency contract); this telemetry counter is
   /// the class's only mutable state, so an atomic keeps it honest.

@@ -17,6 +17,7 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
     LDAFP_CHECK(row.size() == cols_, "matrix initializer rows ragged");
     data_.insert(data_.end(), row.begin(), row.end());
   }
+  count_alloc(data_.size());
 }
 
 Matrix Matrix::identity(std::size_t n) {

@@ -18,14 +18,36 @@ class Matrix {
 
   /// Zero matrix of the given shape.
   Matrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+    count_alloc(data_.size());
+  }
 
   /// Matrix of the given shape filled with `value`.
   Matrix(std::size_t rows, std::size_t cols, double value)
-      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {
+    count_alloc(data_.size());
+  }
 
   /// Matrix from nested initializer lists; all rows must have equal width.
   Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+#ifdef LDAFP_COUNT_ALLOCS
+  Matrix(const Matrix& other)
+      : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+    count_alloc(data_.size());
+  }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other && data_.capacity() < other.data_.size()) {
+      count_alloc(other.data_.size());
+    }
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = other.data_;
+    return *this;
+  }
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+#endif
 
   /// Identity matrix of size n.
   static Matrix identity(std::size_t n);
@@ -93,6 +115,14 @@ class Matrix {
   std::string to_string(int digits = 6) const;
 
  private:
+#ifdef LDAFP_COUNT_ALLOCS
+  static void count_alloc(std::size_t n) {
+    if (n > 0) linalg_alloc_count().fetch_add(1, std::memory_order_relaxed);
+  }
+#else
+  static void count_alloc(std::size_t) {}
+#endif
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<double> data_;

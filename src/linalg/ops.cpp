@@ -1,5 +1,7 @@
 #include "linalg/ops.h"
 
+#include <cmath>
+
 #include "linalg/cholesky.h"
 #include "linalg/lu.h"
 #include "linalg/qr.h"
@@ -12,6 +14,77 @@ Vector solve_spd_or_lu(const Matrix& a, const Vector& b) {
     return Cholesky(a).solve(b);
   } catch (const ldafp::NumericalError&) {
     return Lu(a).solve(b);
+  }
+}
+
+double sym_matvec_quad(const Matrix& a, const Vector& x, Vector& out) {
+  LDAFP_CHECK(a.square() && a.rows() == x.size() && out.size() == x.size(),
+              "sym_matvec_quad dimension mismatch");
+  const std::size_t n = x.size();
+  double quad = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < n; ++c) s += a(r, c) * x[c];
+    out[r] = s;
+    quad += x[r] * s;
+  }
+  return quad;
+}
+
+void sym_rank1_update(Matrix& h, double alpha, const Vector& v) {
+  LDAFP_CHECK(h.square() && h.rows() == v.size(),
+              "sym_rank1_update dimension mismatch");
+  const std::size_t n = v.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double avi = alpha * v[i];
+    if (avi == 0.0) continue;
+    for (std::size_t j = 0; j < n; ++j) h(i, j) += avi * v[j];
+  }
+}
+
+void add_scaled_matrix(Matrix& h, double alpha, const Matrix& a) {
+  LDAFP_CHECK(h.rows() == a.rows() && h.cols() == a.cols(),
+              "add_scaled_matrix shape mismatch");
+  const std::size_t count = h.rows() * h.cols();
+  double* hd = h.data();
+  const double* ad = a.data();
+  for (std::size_t i = 0; i < count; ++i) hd[i] += alpha * ad[i];
+}
+
+bool cholesky_factor_in_place(Matrix& a) {
+  LDAFP_CHECK(a.square(), "cholesky_factor_in_place requires square matrix");
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= a(j, k) * a(j, k);
+    if (!(diag > 0.0)) return false;
+    const double ljj = std::sqrt(diag);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / ljj;
+    }
+  }
+  return true;
+}
+
+void cholesky_solve_in_place(const Matrix& l, Vector& b) {
+  LDAFP_CHECK(l.square() && l.rows() == b.size(),
+              "cholesky_solve_in_place dimension mismatch");
+  const std::size_t n = b.size();
+  // Forward substitution L y = b, in place.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * b[k];
+    b[i] = s / l(i, i);
+  }
+  // Backward substitution Lᵀ x = y, in place.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= l(k, i) * b[k];
+    b[i] = s / l(i, i);
   }
 }
 

@@ -12,6 +12,30 @@ namespace ldafp::linalg {
 /// degenerate data).  This is the solve used by conventional LDA (Eq. 11).
 Vector solve_spd_or_lu(const Matrix& a, const Vector& b);
 
+// --- In-place kernels for the barrier solver's zero-allocation Newton
+// --- loop (DESIGN.md §10).  All of them write into caller-owned storage;
+// --- none touches the heap.
+
+/// Fused symmetric matvec + quadratic form: writes A x into `out`
+/// (which must already have x's dimension) and returns xᵀ A x.
+double sym_matvec_quad(const Matrix& a, const Vector& x, Vector& out);
+
+/// h += alpha * v vᵀ (symmetric rank-1 update; shapes must match).
+void sym_rank1_update(Matrix& h, double alpha, const Vector& v);
+
+/// h += alpha * a (same shape; no temporary).
+void add_scaled_matrix(Matrix& h, double alpha, const Matrix& a);
+
+/// In-place Cholesky: overwrites the lower triangle of `a` (diagonal
+/// included) with the factor L of A = L Lᵀ, reading only the lower
+/// triangle.  Returns false when a pivot is <= 0, i.e. the matrix is not
+/// positive definite — no exception, so hot loops can retry with jitter.
+bool cholesky_factor_in_place(Matrix& a);
+
+/// Solves L Lᵀ x = b in place (b becomes x) given a factor produced by
+/// cholesky_factor_in_place.
+void cholesky_solve_in_place(const Matrix& l, Vector& b);
+
 /// Random matrix with i.i.d. standard normal entries.
 Matrix random_gaussian_matrix(std::size_t rows, std::size_t cols,
                               support::Rng& rng);

@@ -8,6 +8,13 @@
 
 namespace ldafp::linalg {
 
+#ifdef LDAFP_COUNT_ALLOCS
+std::atomic<std::uint64_t>& linalg_alloc_count() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+#endif
+
 double& Vector::at(std::size_t i) {
   LDAFP_CHECK(i < data_.size(), "vector index out of range");
   return data_[i];

@@ -11,7 +11,21 @@
 #include <string>
 #include <vector>
 
+#ifdef LDAFP_COUNT_ALLOCS
+#include <atomic>
+#include <cstdint>
+#endif
+
 namespace ldafp::linalg {
+
+#ifdef LDAFP_COUNT_ALLOCS
+/// Debug-only telemetry (builds configured with -DLDAFP_COUNT_ALLOCS=ON):
+/// counts every fresh heap buffer acquired by Vector/Matrix, so tests can
+/// assert that the barrier solver's workspace-backed Newton loop performs
+/// zero steady-state allocations (DESIGN.md §10).  Copy-assignments that
+/// reuse existing capacity do not count; moves never count.
+std::atomic<std::uint64_t>& linalg_alloc_count();
+#endif
 
 /// Dense real vector with value semantics.
 class Vector {
@@ -20,16 +34,33 @@ class Vector {
   Vector() = default;
 
   /// Zero vector of dimension n.
-  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+  explicit Vector(std::size_t n) : data_(n, 0.0) { count_alloc(n); }
 
   /// Vector of dimension n filled with `value`.
-  Vector(std::size_t n, double value) : data_(n, value) {}
+  Vector(std::size_t n, double value) : data_(n, value) { count_alloc(n); }
 
   /// Vector from an initializer list: Vector{1.0, 2.0}.
-  Vector(std::initializer_list<double> values) : data_(values) {}
+  Vector(std::initializer_list<double> values) : data_(values) {
+    count_alloc(data_.size());
+  }
 
   /// Vector adopting an existing buffer.
   explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+#ifdef LDAFP_COUNT_ALLOCS
+  Vector(const Vector& other) : data_(other.data_) {
+    count_alloc(data_.size());
+  }
+  Vector& operator=(const Vector& other) {
+    if (this != &other && data_.capacity() < other.data_.size()) {
+      count_alloc(other.data_.size());
+    }
+    data_ = other.data_;
+    return *this;
+  }
+  Vector(Vector&&) noexcept = default;
+  Vector& operator=(Vector&&) noexcept = default;
+#endif
 
   /// Dimension.
   std::size_t size() const { return data_.size(); }
@@ -79,6 +110,14 @@ class Vector {
   std::string to_string(int digits = 6) const;
 
  private:
+#ifdef LDAFP_COUNT_ALLOCS
+  static void count_alloc(std::size_t n) {
+    if (n > 0) linalg_alloc_count().fetch_add(1, std::memory_order_relaxed);
+  }
+#else
+  static void count_alloc(std::size_t) {}
+#endif
+
   std::vector<double> data_;
 };
 

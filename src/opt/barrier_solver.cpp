@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
-#include "linalg/cholesky.h"
+#include "linalg/ops.h"
 #include "support/error.h"
 #include "support/log.h"
 
@@ -28,33 +29,35 @@ Box inflate_box(const Box& box, double min_width) {
   return out;
 }
 
-/// Cached per-SOC-constraint quantities at a point.
+/// Cached per-SOC-constraint scalars at a point; the Σw vector lands in
+/// the caller-supplied buffer so repeated evaluations stay off the heap.
 struct SocEval {
-  double residual;       // g(w)
-  double root;           // sqrt(wᵀΣw + eps)
-  linalg::Vector sigma_w;
+  double residual;  // g(w)
+  double root;      // sqrt(wᵀΣw + eps)
 };
 
-SocEval eval_soc(const SocConstraint& s, const linalg::Vector& w) {
+SocEval eval_soc(const SocConstraint& s, const linalg::Vector& w,
+                 linalg::Vector& sigma_w) {
   SocEval out;
-  out.sigma_w = s.sigma * w;
-  const double quad = std::max(linalg::dot(out.sigma_w, w), 0.0);
+  const double quad =
+      std::max(linalg::sym_matvec_quad(s.sigma, w, sigma_w), 0.0);
   out.root = std::sqrt(quad + s.eps);
   out.residual = s.beta * out.root + linalg::dot(s.c, w) - s.d;
   return out;
 }
 
-/// Gradient of the SOC residual from cached pieces.
-linalg::Vector soc_gradient(const SocConstraint& s, const SocEval& e) {
-  linalg::Vector g = e.sigma_w;
+/// Gradient of the SOC residual from cached pieces, into `g`.
+void soc_gradient(const SocConstraint& s, const SocEval& e,
+                  const linalg::Vector& sigma_w, linalg::Vector& g) {
+  g = sigma_w;
   g *= s.beta / e.root;
   g += s.c;
-  return g;
 }
 
 /// Adds (grad grad')/r² + Hg/r to `hess`, where r = -residual (phase II)
 /// or s - residual (phase I), and Hg is the SOC residual Hessian.
 void add_soc_barrier_hessian(const SocConstraint& s, const SocEval& e,
+                             const linalg::Vector& sigma_w,
                              const linalg::Vector& grad, double r,
                              linalg::Matrix& hess) {
   const std::size_t n = grad.size();
@@ -65,7 +68,7 @@ void add_soc_barrier_hessian(const SocConstraint& s, const SocEval& e,
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       hess(i, j) += grad[i] * grad[j] * inv_r2 + a * s.sigma(i, j) -
-                    b * e.sigma_w[i] * e.sigma_w[j];
+                    b * sigma_w[i] * sigma_w[j];
     }
   }
 }
@@ -82,34 +85,56 @@ void add_linear_barrier_hessian(const linalg::Vector& a, double r,
   }
 }
 
-/// Solves H dx = -g with escalating diagonal jitter.
-linalg::Vector newton_direction(const linalg::Matrix& hess,
-                                const linalg::Vector& grad) {
-  double used = 0.0;
+/// Solves H dx = -g into `dx` with escalating diagonal jitter, using
+/// `factor` as factorization scratch.  Returns the number of Cholesky
+/// attempts (retries included); allocation-free.
+int newton_direction(const linalg::Matrix& hess, const linalg::Vector& grad,
+                     linalg::Matrix& factor, linalg::Vector& dx) {
+  const std::size_t n = hess.rows();
   const double scale = std::max(hess.norm_max(), 1.0);
-  const linalg::Cholesky chol = linalg::Cholesky::with_jitter(
-      hess, 1e-12 * scale, 1e-2 * scale, &used);
-  linalg::Vector dir = chol.solve(grad);
-  dir *= -1.0;
-  return dir;
+  const double max_jitter = 1e-2 * scale;
+  double jitter = 1e-12 * scale;
+  int attempts = 0;
+  while (true) {
+    factor = hess;
+    for (std::size_t i = 0; i < n; ++i) factor(i, i) += jitter;
+    ++attempts;
+    if (linalg::cholesky_factor_in_place(factor)) break;
+    if (jitter >= max_jitter) {
+      throw ldafp::NumericalError(
+          "barrier: newton system not positive definite at max jitter");
+    }
+    jitter *= 10.0;
+    if (jitter > max_jitter) jitter = max_jitter;
+  }
+  dx = grad;
+  linalg::cholesky_solve_in_place(factor, dx);
+  dx *= -1.0;
+  return attempts;
 }
 
-}  // namespace
-
-const char* to_string(SolveStatus status) {
-  switch (status) {
-    case SolveStatus::kOptimal: return "optimal";
-    case SolveStatus::kInfeasible: return "infeasible";
-    case SolveStatus::kIterationLimit: return "iteration-limit";
+/// Max constraint residual at w against the problem's *original* box
+/// (mirrors ConvexProblem::max_residual; scratch keeps it off the heap).
+double max_residual_ws(const ConvexProblem& p, const linalg::Vector& w,
+                       linalg::Vector& scratch) {
+  double worst = -kInf;
+  for (std::size_t i = 0; i < p.linear().size(); ++i) {
+    worst = std::max(worst, linalg::dot(p.linear()[i].a, w) - p.linear_rhs(i));
   }
-  return "?";
+  for (const auto& soc : p.soc()) {
+    worst = std::max(worst, eval_soc(soc, w, scratch).residual);
+  }
+  const Box& box = p.box();
+  for (std::size_t m = 0; m < box.size(); ++m) {
+    worst = std::max(worst, box[m].lo - w[m]);
+    worst = std::max(worst, w[m] - box[m].hi);
+  }
+  return worst;
 }
 
 // ---------------------------------------------------------------------------
 // Phase II: minimize t·wᵀQw − Σ log(−gᵢ(w)) over the strictly feasible set.
 // ---------------------------------------------------------------------------
-
-namespace {
 
 struct Phase2Eval {
   bool feasible = false;  // strictly feasible at w
@@ -117,16 +142,16 @@ struct Phase2Eval {
 };
 
 Phase2Eval eval_phase2(const ConvexProblem& p, const Box& box, double t,
-                       const linalg::Vector& w) {
+                       const linalg::Vector& w, linalg::Vector& scratch) {
   Phase2Eval out;
   double barrier = 0.0;
-  for (const auto& lin : p.linear()) {
-    const double g = linalg::dot(lin.a, w) - lin.b;
+  for (std::size_t i = 0; i < p.linear().size(); ++i) {
+    const double g = linalg::dot(p.linear()[i].a, w) - p.linear_rhs(i);
     if (g >= 0.0) return out;
     barrier -= std::log(-g);
   }
   for (const auto& soc : p.soc()) {
-    const double g = eval_soc(soc, w).residual;
+    const double g = eval_soc(soc, w, scratch).residual;
     if (g >= 0.0) return out;
     barrier -= std::log(-g);
   }
@@ -141,65 +166,115 @@ Phase2Eval eval_phase2(const ConvexProblem& p, const Box& box, double t,
   return out;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Phase I: minimize s subject to gᵢ(w) <= s, w in box.
+// ---------------------------------------------------------------------------
 
-BarrierResult BarrierSolver::solve(
-    const ConvexProblem& problem,
-    const std::optional<linalg::Vector>& warm_start) const {
-  LDAFP_CHECK(problem.has_box(), "barrier solver requires a variable box");
-  const Box box = inflate_box(problem.box(), options_.min_box_width);
+/// Runs phase I inside the workspace.  On success (true) ws.w holds a
+/// strictly feasible point; false means no such point was found within
+/// the iteration budget (treated as infeasible by the caller, matching
+/// the certified-prune semantics).  Counters accumulate into the
+/// caller's totals.
+bool run_phase1(const ConvexProblem& problem, const Box& box,
+                const BarrierOptions& options, SolverWorkspace& ws,
+                int& total_newton, int& total_factorizations) {
   const std::size_t n = problem.dim();
+  const std::size_t n_ineq = problem.linear().size() + problem.soc().size();
 
-  BarrierResult result;
-  result.lower_bound = -kInf;
+  linalg::Vector& w = ws.w;
+  for (std::size_t i = 0; i < n; ++i) w[i] = box[i].mid();
+  if (n_ineq == 0) return true;  // box interior is all we need
 
-  // Obtain a strictly feasible start.
-  linalg::Vector w;
-  if (warm_start.has_value() &&
-      eval_phase2(problem, box, 1.0, *warm_start).feasible) {
-    w = *warm_start;
-  } else {
-    const auto feasible = find_strictly_feasible(problem);
-    if (!feasible.has_value()) {
-      result.status = SolveStatus::kInfeasible;
-      result.lower_bound = kInf;  // infeasible node: prune unconditionally
-      result.objective = kInf;
-      return result;
+  // Slack above the worst violation keeps every log argument positive.
+  double s = max_residual_ws(problem, w, ws.scratch) + 1.0;
+  // The box residuals are <= 0 at the center; only linear/SOC matter for s.
+
+  const auto count = static_cast<double>(n_ineq);
+  double t = options.initial_t;
+  int phase_newton = 0;
+
+  const auto barrier_value = [&](const linalg::Vector& ww,
+                                 double ss) -> double {
+    double value = t * ss;
+    for (std::size_t i = 0; i < problem.linear().size(); ++i) {
+      const double margin = ss - (linalg::dot(problem.linear()[i].a, ww) -
+                                  problem.linear_rhs(i));
+      if (margin <= 0.0) return kInf;
+      value -= std::log(margin);
     }
-    w = *feasible;
-  }
+    for (const auto& soc : problem.soc()) {
+      const double margin = ss - eval_soc(soc, ww, ws.scratch).residual;
+      if (margin <= 0.0) return kInf;
+      value -= std::log(margin);
+    }
+    for (std::size_t mm = 0; mm < n; ++mm) {
+      const double lo_gap = ww[mm] - box[mm].lo;
+      const double hi_gap = box[mm].hi - ww[mm];
+      if (lo_gap <= 0.0 || hi_gap <= 0.0) return kInf;
+      value -= std::log(lo_gap) + std::log(hi_gap);
+    }
+    return value;
+  };
 
-  const auto m = static_cast<double>(problem.constraint_count());
-  double t = options_.initial_t;
-  int total_newton = 0;
-  bool hit_iteration_limit = false;
+  linalg::Vector& grad = ws.grad1;
+  linalg::Matrix& hess = ws.hess1;
 
   while (true) {
-    // Newton centering at the current t.
-    for (int iter = 0; iter < options_.max_newton_per_stage; ++iter) {
-      if (total_newton >= options_.max_total_newton) {
-        hit_iteration_limit = true;
-        break;
-      }
+    for (int iter = 0; iter < options.max_newton_per_stage; ++iter) {
+      if (phase_newton >= options.max_total_newton) break;
+      ++phase_newton;
       ++total_newton;
 
-      // Assemble gradient and Hessian of the barrier-augmented objective.
-      linalg::Vector grad = problem.objective_gradient(w);
-      grad *= t;
-      linalg::Matrix hess = problem.objective_matrix();
-      hess *= 2.0 * t;
-
-      for (const auto& lin : problem.linear()) {
-        const double r = -(linalg::dot(lin.a, w) - lin.b);
-        grad.axpy(1.0 / r, lin.a);
-        add_linear_barrier_hessian(lin.a, r, hess);
+      // Early success: comfortably below zero violation.
+      if (s < -10.0 * options.feasibility_margin &&
+          max_residual_ws(problem, w, ws.scratch) <
+              -options.feasibility_margin) {
+        return true;
       }
-      for (const auto& soc : problem.soc()) {
-        const SocEval e = eval_soc(soc, w);
-        const double r = -e.residual;
-        const linalg::Vector g = soc_gradient(soc, e);
-        grad.axpy(1.0 / r, g);
-        add_soc_barrier_hessian(soc, e, g, r, hess);
+
+      // Gradient/Hessian in z = (w, s).
+      grad.fill(0.0);
+      std::fill_n(hess.data(), (n + 1) * (n + 1), 0.0);
+      grad[n] = t;
+
+      auto add_constraint = [&](const linalg::Vector& g_grad,
+                                double margin) {
+        const double inv = 1.0 / margin;
+        for (std::size_t i = 0; i < n; ++i) grad[i] += g_grad[i] * inv;
+        grad[n] -= inv;
+        const double inv2 = inv * inv;
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            hess(i, j) += g_grad[i] * g_grad[j] * inv2;
+          }
+          hess(i, n) -= g_grad[i] * inv2;
+          hess(n, i) -= g_grad[i] * inv2;
+        }
+        hess(n, n) += inv2;
+      };
+
+      for (std::size_t i = 0; i < problem.linear().size(); ++i) {
+        const double margin = s - (linalg::dot(problem.linear()[i].a, w) -
+                                   problem.linear_rhs(i));
+        add_constraint(problem.linear()[i].a, margin);
+      }
+      for (std::size_t j = 0; j < problem.soc().size(); ++j) {
+        const SocConstraint& soc = problem.soc()[j];
+        linalg::Vector& sigma_w = ws.sigma_w[j];
+        const SocEval e = eval_soc(soc, w, sigma_w);
+        const double margin = s - e.residual;
+        soc_gradient(soc, e, sigma_w, ws.soc_grad);
+        add_constraint(ws.soc_grad, margin);
+        // Curvature of the SOC residual itself.
+        const double a = soc.beta / e.root / margin;
+        const double b =
+            soc.beta / (e.root * e.root * e.root) / margin;
+        for (std::size_t ii = 0; ii < n; ++ii) {
+          for (std::size_t jj = 0; jj < n; ++jj) {
+            hess(ii, jj) += a * soc.sigma(ii, jj) -
+                            b * sigma_w[ii] * sigma_w[jj];
+          }
+        }
       }
       for (std::size_t mm = 0; mm < n; ++mm) {
         const double lo_gap = w[mm] - box[mm].lo;
@@ -208,21 +283,185 @@ BarrierResult BarrierSolver::solve(
         hess(mm, mm) += 1.0 / (lo_gap * lo_gap) + 1.0 / (hi_gap * hi_gap);
       }
 
-      const linalg::Vector dx = newton_direction(hess, grad);
+      total_factorizations += newton_direction(hess, grad, ws.factor1, ws.dz);
+      const linalg::Vector& dz = ws.dz;
+      const double decrement_sq = -linalg::dot(grad, dz);
+      if (decrement_sq * 0.5 <= options.newton_tol) break;
+
+      const double here = barrier_value(w, s);
+      double alpha = 1.0;
+      bool stepped = false;
+      for (int ls = 0; ls < 60; ++ls) {
+        linalg::Vector& cand = ws.cand;
+        cand = w;
+        for (std::size_t i = 0; i < n; ++i) cand[i] += alpha * dz[i];
+        const double cand_s = s + alpha * dz[n];
+        const double trial = barrier_value(cand, cand_s);
+        if (trial <= here - 1e-4 * alpha * decrement_sq) {
+          std::swap(w, cand);
+          s = cand_s;
+          stepped = true;
+          break;
+        }
+        alpha *= 0.5;
+      }
+      if (!stepped) break;
+    }
+
+    // Converged for this t: feasible iff s is negative.
+    if (max_residual_ws(problem, w, ws.scratch) <
+        -options.feasibility_margin) {
+      return true;
+    }
+    if (count / t <= options.gap_tol ||
+        phase_newton >= options.max_total_newton) {
+      // s* >= 0 to within tolerance: no strictly feasible point.
+      return false;
+    }
+    t *= options.mu;
+  }
+}
+
+}  // namespace
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+void SolverWorkspace::resize(std::size_t n, std::size_t socs) {
+  if (hess.rows() != n || hess.cols() != n) {
+    hess = linalg::Matrix(n, n);
+    factor = linalg::Matrix(n, n);
+    hess1 = linalg::Matrix(n + 1, n + 1);
+    factor1 = linalg::Matrix(n + 1, n + 1);
+    grad = linalg::Vector(n);
+    dx = linalg::Vector(n);
+    w = linalg::Vector(n);
+    cand = linalg::Vector(n);
+    grad1 = linalg::Vector(n + 1);
+    dz = linalg::Vector(n + 1);
+    soc_grad = linalg::Vector(n);
+    scratch = linalg::Vector(n);
+  }
+  if (sigma_w.size() < socs) sigma_w.resize(socs);
+  for (auto& v : sigma_w) {
+    if (v.size() != n) v = linalg::Vector(n);
+  }
+}
+
+BarrierResult BarrierSolver::solve(
+    const ConvexProblem& problem,
+    const std::optional<linalg::Vector>& warm_start,
+    SolverWorkspace* workspace) const {
+  LDAFP_CHECK(problem.has_box(), "barrier solver requires a variable box");
+  if (warm_start.has_value()) {
+    LDAFP_CHECK(warm_start->size() == problem.dim(),
+                "warm start dimension must match problem dimension");
+    for (const double v : *warm_start) {
+      LDAFP_CHECK(std::isfinite(v), "warm start entries must be finite");
+    }
+  }
+
+  SolverWorkspace local;
+  SolverWorkspace& ws = workspace != nullptr ? *workspace : local;
+  const std::size_t n = problem.dim();
+  ws.resize(n, problem.soc().size());
+
+  const Box box = inflate_box(problem.box(), options_.min_box_width);
+
+  BarrierResult result;
+  result.lower_bound = -kInf;
+  int total_newton = 0;
+  int total_factorizations = 0;
+
+  // Obtain a strictly feasible start in ws.w.
+  if (warm_start.has_value() &&
+      eval_phase2(problem, box, 1.0, *warm_start, ws.scratch).feasible) {
+    ws.w = *warm_start;
+    result.phase1_skipped = true;
+  } else {
+    if (!run_phase1(problem, box, options_, ws, total_newton,
+                    total_factorizations)) {
+      result.status = SolveStatus::kInfeasible;
+      result.lower_bound = kInf;  // infeasible node: prune unconditionally
+      result.objective = kInf;
+      result.newton_iterations = total_newton;
+      result.factorizations = total_factorizations;
+      return result;
+    }
+  }
+
+  linalg::Vector& w = ws.w;
+  const auto m = static_cast<double>(problem.constraint_count());
+  double t = result.phase1_skipped
+                 ? std::max(options_.initial_t, options_.warm_initial_t)
+                 : options_.initial_t;
+  int phase2_newton = 0;
+  bool hit_iteration_limit = false;
+
+  while (true) {
+    // Newton centering at the current t.
+    for (int iter = 0; iter < options_.max_newton_per_stage; ++iter) {
+      if (phase2_newton >= options_.max_total_newton) {
+        hit_iteration_limit = true;
+        break;
+      }
+      ++phase2_newton;
+      ++total_newton;
+
+      // Assemble gradient and Hessian of the barrier-augmented objective.
+      linalg::sym_matvec_quad(problem.objective_matrix(), w, ws.grad);
+      ws.grad *= 2.0 * t;
+      ws.hess = problem.objective_matrix();
+      ws.hess *= 2.0 * t;
+      linalg::Vector& grad = ws.grad;
+      linalg::Matrix& hess = ws.hess;
+
+      for (std::size_t i = 0; i < problem.linear().size(); ++i) {
+        const linalg::Vector& a = problem.linear()[i].a;
+        const double r = -(linalg::dot(a, w) - problem.linear_rhs(i));
+        grad.axpy(1.0 / r, a);
+        add_linear_barrier_hessian(a, r, hess);
+      }
+      for (std::size_t j = 0; j < problem.soc().size(); ++j) {
+        const SocConstraint& soc = problem.soc()[j];
+        linalg::Vector& sigma_w = ws.sigma_w[j];
+        const SocEval e = eval_soc(soc, w, sigma_w);
+        const double r = -e.residual;
+        soc_gradient(soc, e, sigma_w, ws.soc_grad);
+        grad.axpy(1.0 / r, ws.soc_grad);
+        add_soc_barrier_hessian(soc, e, sigma_w, ws.soc_grad, r, hess);
+      }
+      for (std::size_t mm = 0; mm < n; ++mm) {
+        const double lo_gap = w[mm] - box[mm].lo;
+        const double hi_gap = box[mm].hi - w[mm];
+        grad[mm] += -1.0 / lo_gap + 1.0 / hi_gap;
+        hess(mm, mm) += 1.0 / (lo_gap * lo_gap) + 1.0 / (hi_gap * hi_gap);
+      }
+
+      total_factorizations += newton_direction(hess, grad, ws.factor, ws.dx);
+      const linalg::Vector& dx = ws.dx;
       const double decrement_sq = -linalg::dot(grad, dx);
       if (decrement_sq * 0.5 <= options_.newton_tol) break;
 
       // Backtracking line search keeping strict feasibility.
-      const Phase2Eval here = eval_phase2(problem, box, t, w);
+      const Phase2Eval here = eval_phase2(problem, box, t, w, ws.scratch);
       double alpha = 1.0;
       bool stepped = false;
       for (int ls = 0; ls < 60; ++ls) {
-        linalg::Vector cand = w;
+        linalg::Vector& cand = ws.cand;
+        cand = w;
         cand.axpy(alpha, dx);
-        const Phase2Eval trial = eval_phase2(problem, box, t, cand);
+        const Phase2Eval trial =
+            eval_phase2(problem, box, t, cand, ws.scratch);
         if (trial.feasible &&
             trial.value <= here.value - 1e-4 * alpha * decrement_sq) {
-          w = std::move(cand);
+          std::swap(w, cand);
           stepped = true;
           break;
         }
@@ -244,146 +483,24 @@ BarrierResult BarrierSolver::solve(
   result.lower_bound =
       result.objective - 2.0 * result.duality_gap - options_.gap_tol;
   result.newton_iterations = total_newton;
+  result.factorizations = total_factorizations;
   result.status = hit_iteration_limit ? SolveStatus::kIterationLimit
                                       : SolveStatus::kOptimal;
   return result;
 }
 
-// ---------------------------------------------------------------------------
-// Phase I: minimize s subject to gᵢ(w) <= s, w in box.
-// ---------------------------------------------------------------------------
-
 std::optional<linalg::Vector> BarrierSolver::find_strictly_feasible(
     const ConvexProblem& problem) const {
   LDAFP_CHECK(problem.has_box(), "barrier solver requires a variable box");
   const Box box = inflate_box(problem.box(), options_.min_box_width);
-  const std::size_t n = problem.dim();
-  const std::size_t n_ineq = problem.linear().size() + problem.soc().size();
-
-  linalg::Vector w(linalg::Vector(box.center()));
-  if (n_ineq == 0) return w;  // box interior is all we need
-
-  // Slack above the worst violation keeps every log argument positive.
-  double s = problem.max_residual(w) + 1.0;
-  // The box residuals are <= 0 at the center; only linear/SOC matter for s.
-
-  const auto count = static_cast<double>(n_ineq);
-  double t = options_.initial_t;
-  int total_newton = 0;
-
-  const auto barrier_value = [&](const linalg::Vector& ww,
-                                 double ss) -> double {
-    double value = t * ss;
-    for (const auto& lin : problem.linear()) {
-      const double margin = ss - (linalg::dot(lin.a, ww) - lin.b);
-      if (margin <= 0.0) return kInf;
-      value -= std::log(margin);
-    }
-    for (const auto& soc : problem.soc()) {
-      const double margin = ss - eval_soc(soc, ww).residual;
-      if (margin <= 0.0) return kInf;
-      value -= std::log(margin);
-    }
-    for (std::size_t mm = 0; mm < n; ++mm) {
-      const double lo_gap = ww[mm] - box[mm].lo;
-      const double hi_gap = box[mm].hi - ww[mm];
-      if (lo_gap <= 0.0 || hi_gap <= 0.0) return kInf;
-      value -= std::log(lo_gap) + std::log(hi_gap);
-    }
-    return value;
-  };
-
-  while (true) {
-    for (int iter = 0; iter < options_.max_newton_per_stage; ++iter) {
-      if (total_newton >= options_.max_total_newton) break;
-      ++total_newton;
-
-      // Early success: comfortably below zero violation.
-      if (s < -10.0 * options_.feasibility_margin &&
-          problem.max_residual(w) < -options_.feasibility_margin) {
-        return w;
-      }
-
-      // Gradient/Hessian in z = (w, s).
-      linalg::Vector grad(n + 1);
-      linalg::Matrix hess(n + 1, n + 1);
-      grad[n] = t;
-
-      auto add_constraint = [&](const linalg::Vector& g_grad,
-                                double margin) {
-        const double inv = 1.0 / margin;
-        for (std::size_t i = 0; i < n; ++i) grad[i] += g_grad[i] * inv;
-        grad[n] -= inv;
-        const double inv2 = inv * inv;
-        for (std::size_t i = 0; i < n; ++i) {
-          for (std::size_t j = 0; j < n; ++j) {
-            hess(i, j) += g_grad[i] * g_grad[j] * inv2;
-          }
-          hess(i, n) -= g_grad[i] * inv2;
-          hess(n, i) -= g_grad[i] * inv2;
-        }
-        hess(n, n) += inv2;
-      };
-
-      for (const auto& lin : problem.linear()) {
-        const double margin = s - (linalg::dot(lin.a, w) - lin.b);
-        add_constraint(lin.a, margin);
-      }
-      for (const auto& soc : problem.soc()) {
-        const SocEval e = eval_soc(soc, w);
-        const double margin = s - e.residual;
-        const linalg::Vector g = soc_gradient(soc, e);
-        add_constraint(g, margin);
-        // Curvature of the SOC residual itself.
-        const double a = soc.beta / e.root / margin;
-        const double b =
-            soc.beta / (e.root * e.root * e.root) / margin;
-        for (std::size_t i = 0; i < n; ++i) {
-          for (std::size_t j = 0; j < n; ++j) {
-            hess(i, j) += a * soc.sigma(i, j) -
-                          b * e.sigma_w[i] * e.sigma_w[j];
-          }
-        }
-      }
-      for (std::size_t mm = 0; mm < n; ++mm) {
-        const double lo_gap = w[mm] - box[mm].lo;
-        const double hi_gap = box[mm].hi - w[mm];
-        grad[mm] += -1.0 / lo_gap + 1.0 / hi_gap;
-        hess(mm, mm) += 1.0 / (lo_gap * lo_gap) + 1.0 / (hi_gap * hi_gap);
-      }
-
-      const linalg::Vector dz = newton_direction(hess, grad);
-      const double decrement_sq = -linalg::dot(grad, dz);
-      if (decrement_sq * 0.5 <= options_.newton_tol) break;
-
-      const double here = barrier_value(w, s);
-      double alpha = 1.0;
-      bool stepped = false;
-      for (int ls = 0; ls < 60; ++ls) {
-        linalg::Vector cand = w;
-        for (std::size_t i = 0; i < n; ++i) cand[i] += alpha * dz[i];
-        const double cand_s = s + alpha * dz[n];
-        const double trial = barrier_value(cand, cand_s);
-        if (trial <= here - 1e-4 * alpha * decrement_sq) {
-          w = std::move(cand);
-          s = cand_s;
-          stepped = true;
-          break;
-        }
-        alpha *= 0.5;
-      }
-      if (!stepped) break;
-    }
-
-    // Converged for this t: feasible iff s is negative.
-    if (problem.max_residual(w) < -options_.feasibility_margin) return w;
-    if (count / t <= options_.gap_tol ||
-        total_newton >= options_.max_total_newton) {
-      // s* >= 0 to within tolerance: no strictly feasible point.
-      return std::nullopt;
-    }
-    t *= options_.mu;
+  SolverWorkspace ws;
+  ws.resize(problem.dim(), problem.soc().size());
+  int newton = 0;
+  int factorizations = 0;
+  if (!run_phase1(problem, box, options_, ws, newton, factorizations)) {
+    return std::nullopt;
   }
+  return ws.w;
 }
 
 }  // namespace ldafp::opt

@@ -11,10 +11,17 @@
 // objective − gap_margin, where gap_margin covers the barrier duality gap
 // m/t plus the residual Newton decrement; branch-and-bound pruning uses
 // that bound, never the raw primal value.
+//
+// Hot-path design (DESIGN.md §10): a caller-owned SolverWorkspace holds
+// every Newton-loop buffer, so repeated solves over the same problem
+// shape (the branch-and-bound inner loop) perform zero steady-state heap
+// allocations; a strictly feasible warm start skips phase I entirely.
 #pragma once
 
 #include <optional>
+#include <vector>
 
+#include "linalg/matrix.h"
 #include "linalg/vector.h"
 #include "opt/convex_problem.h"
 
@@ -35,6 +42,13 @@ const char* to_string(SolveStatus status);
 struct BarrierOptions {
   double gap_tol = 1e-7;       ///< stop when m/t falls below this
   double initial_t = 1.0;      ///< first barrier parameter
+  /// First barrier parameter when a strictly feasible warm start skipped
+  /// phase I.  Warm seeds (a parent node's relaxation optimum) are
+  /// already near-optimal, so early low-t centering stages would only
+  /// drag the iterate away and back; starting higher skips them.  The
+  /// certificate is unaffected — bounds depend only on the final duality
+  /// gap.  Effective value is max(initial_t, warm_initial_t).
+  double warm_initial_t = 1e6;
   double mu = 20.0;            ///< barrier parameter growth factor
   int max_newton_per_stage = 80;
   int max_total_newton = 2000;
@@ -52,8 +66,32 @@ struct BarrierResult {
   linalg::Vector x;            ///< best (strictly feasible) point found
   double objective = 0.0;      ///< xᵀQx at x
   double lower_bound = 0.0;    ///< certified lower bound on the optimum
-  int newton_iterations = 0;
+  int newton_iterations = 0;   ///< Newton steps, both phases combined
+  int factorizations = 0;      ///< Cholesky attempts (jitter retries incl.)
+  bool phase1_skipped = false; ///< warm start was strictly feasible
   double duality_gap = 0.0;    ///< m/t at exit
+};
+
+/// Reusable scratch memory for the solver's Newton loops.  One workspace
+/// per thread: solve() sizes it to the problem's shape (allocating only
+/// when the shape actually changes), after which every Newton iteration —
+/// Hessian assembly, factorization, triangular solves, line search —
+/// runs without touching the heap.  Contents are meaningless between
+/// solves; never share one workspace between concurrent solves.
+struct SolverWorkspace {
+  /// Ensures capacity for dimension n with k SOC constraints.  No-op
+  /// (and allocation-free) when the shape already matches.
+  void resize(std::size_t n, std::size_t socs);
+
+  // Phase II buffers (dimension n).
+  linalg::Matrix hess, factor;
+  linalg::Vector grad, dx, w, cand;
+  // Phase I buffers (dimension n+1 for the (w, s) system).
+  linalg::Matrix hess1, factor1;
+  linalg::Vector grad1, dz;
+  // Per-SOC Σⱼw caches plus generic n-dim scratch (residual evaluations).
+  std::vector<linalg::Vector> sigma_w;
+  linalg::Vector soc_grad, scratch;
 };
 
 /// The solver.  Stateless apart from options; safe to reuse.
@@ -64,12 +102,17 @@ class BarrierSolver {
 
   const BarrierOptions& options() const { return options_; }
 
-  /// Solves the problem.  `warm_start`, when given and strictly feasible,
-  /// skips phase I.  The problem must have a box (every LDA-FP
+  /// Solves the problem.  `warm_start`, when given, must match the
+  /// problem dimension and be finite (throws InvalidArgumentError
+  /// otherwise); when it is strictly feasible, phase I is skipped.
+  /// `workspace`, when given, supplies all Newton-loop scratch memory —
+  /// pass one workspace per thread to make repeated same-shape solves
+  /// allocation-free.  The problem must have a box (every LDA-FP
   /// subproblem does).
   BarrierResult solve(const ConvexProblem& problem,
                       const std::optional<linalg::Vector>& warm_start =
-                          std::nullopt) const;
+                          std::nullopt,
+                      SolverWorkspace* workspace = nullptr) const;
 
   /// Phase I alone: returns a strictly feasible point or nullopt.
   std::optional<linalg::Vector> find_strictly_feasible(

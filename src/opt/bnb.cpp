@@ -56,11 +56,15 @@ struct Expansion {
   std::exception_ptr error;
 };
 
-/// One frontier node's box plus its speculation slot.
+/// One frontier node's box plus its speculation slot.  `seed` is the
+/// node's own relaxation optimum (the warm start handed to its
+/// children's bound() calls); it is written once, before the node is
+/// fueled to workers, and read-only afterwards.
 struct SpecState {
   SpecState(Box b, double l) : box(std::move(b)), lower(l) {}
   Box box;
   double lower;
+  std::optional<linalg::Vector> seed;
   std::atomic<int> stage{kSpecIdle};
   Expansion expansion;
 };
@@ -84,20 +88,22 @@ using Frontier =
 /// reassociated here (both children are bounded before any incumbent
 /// update), which is observationally identical because bound() never
 /// reads search state.
-Expansion expand_node(BnbProblem& problem, const Box& box) {
+Expansion expand_node(BnbProblem& problem, const SpecState& state) {
   Expansion e;
   e.computed = true;
+  BoundContext ctx;
+  if (state.seed.has_value()) ctx.parent_relaxation = &*state.seed;
   try {
-    if (problem.is_terminal(box)) {
+    if (problem.is_terminal(state.box)) {
       e.terminal = true;
-      e.exact = problem.solve_terminal(box);
+      e.exact = problem.solve_terminal(state.box);
     } else {
-      auto [left, right] = problem.branch(box);
+      auto [left, right] = problem.branch(state.box);
       Box* children[2] = {&left, &right};
       for (int k = 0; k < 2; ++k) {
         if (children[k]->empty()) continue;
         e.children[k].present = true;
-        e.children[k].bounds = problem.bound(*children[k]);
+        e.children[k].bounds = problem.bound(*children[k], ctx);
         e.children[k].box = std::move(*children[k]);
       }
     }
@@ -163,7 +169,7 @@ class SpecEngine {
         // Speculator published a skip: expand inline below.
       }
     }
-    return expand_node(problem_, state.box);
+    return expand_node(problem_, state);
   }
 
   /// Stops speculation and joins in-flight steps.  Safe to call twice.
@@ -200,7 +206,7 @@ class SpecEngine {
         if (state->stage.compare_exchange_strong(expected, kSpecClaimed)) {
           if (!stop_.load() &&
               state->lower <= advisory_threshold_.load()) {
-            state->expansion = expand_node(problem_, state->box);
+            state->expansion = expand_node(problem_, *state);
           }  // else: leave computed == false (a published skip)
           state->stage.store(kSpecDone);
           state->stage.notify_all();
@@ -277,18 +283,23 @@ BnbResult BnbSolver::run(
            lower <= prune_threshold();
   };
 
-  auto push_node = [&](double lower, Box box) {
+  auto push_node = [&](double lower, Box box,
+                       std::optional<linalg::Vector> seed) {
     auto spec = std::make_shared<SpecState>(std::move(box), lower);
+    if (options_.warm_start_relaxations) {
+      spec->seed = std::move(seed);
+    }
     queue.push(QueueNode{lower, spec});
     engine.fuel(std::move(spec));
   };
 
-  // Root node.
+  // Root node (always a cold solve: no parent to inherit from).
   {
-    const NodeBounds bounds = problem.bound(root);
+    NodeBounds bounds = problem.bound(root, BoundContext{});
+    result.solver_stats += bounds.stats;
     consider_candidate(bounds);
     if (should_push(bounds.lower)) {
-      push_node(bounds.lower, root);
+      push_node(bounds.lower, root, std::move(bounds.relaxation_point));
     }
   }
 
@@ -337,15 +348,18 @@ BnbResult BnbSolver::run(
     }
 
     if (expansion.terminal) {
+      result.solver_stats += expansion.exact.stats;
       consider_candidate(expansion.exact);
       continue;  // terminal boxes are fully resolved
     }
 
     for (Expansion::Child& child : expansion.children) {
       if (!child.present) continue;
+      result.solver_stats += child.bounds.stats;
       consider_candidate(child.bounds);
       if (should_push(child.bounds.lower)) {
-        push_node(child.bounds.lower, std::move(child.box));
+        push_node(child.bounds.lower, std::move(child.box),
+                  std::move(child.bounds.relaxation_point));
       } else {
         ++result.nodes_pruned;
       }

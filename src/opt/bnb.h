@@ -11,6 +11,7 @@
 // on grid-aligned splits, exact enumeration of terminal boxes).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -22,6 +23,27 @@
 
 namespace ldafp::opt {
 
+/// Deterministic solver-effort counters carried by every bound() result
+/// and summed — on the control thread, over committed expansions only —
+/// into BnbResult::solver_stats.  Speculative expansions that are never
+/// committed do not contribute, so the totals are bit-identical at any
+/// thread count (unlike raw telemetry counters, which also see
+/// speculative extras).
+struct NodeStats {
+  std::uint64_t relaxations = 0;       ///< barrier solves performed
+  std::uint64_t phase1_skips = 0;      ///< solves warm-started past phase I
+  std::uint64_t newton_iterations = 0; ///< Newton steps, both phases
+  std::uint64_t factorizations = 0;    ///< Cholesky attempts
+
+  NodeStats& operator+=(const NodeStats& o) {
+    relaxations += o.relaxations;
+    phase1_skips += o.phase1_skips;
+    newton_iterations += o.newton_iterations;
+    factorizations += o.factorizations;
+    return *this;
+  }
+};
+
 /// What a problem reports about one box.
 struct NodeBounds {
   /// Valid lower bound on the objective over the box (may be +inf when
@@ -31,6 +53,25 @@ struct NodeBounds {
   /// objective value; used to update the incumbent.
   std::optional<linalg::Vector> candidate;
   double candidate_value = std::numeric_limits<double>::infinity();
+  /// Optimal point of the node's convex relaxation, when one was solved.
+  /// The driver hands it back (clamped by the problem) as the
+  /// BoundContext for this node's children — the tree-wide warm start.
+  std::optional<linalg::Vector> relaxation_point;
+  /// Solver effort behind this bound.
+  NodeStats stats;
+};
+
+/// Extra context the driver passes to bound(): the parent node's
+/// relaxation optimum (null at the root or when warm starts are
+/// disabled).  The pointee is fixed before the node is published to
+/// workers and never mutated afterwards, so reading it is race-free.
+/// Determinism note: the parent point is itself a pure function of the
+/// parent box and *its* context, inductively rooted at the cold root
+/// solve — so bound(box, ctx) stays a pure function of the node's
+/// position in the tree, which is what keeps parallel runs bit-identical
+/// (DESIGN.md §9/§10).
+struct BoundContext {
+  const linalg::Vector* parent_relaxation = nullptr;
 };
 
 /// Problem plug-in interface for the solver.
@@ -50,6 +91,15 @@ class BnbProblem {
 
   /// Bounds the objective over `box` (relaxation + rounding heuristic).
   virtual NodeBounds bound(const Box& box) = 0;
+
+  /// Context-aware overload the driver actually calls: `ctx` carries the
+  /// parent's relaxation optimum for warm-starting.  The default ignores
+  /// the context, so existing problems are unaffected.  Overrides must
+  /// keep the result a pure function of (box, ctx) — see BoundContext.
+  virtual NodeBounds bound(const Box& box, const BoundContext& ctx) {
+    (void)ctx;
+    return bound(box);
+  }
 
   /// True when `box` is small enough to finish by exact enumeration.
   virtual bool is_terminal(const Box& box) const = 0;
@@ -87,6 +137,14 @@ struct BnbOptions {
   /// wall-clock time budgets remain wall-clock, so kTimeLimit runs stop
   /// at a machine-dependent node in either mode).
   sched::Executor executor;
+  /// Pass each node's relaxation optimum to its children's bound() calls
+  /// (BoundContext), letting the problem warm-start phase II directly.
+  /// Off means every bound() sees a null context — the cold baseline.
+  /// Either setting is bit-identical across thread counts; the two
+  /// settings may differ from each other in low-order bits of interior
+  /// relaxation bounds (Newton trajectories differ), though incumbents
+  /// are grid-rounded and typically agree exactly.
+  bool warm_start_relaxations = true;
 };
 
 /// Why the search stopped.
@@ -109,6 +167,8 @@ struct BnbResult {
   double lower_bound = -std::numeric_limits<double>::infinity();
   std::size_t nodes_processed = 0;
   std::size_t nodes_pruned = 0;
+  /// Solver effort summed over committed expansions (thread-invariant).
+  NodeStats solver_stats;
   double seconds = 0.0;
 
   /// Absolute optimality gap at exit.

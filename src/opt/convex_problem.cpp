@@ -1,15 +1,30 @@
 #include "opt/convex_problem.h"
 
 #include <cmath>
+#include <limits>
 
 #include "support/error.h"
 
 namespace ldafp::opt {
 
-ConvexProblem::ConvexProblem(linalg::Matrix q) : q_(std::move(q)) {
-  LDAFP_CHECK(q_.square(), "objective matrix must be square");
-  LDAFP_CHECK(q_.is_symmetric(1e-9 * (1.0 + q_.norm_max())),
-              "objective matrix must be symmetric");
+ConvexProblem::ConvexProblem(linalg::Matrix q)
+    : owned_(std::make_shared<ProblemStructure>(std::move(q))),
+      structure_(owned_) {}
+
+ConvexProblem::ConvexProblem(
+    std::shared_ptr<const ProblemStructure> structure, Box box)
+    : structure_(std::move(structure)) {
+  LDAFP_CHECK(structure_ != nullptr, "node view requires a structure");
+  set_box(std::move(box));
+  linear_rhs_.reserve(structure_->linear().size());
+  for (const LinearConstraint& lin : structure_->linear()) {
+    linear_rhs_.push_back(lin.b);
+  }
+}
+
+std::shared_ptr<const ProblemStructure> ConvexProblem::share_structure() {
+  owned_.reset();  // freeze: mutators refuse from here on
+  return structure_;
 }
 
 void ConvexProblem::set_box(Box box) {
@@ -18,46 +33,54 @@ void ConvexProblem::set_box(Box box) {
 }
 
 void ConvexProblem::add_linear(LinearConstraint constraint) {
-  LDAFP_CHECK(constraint.a.size() == dim(),
-              "linear constraint dimension mismatch");
-  linear_.push_back(std::move(constraint));
+  LDAFP_CHECK(owned_ != nullptr,
+              "cannot add constraints to a frozen/shared problem structure");
+  const double b = constraint.b;
+  owned_->add_linear(std::move(constraint));
+  linear_rhs_.push_back(b);
 }
 
 void ConvexProblem::add_soc(SocConstraint constraint) {
-  LDAFP_CHECK(constraint.sigma.square() &&
-                  constraint.sigma.rows() == dim() &&
-                  constraint.c.size() == dim(),
-              "soc constraint dimension mismatch");
-  LDAFP_CHECK(constraint.beta >= 0.0, "soc beta must be non-negative");
-  LDAFP_CHECK(constraint.eps > 0.0, "soc eps must be positive");
-  soc_.push_back(std::move(constraint));
+  LDAFP_CHECK(owned_ != nullptr,
+              "cannot add constraints to a frozen/shared problem structure");
+  owned_->add_soc(std::move(constraint));
+}
+
+double ConvexProblem::linear_rhs(std::size_t i) const {
+  LDAFP_CHECK(i < linear_rhs_.size(), "linear constraint index out of range");
+  return linear_rhs_[i];
+}
+
+void ConvexProblem::set_linear_rhs(std::size_t i, double b) {
+  LDAFP_CHECK(i < linear_rhs_.size(), "linear constraint index out of range");
+  linear_rhs_[i] = b;
 }
 
 double ConvexProblem::objective(const linalg::Vector& w) const {
-  return linalg::quadratic_form(q_, w);
+  return linalg::quadratic_form(objective_matrix(), w);
 }
 
 linalg::Vector ConvexProblem::objective_gradient(
     const linalg::Vector& w) const {
-  linalg::Vector g = q_ * w;
+  linalg::Vector g = objective_matrix() * w;
   g *= 2.0;
   return g;
 }
 
 std::size_t ConvexProblem::constraint_count() const {
-  return linear_.size() + soc_.size() + 2 * box_.size();
+  return linear().size() + soc().size() + 2 * box_.size();
 }
 
 double ConvexProblem::linear_residual(std::size_t i,
                                       const linalg::Vector& w) const {
-  LDAFP_CHECK(i < linear_.size(), "linear constraint index out of range");
-  return linalg::dot(linear_[i].a, w) - linear_[i].b;
+  LDAFP_CHECK(i < linear().size(), "linear constraint index out of range");
+  return linalg::dot(linear()[i].a, w) - linear_rhs_[i];
 }
 
 double ConvexProblem::soc_residual(std::size_t j,
                                    const linalg::Vector& w) const {
-  LDAFP_CHECK(j < soc_.size(), "soc constraint index out of range");
-  const SocConstraint& s = soc_[j];
+  LDAFP_CHECK(j < soc().size(), "soc constraint index out of range");
+  const SocConstraint& s = soc()[j];
   const double quad = linalg::quadratic_form(s.sigma, w);
   return s.beta * std::sqrt(std::max(quad, 0.0) + s.eps) +
          linalg::dot(s.c, w) - s.d;
@@ -65,8 +88,8 @@ double ConvexProblem::soc_residual(std::size_t j,
 
 linalg::Vector ConvexProblem::soc_gradient(std::size_t j,
                                            const linalg::Vector& w) const {
-  LDAFP_CHECK(j < soc_.size(), "soc constraint index out of range");
-  const SocConstraint& s = soc_[j];
+  LDAFP_CHECK(j < soc().size(), "soc constraint index out of range");
+  const SocConstraint& s = soc()[j];
   const double quad = linalg::quadratic_form(s.sigma, w);
   const double root = std::sqrt(std::max(quad, 0.0) + s.eps);
   linalg::Vector g = s.sigma * w;
@@ -77,10 +100,10 @@ linalg::Vector ConvexProblem::soc_gradient(std::size_t j,
 
 double ConvexProblem::max_residual(const linalg::Vector& w) const {
   double worst = -std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < linear_.size(); ++i) {
+  for (std::size_t i = 0; i < linear().size(); ++i) {
     worst = std::max(worst, linear_residual(i, w));
   }
-  for (std::size_t j = 0; j < soc_.size(); ++j) {
+  for (std::size_t j = 0; j < soc().size(); ++j) {
     worst = std::max(worst, soc_residual(j, w));
   }
   for (std::size_t m = 0; m < box_.size(); ++m) {

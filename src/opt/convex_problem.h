@@ -10,41 +10,48 @@
 // The εⱼ smoothing keeps the SOC residual differentiable at w = 0 (it
 // only *tightens* the constraint, so feasibility of the smoothed problem
 // implies feasibility of the true one).
+//
+// A ConvexProblem is a thin view over a ProblemStructure (the objective
+// and constraint data) plus per-view state: the variable box and the
+// linear right-hand sides.  Standalone problems own their structure and
+// build it with add_linear/add_soc; branch-and-bound node views share
+// one immutable structure by shared_ptr and cost O(m) to create — only
+// the box and the t-interval rows change between nodes (DESIGN.md §10).
 #pragma once
 
+#include <memory>
 #include <vector>
 
-#include "linalg/matrix.h"
-#include "linalg/vector.h"
 #include "opt/box.h"
+#include "opt/problem_structure.h"
 
 namespace ldafp::opt {
-
-/// One linear inequality aᵀw <= b.
-struct LinearConstraint {
-  linalg::Vector a;
-  double b = 0.0;
-};
-
-/// One smoothed second-order-cone constraint
-/// beta * sqrt(wᵀ Sigma w + eps) + cᵀw <= d.
-struct SocConstraint {
-  double beta = 0.0;
-  linalg::Matrix sigma;  ///< symmetric PSD
-  linalg::Vector c;
-  double d = 0.0;
-  double eps = 1e-12;
-};
 
 /// The full problem.  All pieces are optional except the objective.
 class ConvexProblem {
  public:
-  /// Creates a problem with objective wᵀQw.  Q must be square symmetric.
+  /// Creates a standalone problem with objective wᵀQw and a fresh,
+  /// exclusively owned structure.  Q must be square symmetric.
   explicit ConvexProblem(linalg::Matrix q);
 
-  std::size_t dim() const { return q_.rows(); }
+  /// Creates a node view sharing `structure` (O(m): no matrix copies).
+  /// The box must match the structure's dimension; linear right-hand
+  /// sides start at the structure's defaults (override per node with
+  /// set_linear_rhs).
+  ConvexProblem(std::shared_ptr<const ProblemStructure> structure, Box box);
 
-  const linalg::Matrix& objective_matrix() const { return q_; }
+  std::size_t dim() const { return structure_->dim(); }
+
+  const linalg::Matrix& objective_matrix() const {
+    return structure_->objective_matrix();
+  }
+
+  /// The shared structure handle.  Calling this freezes the problem:
+  /// add_linear/add_soc throw afterwards, so every view created from the
+  /// handle observes identical structure forever.
+  std::shared_ptr<const ProblemStructure> share_structure();
+
+  const ProblemStructure& structure() const { return *structure_; }
 
   /// Sets the variable box (dimension must match).  Without a box the
   /// variables are unbounded — the barrier solver requires a box, since
@@ -53,13 +60,23 @@ class ConvexProblem {
   const Box& box() const { return box_; }
   bool has_box() const { return box_.size() == dim(); }
 
-  /// Appends a linear inequality.
+  /// Appends a linear inequality.  Requires exclusive structure
+  /// ownership (throws once share_structure() has been called).
   void add_linear(LinearConstraint constraint);
-  const std::vector<LinearConstraint>& linear() const { return linear_; }
+  const std::vector<LinearConstraint>& linear() const {
+    return structure_->linear();
+  }
 
-  /// Appends a SOC constraint.
+  /// Appends a SOC constraint.  Requires exclusive structure ownership.
   void add_soc(SocConstraint constraint);
-  const std::vector<SocConstraint>& soc() const { return soc_; }
+  const std::vector<SocConstraint>& soc() const {
+    return structure_->soc();
+  }
+
+  /// Per-view linear right-hand side for constraint i (defaults to the
+  /// structure's b; residuals use this value, not linear()[i].b).
+  double linear_rhs(std::size_t i) const;
+  void set_linear_rhs(std::size_t i, double b);
 
   /// Objective value wᵀQw.
   double objective(const linalg::Vector& w) const;
@@ -87,10 +104,10 @@ class ConvexProblem {
   bool is_feasible(const linalg::Vector& w, double tol) const;
 
  private:
-  linalg::Matrix q_;
+  std::shared_ptr<ProblemStructure> owned_;  ///< null once shared/frozen
+  std::shared_ptr<const ProblemStructure> structure_;
   Box box_;
-  std::vector<LinearConstraint> linear_;
-  std::vector<SocConstraint> soc_;
+  std::vector<double> linear_rhs_;
 };
 
 }  // namespace ldafp::opt

@@ -1,0 +1,67 @@
+// Immutable per-tree structure of the relaxed subproblem (Eq. 25).
+//
+// Every node of the LDA-FP branch-and-bound tree solves the *same*
+// relaxation up to its variable box and the two t-interval right-hand
+// sides: the objective Q, the SOC blocks Σⱼ, and the linear constraint
+// normals never change while the tree is searched.  ProblemStructure owns
+// those invariant pieces exactly once per tree; ConvexProblem node views
+// share it by shared_ptr, so building the per-node problem costs O(m)
+// instead of the former O(m²) deep copy of Q and four Σⱼ blocks.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace ldafp::opt {
+
+/// One linear inequality aᵀw <= b.  `b` is the structure's default
+/// right-hand side; node views may override it per node (the t-interval
+/// rows of the LDA-FP relaxation do exactly that).
+struct LinearConstraint {
+  linalg::Vector a;
+  double b = 0.0;
+};
+
+/// One smoothed second-order-cone constraint
+/// beta * sqrt(wᵀ Sigma w + eps) + cᵀw <= d.
+struct SocConstraint {
+  double beta = 0.0;
+  linalg::Matrix sigma;  ///< symmetric PSD
+  linalg::Vector c;
+  double d = 0.0;
+  double eps = 1e-12;
+};
+
+/// The box-independent part of a ConvexProblem.  Built once, then shared
+/// immutably (via shared_ptr<const ProblemStructure>) across every node
+/// view of a branch-and-bound tree.
+class ProblemStructure {
+ public:
+  /// Structure with objective wᵀQw.  Q must be square symmetric.
+  explicit ProblemStructure(linalg::Matrix q);
+
+  std::size_t dim() const { return q_.rows(); }
+
+  const linalg::Matrix& objective_matrix() const { return q_; }
+
+  /// Max |Q_ij|, precomputed at construction (Hessian scale estimates).
+  double objective_norm_max() const { return q_norm_max_; }
+
+  /// Appends a linear inequality (dimension must match).
+  void add_linear(LinearConstraint constraint);
+  const std::vector<LinearConstraint>& linear() const { return linear_; }
+
+  /// Appends a SOC constraint (dimension must match, beta >= 0, eps > 0).
+  void add_soc(SocConstraint constraint);
+  const std::vector<SocConstraint>& soc() const { return soc_; }
+
+ private:
+  linalg::Matrix q_;
+  double q_norm_max_ = 0.0;
+  std::vector<LinearConstraint> linear_;
+  std::vector<SocConstraint> soc_;
+};
+
+}  // namespace ldafp::opt

@@ -1,0 +1,123 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.h"
+
+namespace ldafp::support {
+
+void JsonWriter::before_value() {
+  if (depth_.empty()) {
+    LDAFP_CHECK(!wrote_top_, "json: only one top-level value allowed");
+    wrote_top_ = true;
+    return;
+  }
+  if (depth_.back() == Scope::kObject) {
+    LDAFP_CHECK(pending_key_, "json: object members need a key first");
+    pending_key_ = false;
+    return;
+  }
+  if (need_comma_.back()) out_ << ',';
+  need_comma_.back() = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  depth_.push_back(Scope::kObject);
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  LDAFP_CHECK(!depth_.empty() && depth_.back() == Scope::kObject &&
+                  !pending_key_,
+              "json: end_object without matching begin_object");
+  out_ << '}';
+  depth_.pop_back();
+  need_comma_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  depth_.push_back(Scope::kArray);
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  LDAFP_CHECK(!depth_.empty() && depth_.back() == Scope::kArray,
+              "json: end_array without matching begin_array");
+  out_ << ']';
+  depth_.pop_back();
+  need_comma_.pop_back();
+}
+
+void JsonWriter::key(const std::string& name) {
+  LDAFP_CHECK(!depth_.empty() && depth_.back() == Scope::kObject &&
+                  !pending_key_,
+              "json: key() is only valid directly inside an object");
+  if (need_comma_.back()) out_ << ',';
+  need_comma_.back() = true;
+  write_string(name);
+  out_ << ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ << "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ << buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(const std::string& v) {
+  before_value();
+  write_string(v);
+}
+
+void JsonWriter::write_string(const std::string& s) {
+  out_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\b': out_ << "\\b"; break;
+      case '\f': out_ << "\\f"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+}  // namespace ldafp::support

@@ -1,0 +1,62 @@
+// Minimal streaming JSON writer.
+//
+// Benches and tools emit machine-readable result files (e.g.
+// BENCH_solver.json) without any third-party dependency.  The writer is
+// strictly streaming — begin/end calls must nest correctly (checked with
+// LDAFP_CHECK) — and produces deterministic output: doubles print with
+// %.17g (round-trip exact), non-finite doubles become null (JSON has no
+// inf/nan), strings are escaped per RFC 8259.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ldafp::support {
+
+/// Streaming JSON writer over an ostream.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member name; must be followed by a value or container.
+  void key(const std::string& name);
+
+  void value(double v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(bool v);
+  void value(const std::string& v);
+  void value(const char* v) { value(std::string(v)); }
+
+  /// key(name) + value(v) in one call.
+  template <typename T>
+  void kv(const std::string& name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  /// True once every opened container has been closed.
+  bool complete() const { return depth_.empty() && wrote_top_; }
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void before_value();
+  void write_string(const std::string& s);
+
+  std::ostream& out_;
+  std::vector<Scope> depth_;
+  std::vector<bool> need_comma_;
+  bool pending_key_ = false;
+  bool wrote_top_ = false;
+};
+
+}  // namespace ldafp::support

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "support/error.h"
 
@@ -108,7 +109,71 @@ TEST(BarrierSolverTest, WarmStartSkipsPhaseOne) {
   const BarrierResult r =
       BarrierSolver().solve(p, Vector{0.5, 0.5});
   EXPECT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(r.phase1_skipped);
   EXPECT_NEAR(r.objective, 0.0, 1e-5);
+}
+
+TEST(BarrierSolverTest, InfeasibleWarmStartFallsBackToPhaseOne) {
+  ConvexProblem p(Matrix::identity(2));
+  p.set_box(Box(2, Interval{-1.0, 1.0}));
+  // Outside the box: solver must run phase I and still converge.
+  const BarrierResult r = BarrierSolver().solve(p, Vector{4.0, 4.0});
+  EXPECT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(r.phase1_skipped);
+  EXPECT_NEAR(r.objective, 0.0, 1e-5);
+}
+
+TEST(BarrierSolverTest, WarmStartValidation) {
+  ConvexProblem p(Matrix::identity(2));
+  p.set_box(Box(2, Interval{-1.0, 1.0}));
+  const BarrierSolver solver;
+  EXPECT_THROW(solver.solve(p, Vector{0.5}), ldafp::InvalidArgumentError);
+  EXPECT_THROW(solver.solve(p, Vector{0.5, 0.5, 0.5}),
+               ldafp::InvalidArgumentError);
+  const double nan = std::nan("");
+  EXPECT_THROW(solver.solve(p, Vector{nan, 0.0}),
+               ldafp::InvalidArgumentError);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(solver.solve(p, Vector{0.0, inf}),
+               ldafp::InvalidArgumentError);
+}
+
+TEST(BarrierSolverTest, WorkspaceReuseIsBitwiseTransparent) {
+  // Solving with a caller-owned workspace — including one dirtied by
+  // solves of a *different* shape — must be bit-identical to solving
+  // with fresh scratch memory every time.
+  ConvexProblem p(Matrix{{2.0, 0.5}, {0.5, 1.0}});
+  p.set_box(Box(2, Interval{-2.0, 2.0}));
+  p.add_linear({Vector{-1.0, -1.0}, -0.5});
+
+  ConvexProblem other(Matrix::identity(3));
+  other.set_box(Box(3, Interval{-1.0, 1.0}));
+
+  const BarrierSolver solver;
+  const BarrierResult fresh = solver.solve(p);
+
+  SolverWorkspace ws;
+  solver.solve(other, std::nullopt, &ws);  // dirty the workspace
+  const BarrierResult reused = solver.solve(p, std::nullopt, &ws);
+
+  ASSERT_EQ(reused.status, fresh.status);
+  ASSERT_EQ(reused.x.size(), fresh.x.size());
+  for (std::size_t i = 0; i < fresh.x.size(); ++i) {
+    EXPECT_EQ(reused.x[i], fresh.x[i]) << "i=" << i;
+  }
+  EXPECT_EQ(reused.objective, fresh.objective);
+  EXPECT_EQ(reused.lower_bound, fresh.lower_bound);
+  EXPECT_EQ(reused.newton_iterations, fresh.newton_iterations);
+  EXPECT_EQ(reused.factorizations, fresh.factorizations);
+}
+
+TEST(BarrierSolverTest, CountersArePopulated) {
+  ConvexProblem p(Matrix::identity(2));
+  p.set_box(Box(2, Interval{-1.0, 1.0}));
+  const BarrierResult r = BarrierSolver().solve(p);
+  EXPECT_GT(r.newton_iterations, 0);
+  EXPECT_GT(r.factorizations, 0);
+  EXPECT_FALSE(r.phase1_skipped);
 }
 
 TEST(BarrierSolverTest, ZeroWidthBoxDimensionHandled) {

@@ -11,7 +11,13 @@
 #include <cmath>
 #include <vector>
 
+#include "core/format_policy.h"
+#include "core/ldafp.h"
+#include "core/training_set.h"
+#include "data/synthetic.h"
 #include "sched/executor.h"
+#include "stats/normal.h"
+#include "support/rng.h"
 
 namespace ldafp::opt {
 namespace {
@@ -223,6 +229,101 @@ TEST(BnbParallelTest, ProgressSnapshotsIdenticalUnderParallelism) {
     EXPECT_EQ(sequential[i].second, parallel[i].second)
         << "snapshot " << i;
   }
+}
+
+// --- Warm-started LDA-FP training: the tree-wide warm starts of
+// --- DESIGN.md §10 must preserve the thread-invariance contract above
+// --- on the real trainer (seeds are a pure function of node identity).
+
+class LdaFpWarmStartParallelTest : public ::testing::Test {
+ protected:
+  static core::LdaFpResult train(bool warm, std::size_t threads,
+                                 std::size_t max_nodes) {
+    support::Rng rng(42);
+    const core::TrainingSet raw =
+        data::make_synthetic(200, rng).to_training_set();
+    const double beta = stats::confidence_beta(0.999);
+    const core::FormatChoice choice = core::choose_format(raw, 6, beta, 2);
+    const core::TrainingSet scaled =
+        core::scale_training_set(raw, choice.feature_scale);
+
+    core::LdaFpOptions options;
+    options.bnb.max_nodes = max_nodes;
+    options.bnb.warm_start_relaxations = warm;
+    options.bnb.executor = threads <= 1
+                               ? sched::Executor::inline_exec()
+                               : sched::Executor::pooled(threads);
+    return core::LdaFpTrainer(choice.format, options).train(scaled);
+  }
+
+  static void expect_same_training(const core::LdaFpResult& a,
+                                   const core::LdaFpResult& b,
+                                   const char* label) {
+    ASSERT_EQ(a.found(), b.found()) << label;
+    ASSERT_EQ(a.weights.size(), b.weights.size()) << label;
+    for (std::size_t i = 0; i < a.weights.size(); ++i) {
+      EXPECT_EQ(a.weights[i], b.weights[i]) << label << " weight " << i;
+    }
+    EXPECT_EQ(a.cost, b.cost) << label;
+    EXPECT_EQ(a.threshold, b.threshold) << label;
+    EXPECT_EQ(a.search.status, b.search.status) << label;
+    EXPECT_EQ(a.search.nodes_processed, b.search.nodes_processed) << label;
+    EXPECT_EQ(a.search.best_value, b.search.best_value) << label;
+    EXPECT_EQ(a.search.lower_bound, b.search.lower_bound) << label;
+  }
+
+  static void expect_same_counters(const core::LdaFpResult& a,
+                                   const core::LdaFpResult& b,
+                                   const char* label) {
+    const NodeStats& sa = a.search.solver_stats;
+    const NodeStats& sb = b.search.solver_stats;
+    EXPECT_EQ(sa.relaxations, sb.relaxations) << label;
+    EXPECT_EQ(sa.phase1_skips, sb.phase1_skips) << label;
+    EXPECT_EQ(sa.newton_iterations, sb.newton_iterations) << label;
+    EXPECT_EQ(sa.factorizations, sb.factorizations) << label;
+  }
+};
+
+TEST_F(LdaFpWarmStartParallelTest, WarmTrainingInvariantAcrossThreads) {
+  // Budget-truncated search: the sharpest probe — any thread-dependent
+  // seed or commit-order slip shifts the anytime incumbent.
+  const core::LdaFpResult reference = train(/*warm=*/true, 1, 120);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    const core::LdaFpResult r = train(true, threads, 120);
+    expect_same_training(reference, r, "warm");
+    expect_same_counters(reference, r, "warm");
+  }
+}
+
+TEST_F(LdaFpWarmStartParallelTest, ColdTrainingInvariantAcrossThreads) {
+  const core::LdaFpResult reference = train(/*warm=*/false, 1, 120);
+  for (const std::size_t threads : {2u, 4u}) {
+    const core::LdaFpResult r = train(false, threads, 120);
+    expect_same_training(reference, r, "cold");
+    expect_same_counters(reference, r, "cold");
+  }
+}
+
+TEST_F(LdaFpWarmStartParallelTest, WarmSkipsPhaseOneColdNever) {
+  const core::LdaFpResult warm = train(true, 4, 120);
+  const core::LdaFpResult cold = train(false, 4, 120);
+  EXPECT_GT(warm.search.solver_stats.phase1_skips, 0u);
+  EXPECT_EQ(cold.search.solver_stats.phase1_skips, 0u);
+  EXPECT_GT(warm.search.solver_stats.relaxations, 0u);
+  EXPECT_LE(warm.search.solver_stats.phase1_skips,
+            warm.search.solver_stats.relaxations);
+  // Warm starts save Newton work on the same tree prefix.
+  EXPECT_LT(warm.search.solver_stats.newton_iterations,
+            cold.search.solver_stats.newton_iterations);
+}
+
+TEST_F(LdaFpWarmStartParallelTest, WarmMatchesColdWhenSearchCompletes) {
+  // With enough budget to prove optimality, the warm and cold searches
+  // must land on the same trained classifier bit for bit.
+  const core::LdaFpResult warm = train(true, 4, 100000);
+  const core::LdaFpResult cold = train(false, 4, 100000);
+  ASSERT_EQ(warm.search.status, BnbStatus::kOptimal);
+  expect_same_training(warm, cold, "warm-vs-cold");
 }
 
 }  // namespace
