@@ -28,6 +28,8 @@
 #include "core/ldafp.h"
 #include "data/bci_synthetic.h"
 #include "data/synthetic.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "stats/normal.h"
 #include "support/json.h"
 #include "support/str.h"
@@ -90,18 +92,20 @@ bool same_result(const core::LdaFpResult& a, const core::LdaFpResult& b) {
 
 void write_run(support::JsonWriter& json, const char* name,
                const RunStats& run) {
-  const opt::NodeStats& s = run.result.search.solver_stats;
+  // The run's counters go through the uniform obs path: publish the
+  // search result into a per-run registry, export the snapshot.  The
+  // emitted keys are metric identities ("bnb.nodes_processed",
+  // "solver.newton_iterations", ...) — the same names every other
+  // subsystem reports under (README documents the schema).
+  obs::MetricsRegistry metrics;
+  opt::publish(run.result.search, metrics);
+  metrics.gauge("bench.seconds").set(run.seconds);
+  metrics.gauge("bench.cost").set(run.result.cost);
   json.key(name);
   json.begin_object();
-  json.kv("seconds", run.seconds);
   json.kv("status", opt::to_string(run.result.search.status));
-  json.kv("cost", run.result.cost);
-  json.kv("nodes_processed",
-          static_cast<std::uint64_t>(run.result.search.nodes_processed));
-  json.kv("relaxations", s.relaxations);
-  json.kv("phase1_skips", s.phase1_skips);
-  json.kv("newton_iterations", s.newton_iterations);
-  json.kv("factorizations", s.factorizations);
+  json.key("metrics");
+  obs::write_json(json, metrics.snapshot());
   json.end_object();
 }
 

@@ -2,17 +2,23 @@
 //
 //   ldafp_cli train  <train.csv> <word_length> [--k K] [--rho R]
 //                    [--nodes N] [--seconds S] [--threads T] [--rom out.hex]
+//                    [--metrics-json FILE] [--trace FILE]
 //   ldafp_cli eval   <rom.hex> <test.csv> [--scale S]
 //   ldafp_cli sweep  <data.csv> <target_error_percent> [--folds F]
-//                    [--threads T]
+//                    [--threads T] [--metrics-json FILE] [--trace FILE]
 //
 // CSV rows are features... , label (0 = class A, 1 = class B).
 // `train` fits LDA-FP, prints the baseline comparison, and optionally
 // writes the weight ROM image (the feature scale is printed — apply the
 // same scale at inference, or pass it to `eval`).
+// `--metrics-json` / `--trace` attach an obs::Sink to the run and dump
+// the metrics snapshot / span timeline as JSON (README shows samples);
+// the trained results are bit-identical with or without them.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
 
 #include "core/format_policy.h"
@@ -23,6 +29,8 @@
 #include "eval/metrics.h"
 #include "hw/rom_image.h"
 #include "hw/verilog_gen.h"
+#include "obs/export.h"
+#include "obs/sink.h"
 #include "sched/executor.h"
 #include "stats/normal.h"
 #include "support/error.h"
@@ -37,14 +45,19 @@ int usage() {
                "usage:\n"
                "  ldafp_cli train <train.csv> <word_length> [--k K] "
                "[--rho R] [--nodes N] [--seconds S] [--threads T] "
-               "[--rom out.hex]\n"
+               "[--rom out.hex] [--metrics-json FILE] [--trace FILE]\n"
                "  ldafp_cli eval <rom.hex> <test.csv> [--scale S]\n"
                "  ldafp_cli sweep <data.csv> <target_error_percent> "
-               "[--folds F] [--threads T]\n"
+               "[--folds F] [--threads T] [--metrics-json FILE] "
+               "[--trace FILE]\n"
                "\n"
                "  --threads T   worker threads for training / the sweep\n"
                "                (default: all hardware threads; results\n"
-               "                are bit-identical at any thread count)\n");
+               "                are bit-identical at any thread count)\n"
+               "  --metrics-json FILE  dump solver/search counters as JSON\n"
+               "  --trace FILE         dump the span timeline as JSON\n"
+               "                (observability only; trained results are\n"
+               "                identical with or without these flags)\n");
   return 2;
 }
 
@@ -62,6 +75,55 @@ const char* flag_string(int argc, char** argv, const char* name) {
   }
   return nullptr;
 }
+
+/// The --metrics-json / --trace flags as an obs::Sink: either flag
+/// enables its facet; sink() stays null when neither is given, so the
+/// instrumented paths cost a branch and nothing else.  write() dumps
+/// the collected registry/trace as JSON after the command finishes.
+struct ObsFlags {
+  ObsFlags(int argc, char** argv)
+      : metrics_path(flag_string(argc, argv, "--metrics-json")),
+        trace_path(flag_string(argc, argv, "--trace")) {
+    if (metrics_path != nullptr) sink_.metrics = &metrics_;
+    if (trace_path != nullptr) sink_.tracer = &tracer_;
+  }
+
+  obs::Sink* sink() {
+    return (metrics_path != nullptr || trace_path != nullptr) ? &sink_
+                                                              : nullptr;
+  }
+
+  int write() {
+    if (metrics_path != nullptr) {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", metrics_path);
+        return 1;
+      }
+      obs::write_metrics_json(out, metrics_.snapshot());
+      std::printf("Wrote metrics to %s\n", metrics_path);
+    }
+    if (trace_path != nullptr) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", trace_path);
+        return 1;
+      }
+      obs::write_trace_json(out, tracer_.snapshot());
+      std::printf("Wrote trace (%zu spans) to %s\n", tracer_.span_count(),
+                  trace_path);
+    }
+    return 0;
+  }
+
+  const char* metrics_path;
+  const char* trace_path;
+
+ private:
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
+  obs::Sink sink_;
+};
 
 /// The --threads flag as an executor: default 0 = all hardware threads,
 /// 1 = today's single-threaded path, N > 1 = a pool of N workers.
@@ -90,14 +152,17 @@ int cmd_train(int argc, char** argv) {
   std::printf("Format %s, feature scale %g (apply at inference)\n",
               choice.format.to_string().c_str(), choice.feature_scale);
 
+  ObsFlags obs_flags(argc, argv);
   core::LdaFpOptions options;
   options.rho = rho;
   options.bnb.max_nodes = static_cast<std::size_t>(
       flag_value(argc, argv, "--nodes", 5000));
   options.bnb.max_seconds = flag_value(argc, argv, "--seconds", 60);
   options.bnb.executor = threads_flag(argc, argv);
+  options.bnb.sink = obs_flags.sink();
   const core::LdaFpTrainer trainer(choice.format, options);
   const core::LdaFpResult result = trainer.train(scaled);
+  if (obs_flags.write() != 0) return 1;
   if (!result.found()) {
     std::printf("No feasible classifier at this format.\n");
     return 1;
@@ -173,15 +238,18 @@ int cmd_sweep(int argc, char** argv) {
   const auto folds = static_cast<std::size_t>(
       flag_value(argc, argv, "--folds", 5));
 
+  ObsFlags obs_flags(argc, argv);
   eval::ExperimentConfig config;
   config.word_lengths = {3, 4, 5, 6, 7, 8, 10, 12};
   config.ldafp.bnb.max_nodes = 1000;
   config.ldafp.bnb.max_seconds = 30.0;
   config.ldafp.bnb.rel_gap = 1e-3;
   config.executor = threads_flag(argc, argv);
+  config.sink = obs_flags.sink();
   support::Rng rng(1);
   const auto choice =
       eval::select_min_word_length(data, folds, config, target, rng);
+  if (obs_flags.write() != 0) return 1;
   if (!choice.has_value()) {
     std::printf("No swept word length meets %.2f%% error.\n",
                 100.0 * target);

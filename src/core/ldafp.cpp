@@ -370,15 +370,37 @@ class LdaFpSearchProblem : public opt::BnbProblem {
 
 }  // namespace
 
+Status LdaFpOptions::validate() const {
+  if (!(rho >= 0.0 && rho < 1.0)) {
+    return Status::invalid("ldafp: confidence level rho must lie in [0, 1)");
+  }
+  if (!(t_gap_ratio > 0.0)) {
+    return Status::invalid("ldafp: t_gap_ratio must be positive");
+  }
+  if (!(min_t_width_rel >= 0.0)) {
+    return Status::invalid("ldafp: min_t_width_rel must be non-negative");
+  }
+  if (max_enum_points < 1) {
+    return Status::invalid("ldafp: max_enum_points must be at least 1");
+  }
+  if (const Status s = bnb.validate(); !s.ok()) return s;
+  return barrier.validate();
+}
+
 LdaFpTrainer::LdaFpTrainer(fixed::FixedFormat format, LdaFpOptions options)
     : format_(format), options_(std::move(options)) {
-  LDAFP_CHECK(options_.rho >= 0.0 && options_.rho < 1.0,
-              "confidence level rho must lie in [0, 1)");
+  throw_if_error(options_.validate());
 }
 
 LdaFpResult LdaFpTrainer::train(const TrainingSet& data) const {
   LDAFP_CHECK(data.valid(), "training set must have samples in both classes");
   support::WallTimer timer;
+  // Tracing seam: pure observation, never consulted by the search, so a
+  // sink cannot perturb weights/bounds/counters (tests/obs cross-check).
+  obs::Tracer* tracer = obs::tracer_of(options_.bnb.sink);
+  obs::ScopedSpan train_span(tracer, "ldafp.train");
+  std::optional<obs::ScopedSpan> stage;
+  stage.emplace(tracer, "ldafp.prepare");
 
   // Algorithm 1, steps 1-2: quantize the data, fit the statistics.
   const TrainingSet quantized = quantize_training_set(data, format_);
@@ -412,6 +434,7 @@ LdaFpResult LdaFpTrainer::train(const TrainingSet& data) const {
 
   LdaFpSearchProblem problem(model, sw, format_, result.beta, options_,
                              std::max(t_root.width(), 1e-12));
+  stage.emplace(tracer, "ldafp.warm_start");
 
   // Warm-start incumbent from the conventional baseline.
   std::optional<std::pair<linalg::Vector, double>> incumbent;
@@ -438,6 +461,7 @@ LdaFpResult LdaFpTrainer::train(const TrainingSet& data) const {
           support::format_double(s.seconds, 1) + "s");
     };
   }
+  stage.reset();  // the search traces itself as "bnb.run"
   const opt::BnbSolver solver(bnb);
   result.search = solver.run(problem, root, incumbent);
   result.train_seconds = timer.seconds();

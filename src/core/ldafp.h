@@ -78,6 +78,13 @@ struct LdaFpOptions {
   /// every bnb.progress_interval nodes.  A custom bnb.progress callback,
   /// when set, takes precedence.
   bool log_progress = false;
+
+  /// Checks the trainer knobs plus the nested bnb/barrier options;
+  /// called once by the LdaFpTrainer constructor.  The observability
+  /// seam rides in `bnb.sink`: when set, train() additionally traces
+  /// its stages ("ldafp.train" → prepare / warm_start / bnb.run) and
+  /// the search publishes its counters — results stay bit-identical.
+  Status validate() const;
 };
 
 /// Training outcome.

@@ -10,10 +10,29 @@
 
 namespace ldafp::eval {
 
+namespace {
+
+// Per-trial telemetry, labeled by word length so sweep rows stay
+// distinguishable in one shared registry.  Counters/gauges only —
+// registration is idempotent and updates are atomic, so concurrent
+// trials (pooled executor) need no coordination.
+void publish_trial(const TrialResult& row, obs::MetricsRegistry& metrics) {
+  const obs::Labels by_w = {{"w", std::to_string(row.word_length)}};
+  metrics.counter("eval.trials", by_w).increment();
+  metrics.gauge("eval.lda_error", by_w).set(row.lda_error);
+  metrics.gauge("eval.ldafp_error", by_w).set(row.ldafp_error);
+  metrics.gauge("eval.ldafp_gap", by_w).set(row.ldafp_gap);
+  metrics.counter("eval.train_nodes", by_w).add(row.ldafp_nodes);
+  metrics.histogram("eval.train_seconds").record(row.ldafp_seconds);
+}
+
+}  // namespace
+
 TrialResult run_trial(const data::LabeledDataset& train,
                       const data::LabeledDataset& test, int word_length,
                       const ExperimentConfig& config) {
   LDAFP_CHECK(train.size() > 0, "empty training set");
+  obs::ScopedSpan span(obs::tracer_of(config.sink), "eval.trial");
   TrialResult row;
   row.word_length = word_length;
 
@@ -43,9 +62,12 @@ TrialResult run_trial(const data::LabeledDataset& train,
   row.lda_error =
       evaluate(lda_fixed, test, row.format_choice.feature_scale).error();
 
-  // LDA-FP.
+  // LDA-FP.  The sink rides into the trainer through the BnbOptions
+  // seam: the search traces and publishes itself; results are identical
+  // with or without it.
   core::LdaFpOptions fp_options = config.ldafp;
   fp_options.covariance = config.covariance;
+  fp_options.bnb.sink = config.sink;
   const core::LdaFpTrainer trainer(row.format_choice.format, fp_options);
   const core::LdaFpResult fp = trainer.train(scaled);
   row.ldafp_seconds = fp.train_seconds;
@@ -60,6 +82,9 @@ TrialResult run_trial(const data::LabeledDataset& train,
         evaluate(fp_fixed, test, row.format_choice.feature_scale).error();
   } else {
     row.ldafp_error = 0.5;  // chance level: no feasible classifier found
+  }
+  if (obs::MetricsRegistry* metrics = obs::metrics_of(config.sink)) {
+    publish_trial(row, *metrics);
   }
   return row;
 }

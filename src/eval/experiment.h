@@ -11,6 +11,7 @@
 #include "core/lda.h"
 #include "core/ldafp.h"
 #include "data/dataset.h"
+#include "obs/sink.h"
 #include "sched/executor.h"
 #include "support/rng.h"
 
@@ -43,6 +44,15 @@ struct ExperimentConfig {
   /// (intra-trial search parallelism); sharing one pooled executor
   /// between both layers is safe — waiters help instead of blocking.
   sched::Executor executor;
+
+  /// Observability seam (may be null).  run_trial forwards the sink into
+  /// the trainer (`ldafp.bnb.sink`), so every trial's search publishes
+  /// its solver/bnb counters into the shared registry, and additionally
+  /// publishes per-trial "eval.*" metrics labeled by word length.  The
+  /// registry's hot path is lock-free and label-disjoint per (w, fold),
+  /// so a pooled executor needs no extra coordination, and attaching a
+  /// sink never changes any reported number (tests/obs holds this).
+  obs::Sink* sink = nullptr;
 };
 
 /// One row of a paper-style table.

@@ -1,0 +1,148 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace ldafp::obs {
+namespace {
+
+Labels sorted_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+template <typename Value>
+const Value* find_entry(const std::vector<Value>& entries,
+                        const std::string& name, const Labels& labels) {
+  const Labels sorted = sorted_labels(labels);
+  for (const Value& v : entries) {
+    if (v.name == name && v.labels == sorted) return &v;
+  }
+  return nullptr;
+}
+
+template <typename Value>
+void sort_values(std::vector<Value>& values) {
+  std::sort(values.begin(), values.end(),
+            [](const Value& a, const Value& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+}
+
+}  // namespace
+
+std::string metric_identity(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  const Labels sorted = sorted_labels(labels);
+  std::string out = name;
+  out += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ',';
+    out += sorted[i].first;
+    out += '=';
+    out += sorted[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+void Gauge::set_max(double v) noexcept {
+  double seen = value_.load(std::memory_order_relaxed);
+  while (v > seen && !value_.compare_exchange_weak(
+                         seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::add(double v) noexcept {
+  double seen = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(seen, seen + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+const MetricsSnapshot::CounterValue* MetricsSnapshot::find_counter(
+    const std::string& name, const Labels& labels) const {
+  return find_entry(counters, name, labels);
+}
+
+const MetricsSnapshot::GaugeValue* MetricsSnapshot::find_gauge(
+    const std::string& name, const Labels& labels) const {
+  return find_entry(gauges, name, labels);
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::find_histogram(
+    const std::string& name, const Labels& labels) const {
+  return find_entry(histograms, name, labels);
+}
+
+std::uint64_t MetricsSnapshot::counter_value(const std::string& name,
+                                             const Labels& labels) const {
+  const CounterValue* v = find_counter(name, labels);
+  return v != nullptr ? v->value : 0;
+}
+
+double MetricsSnapshot::gauge_value(const std::string& name,
+                                    const Labels& labels) const {
+  const GaugeValue* v = find_gauge(name, labels);
+  return v != nullptr ? v->value : 0.0;
+}
+
+template <typename Metric>
+Metric& MetricsRegistry::find_or_register(
+    std::deque<Entry<Metric>>& entries, const std::string& name,
+    Labels&& labels) {
+  Labels sorted = sorted_labels(std::move(labels));
+  std::lock_guard lock(mu_);
+  for (Entry<Metric>& e : entries) {
+    if (e.name == name && e.labels == sorted) return e.metric;
+  }
+  // Metrics are pinned (non-movable atomics), so the entry is built in
+  // place and filled afterwards.
+  Entry<Metric>& entry = entries.emplace_back();
+  entry.name = name;
+  entry.labels = std::move(sorted);
+  return entry.metric;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
+  return find_or_register(counters_, name, std::move(labels));
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels) {
+  return find_or_register(gauges_, name, std::move(labels));
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      Labels labels) {
+  return find_or_register(histograms_, name, std::move(labels));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard lock(mu_);
+    snap.counters.reserve(counters_.size());
+    for (const Entry<Counter>& e : counters_) {
+      snap.counters.push_back({e.name, e.labels, e.metric.load()});
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const Entry<Gauge>& e : gauges_) {
+      snap.gauges.push_back({e.name, e.labels, e.metric.load()});
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const Entry<Histogram>& e : histograms_) {
+      snap.histograms.push_back({e.name, e.labels, e.metric.snapshot()});
+    }
+  }
+  sort_values(snap.counters);
+  sort_values(snap.gauges);
+  sort_values(snap.histograms);
+  return snap;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace ldafp::obs

@@ -1,0 +1,188 @@
+// One metrics substrate for the whole system (DESIGN.md §11).
+//
+// MetricsRegistry is a registry of named, label-tagged counters, gauges,
+// and histograms.  Registration (name lookup) takes a mutex and may
+// allocate; it happens once, at setup time.  The returned handles are
+// stable references whose hot-path operations are single relaxed atomic
+// instructions — no locks, no allocation — so solver workers, sweep
+// trials, and serving threads all record into one registry without
+// serializing, exactly like support::LatencyHistogram (whose log-spaced
+// bucket layout obs::Histogram reuses unchanged).
+//
+// Snapshots are plain value structs, deterministically sorted by metric
+// name then labels, so tests assert on them directly; the exporters in
+// obs/export.h render a snapshot as JSON (support::JsonWriter) or an
+// aligned text table (support::TextTable).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/histogram.h"
+
+namespace ldafp::obs {
+
+/// Label set of one metric instance — "key=value" dimensions, e.g.
+/// {{"dataset", "bci"}, {"w", "6"}}.  Order-insensitive: labels are
+/// sorted by key at registration, so {{a,1},{b,2}} and {{b,2},{a,1}}
+/// address the same instance.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// "name" or "name{k=v,k2=v2}" — the stable identity string used as the
+/// export key and in table rows (labels in sorted-key order).
+std::string metric_identity(const std::string& name, const Labels& labels);
+
+/// Monotone event count.  Handles are created by MetricsRegistry and
+/// live as long as the registry; increments are lock-free.
+class Counter {
+ public:
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  std::uint64_t load() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written (or high-water) double value.  Lock-free.
+class Gauge {
+ public:
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  /// Monotone update: keeps the maximum of the current and new value
+  /// (queue high-water marks).
+  void set_max(double v) noexcept;
+
+  /// Accumulates into the gauge (CAS loop — atomic<double>::fetch_add
+  /// codegen is spotty, same rationale as LatencyHistogram's nanos).
+  void add(double v) noexcept;
+
+  double load() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution of positive quantities (seconds by convention) in the
+/// same fixed log-spaced buckets as support::LatencyHistogram.
+class Histogram {
+ public:
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double value) noexcept { hist_.record(value); }
+  std::uint64_t count() const { return hist_.count(); }
+  support::LatencyHistogram::Snapshot snapshot() const {
+    return hist_.snapshot();
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram() = default;
+  support::LatencyHistogram hist_;
+};
+
+/// Immutable copy of every registered metric, taken off the hot path.
+/// Entries are sorted by (name, labels), so two registries fed the same
+/// deterministic workload export byte-identical snapshots.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    Labels labels;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    Labels labels;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    Labels labels;
+    support::LatencyHistogram::Snapshot hist;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Lookup helpers for tests; null when the instance is absent.
+  const CounterValue* find_counter(const std::string& name,
+                                   const Labels& labels = {}) const;
+  const GaugeValue* find_gauge(const std::string& name,
+                               const Labels& labels = {}) const;
+  const HistogramValue* find_histogram(const std::string& name,
+                                       const Labels& labels = {}) const;
+
+  /// Value accessors returning 0 for absent instances.
+  std::uint64_t counter_value(const std::string& name,
+                              const Labels& labels = {}) const;
+  double gauge_value(const std::string& name,
+                     const Labels& labels = {}) const;
+};
+
+/// The registry.  Handle creation is idempotent: asking twice for the
+/// same (name, labels) returns the same handle, so independent
+/// subsystems can share one instance by name alone.  Counters, gauges,
+/// and histograms live in separate namespaces.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  // Handles point into the registry; it must stay put.
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  Histogram& histogram(const std::string& name, Labels labels = {});
+
+  /// Consistent-enough copy for reporting (same contract as
+  /// LatencyHistogram::snapshot: per-metric reads are atomic,
+  /// cross-metric skew of in-flight updates is acceptable).
+  MetricsSnapshot snapshot() const;
+
+  /// Number of registered metric instances across all kinds.
+  std::size_t size() const;
+
+ private:
+  template <typename Metric>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    Metric metric;
+  };
+
+  template <typename Metric>
+  Metric& find_or_register(std::deque<Entry<Metric>>& entries,
+                           const std::string& name, Labels&& labels);
+
+  mutable std::mutex mu_;
+  // Deques: registration never moves an already-handed-out handle.
+  std::deque<Entry<Counter>> counters_;
+  std::deque<Entry<Gauge>> gauges_;
+  std::deque<Entry<Histogram>> histograms_;
+};
+
+}  // namespace ldafp::obs

@@ -1,0 +1,33 @@
+// The observability seam options structs carry.
+//
+// Mirrors the sched::Executor inline-default pattern: options hold an
+// `obs::Sink*` defaulting to nullptr, and a null sink means every
+// instrumented path degenerates to a branch — no metrics, no spans, no
+// allocation — so embedding the seam in BnbOptions / EngineOptions /
+// ExperimentConfig changes nothing until a caller wires a sink in.
+// Instrumentation is side-effect-free with respect to computed results:
+// attaching a sink never changes trained weights, bounds, node counts,
+// or scores at any thread count (enforced by tests/obs).
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ldafp::obs {
+
+/// A place to record: a metrics registry and/or a tracer, both
+/// borrowed.  Either member may be null to enable just one facet.
+struct Sink {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+};
+
+/// Null-safe accessors so instrumented code reads as one expression.
+inline MetricsRegistry* metrics_of(const Sink* sink) {
+  return sink != nullptr ? sink->metrics : nullptr;
+}
+inline Tracer* tracer_of(const Sink* sink) {
+  return sink != nullptr ? sink->tracer : nullptr;
+}
+
+}  // namespace ldafp::obs

@@ -1,0 +1,87 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+#include <utility>
+
+namespace ldafp::obs {
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+Tracer::Tracer() : id_(next_tracer_id()) {}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // Keyed by tracer id, not address: a new tracer at a recycled address
+  // must not inherit a dead tracer's binding.  The map holds one entry
+  // per tracer this thread ever recorded into — small, and stale ids
+  // are simply never looked up again.
+  thread_local std::unordered_map<std::uint64_t, ThreadBuffer*> bound;
+  ThreadBuffer*& slot = bound[id_];
+  if (slot == nullptr) {
+    std::lock_guard lock(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buffers_.back()->index = static_cast<std::uint32_t>(buffers_.size() - 1);
+    slot = buffers_.back().get();
+  }
+  return *slot;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::vector<SpanRecord> out;
+  std::lock_guard lock(mu_);
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard buffer_lock(buffer->mu);
+    out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
+  }
+  return out;
+}
+
+std::size_t Tracer::span_count() const {
+  std::size_t n = 0;
+  std::lock_guard lock(mu_);
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard buffer_lock(buffer->mu);
+    n += buffer->spans.size();
+  }
+  return n;
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, const char* name)
+    : ScopedSpan(tracer, tracer != nullptr ? std::string(name)
+                                           : std::string()) {}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string name) {
+  if (tracer == nullptr) return;
+  tracer_ = tracer;
+  buffer_ = &tracer->local_buffer();
+  std::lock_guard lock(buffer_->mu);
+  SpanRecord span;
+  span.name = std::move(name);
+  span.thread = buffer_->index;
+  span.parent = buffer_->open.empty() ? -1 : buffer_->open.back();
+  span.depth = static_cast<std::int32_t>(buffer_->open.size());
+  span.start_seconds = tracer->seconds();
+  index_ = static_cast<std::int32_t>(buffer_->spans.size());
+  buffer_->spans.push_back(std::move(span));
+  buffer_->open.push_back(index_);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  std::lock_guard lock(buffer_->mu);
+  buffer_->spans[static_cast<std::size_t>(index_)].end_seconds =
+      tracer_->seconds();
+  // Scoping makes closes LIFO; erase defensively in case of interleaved
+  // lifetimes (destructors must not throw).
+  auto& open = buffer_->open;
+  open.erase(std::remove(open.begin(), open.end(), index_), open.end());
+}
+
+}  // namespace ldafp::obs

@@ -1,0 +1,107 @@
+// Scoped wall-time tracing with per-thread span buffers.
+//
+// A ScopedSpan brackets a region of work: construction records the start
+// time against the tracer's epoch, destruction records the end.  Spans
+// nest lexically — each thread keeps a stack of open spans, so a span
+// started while another is open becomes its child (SpanRecord::parent /
+// depth), giving a hierarchical trace of e.g. train → search → root
+// bound without any manual bookkeeping.
+//
+// Each thread appends to its own buffer (registered with the tracer on
+// first use), so tracing from solver workers, sweep trials, and serving
+// threads never contends on shared state beyond a per-buffer mutex that
+// is only ever contended by snapshot().  A null tracer makes ScopedSpan
+// a no-op: one branch, no allocation, no clock read — the zero-overhead
+// contract options structs rely on (DESIGN.md §11).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/timer.h"
+
+namespace ldafp::obs {
+
+/// One closed (or still-open) span.
+struct SpanRecord {
+  std::string name;
+  /// Dense tracer-assigned index of the recording thread.
+  std::uint32_t thread = 0;
+  /// Index of the parent span within the same thread's records, -1 for
+  /// a thread-root span.
+  std::int32_t parent = -1;
+  /// Nesting depth (0 for thread-root spans).
+  std::int32_t depth = 0;
+  /// Seconds since the tracer's construction.
+  double start_seconds = 0.0;
+  /// -1 while the span is still open.
+  double end_seconds = -1.0;
+
+  bool closed() const { return end_seconds >= start_seconds; }
+  double duration_seconds() const {
+    return closed() ? end_seconds - start_seconds : 0.0;
+  }
+};
+
+/// Owns the per-thread buffers and the shared epoch clock.
+class Tracer {
+ public:
+  Tracer();
+
+  // Buffers are referenced by live ScopedSpans and thread-local caches;
+  // the tracer must outlive every thread that records into it.
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Seconds since construction (the span timebase).
+  double seconds() const { return epoch_.seconds(); }
+
+  /// Copy of every recorded span, grouped by thread index (each
+  /// thread's spans stay in recording order, so parent indices resolve
+  /// within the group).  Safe to call while other threads record; spans
+  /// still open appear with end_seconds == -1.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Total spans recorded so far.
+  std::size_t span_count() const;
+
+ private:
+  friend class ScopedSpan;
+
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::uint32_t index = 0;
+    std::vector<SpanRecord> spans;
+    std::vector<std::int32_t> open;  ///< stack of open span indices
+  };
+
+  /// This thread's buffer, registered on first use.
+  ThreadBuffer& local_buffer();
+
+  support::WallTimer epoch_;
+  const std::uint64_t id_;  ///< process-unique, keys the thread-local cache
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span.  `tracer == nullptr` disables it entirely; with a literal
+/// name the disabled path is a single branch (no string is built).
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name);
+  ScopedSpan(Tracer* tracer, std::string name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  Tracer::ThreadBuffer* buffer_ = nullptr;
+  std::int32_t index_ = -1;
+};
+
+}  // namespace ldafp::obs

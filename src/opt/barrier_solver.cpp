@@ -333,6 +333,39 @@ const char* to_string(SolveStatus status) {
   return "?";
 }
 
+Status BarrierOptions::validate() const {
+  if (!(gap_tol > 0.0)) {
+    return Status::invalid("barrier: gap_tol must be positive");
+  }
+  if (!(initial_t > 0.0)) {
+    return Status::invalid("barrier: initial_t must be positive");
+  }
+  if (!(warm_initial_t > 0.0)) {
+    return Status::invalid("barrier: warm_initial_t must be positive");
+  }
+  if (!(mu > 1.0)) {
+    return Status::invalid(
+        "barrier: mu must exceed 1 (the barrier parameter must grow)");
+  }
+  if (max_newton_per_stage < 1) {
+    return Status::invalid("barrier: max_newton_per_stage must be at least 1");
+  }
+  if (max_total_newton < 1) {
+    return Status::invalid("barrier: max_total_newton must be at least 1");
+  }
+  if (!(newton_tol > 0.0)) {
+    return Status::invalid("barrier: newton_tol must be positive");
+  }
+  if (!(feasibility_margin >= 0.0)) {
+    return Status::invalid(
+        "barrier: feasibility_margin must be non-negative");
+  }
+  if (!(min_box_width >= 0.0)) {
+    return Status::invalid("barrier: min_box_width must be non-negative");
+  }
+  return Status();
+}
+
 void SolverWorkspace::resize(std::size_t n, std::size_t socs) {
   if (hess.rows() != n || hess.cols() != n) {
     hess = linalg::Matrix(n, n);
@@ -354,18 +387,29 @@ void SolverWorkspace::resize(std::size_t n, std::size_t socs) {
   }
 }
 
+Status validate_warm_start(
+    const ConvexProblem& problem,
+    const std::optional<linalg::Vector>& warm_start) {
+  if (!warm_start.has_value()) return Status();
+  if (warm_start->size() != problem.dim()) {
+    return Status::invalid(
+        "barrier: warm start dimension must match problem dimension");
+  }
+  for (const double v : *warm_start) {
+    if (!std::isfinite(v)) {
+      return Status::invalid("barrier: warm start entries must be finite");
+    }
+  }
+  return Status();
+}
+
 BarrierResult BarrierSolver::solve(
     const ConvexProblem& problem,
     const std::optional<linalg::Vector>& warm_start,
     SolverWorkspace* workspace) const {
+  throw_if_error(options_.validate());
   LDAFP_CHECK(problem.has_box(), "barrier solver requires a variable box");
-  if (warm_start.has_value()) {
-    LDAFP_CHECK(warm_start->size() == problem.dim(),
-                "warm start dimension must match problem dimension");
-    for (const double v : *warm_start) {
-      LDAFP_CHECK(std::isfinite(v), "warm start entries must be finite");
-    }
-  }
+  throw_if_error(validate_warm_start(problem, warm_start));
 
   SolverWorkspace local;
   SolverWorkspace& ws = workspace != nullptr ? *workspace : local;
@@ -491,6 +535,7 @@ BarrierResult BarrierSolver::solve(
 
 std::optional<linalg::Vector> BarrierSolver::find_strictly_feasible(
     const ConvexProblem& problem) const {
+  throw_if_error(options_.validate());
   LDAFP_CHECK(problem.has_box(), "barrier solver requires a variable box");
   const Box box = inflate_box(problem.box(), options_.min_box_width);
   SolverWorkspace ws;

@@ -24,6 +24,7 @@
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 #include "opt/convex_problem.h"
+#include "support/error.h"
 
 namespace ldafp::opt {
 
@@ -58,7 +59,18 @@ struct BarrierOptions {
   /// interior is non-empty; inflation only enlarges the feasible set, so
   /// lower bounds remain valid.
   double min_box_width = 1e-9;
+
+  /// Checks every tolerance/budget for validity; called once per solve
+  /// entry (solve / find_strictly_feasible).
+  Status validate() const;
 };
+
+/// Argument validation for solve(): the warm start, when present, must
+/// match the problem dimension and be finite.  Exposed so callers can
+/// pre-check a seed without try/catch; solve() raises a non-ok status
+/// as InvalidArgumentError.
+Status validate_warm_start(const ConvexProblem& problem,
+                           const std::optional<linalg::Vector>& warm_start);
 
 /// Result of a barrier solve.
 struct BarrierResult {

@@ -241,7 +241,71 @@ const char* to_string(BnbStatus status) {
   return "?";
 }
 
+Status BnbOptions::validate() const {
+  if (max_nodes < 1) {
+    return Status::invalid("bnb: max_nodes must be at least 1");
+  }
+  // 0 is legal: an already-expired budget stops before the first node
+  // (anytime semantics the parallel tests exercise).  Rejects negative
+  // and NaN.
+  if (!(max_seconds >= 0.0)) {
+    return Status::invalid("bnb: max_seconds must be non-negative");
+  }
+  if (!(abs_gap >= 0.0)) {
+    return Status::invalid("bnb: abs_gap must be non-negative");
+  }
+  if (!(rel_gap >= 0.0)) {
+    return Status::invalid("bnb: rel_gap must be non-negative");
+  }
+  if (progress && progress_interval < 1) {
+    return Status::invalid(
+        "bnb: progress_interval must be at least 1 when a progress "
+        "callback is set");
+  }
+  return Status();
+}
+
+void publish(const NodeStats& stats, obs::MetricsRegistry& registry,
+             const obs::Labels& labels) {
+  registry.counter("solver.relaxations", labels).add(stats.relaxations);
+  registry.counter("solver.phase1_skips", labels).add(stats.phase1_skips);
+  registry.counter("solver.newton_iterations", labels)
+      .add(stats.newton_iterations);
+  registry.counter("solver.factorizations", labels)
+      .add(stats.factorizations);
+}
+
+void publish(const BnbResult& result, obs::MetricsRegistry& registry,
+             const obs::Labels& labels) {
+  registry.counter("bnb.runs", labels).increment();
+  registry.counter("bnb.nodes_processed", labels)
+      .add(static_cast<std::uint64_t>(result.nodes_processed));
+  registry.counter("bnb.nodes_pruned", labels)
+      .add(static_cast<std::uint64_t>(result.nodes_pruned));
+  registry.gauge("bnb.best_value", labels).set(result.best_value);
+  registry.gauge("bnb.lower_bound", labels).set(result.lower_bound);
+  registry.gauge("bnb.gap", labels).set(result.gap());
+  registry.gauge("bnb.seconds", labels).add(result.seconds);
+  publish(result.solver_stats, registry, labels);
+}
+
 BnbResult BnbSolver::run(
+    BnbProblem& problem, const Box& root,
+    const std::optional<std::pair<linalg::Vector, double>>&
+        initial_incumbent) const {
+  throw_if_error(options_.validate());
+  // Observation wrapper: the search itself never touches the sink, so
+  // attaching one cannot perturb results (tests/obs holds the
+  // bit-identity cross-check at 1/2/4/8 threads).
+  obs::ScopedSpan span(obs::tracer_of(options_.sink), "bnb.run");
+  BnbResult result = run_search(problem, root, initial_incumbent);
+  if (obs::MetricsRegistry* metrics = obs::metrics_of(options_.sink)) {
+    publish(result, *metrics);
+  }
+  return result;
+}
+
+BnbResult BnbSolver::run_search(
     BnbProblem& problem, const Box& root,
     const std::optional<std::pair<linalg::Vector, double>>&
         initial_incumbent) const {

@@ -18,8 +18,10 @@
 #include <optional>
 
 #include "linalg/vector.h"
+#include "obs/sink.h"
 #include "opt/box.h"
 #include "sched/executor.h"
+#include "support/error.h"
 
 namespace ldafp::opt {
 
@@ -43,6 +45,14 @@ struct NodeStats {
     return *this;
   }
 };
+
+/// Adds the counters into `registry` under the shared "solver.*" names
+/// — the one reporting path for solver effort: BnbSolver::run publishes
+/// its result through this when a sink is attached, and benches/tools
+/// publish stored NodeStats through the same call before exporting
+/// (obs/export.h), so every surface agrees on names and shape.
+void publish(const NodeStats& stats, obs::MetricsRegistry& registry,
+             const obs::Labels& labels = {});
 
 /// What a problem reports about one box.
 struct NodeBounds {
@@ -145,6 +155,16 @@ struct BnbOptions {
   /// relaxation bounds (Newton trajectories differ), though incumbents
   /// are grid-rounded and typically agree exactly.
   bool warm_start_relaxations = true;
+  /// Observability seam (null = zero-overhead no-op, like the inline
+  /// executor default).  With a sink attached, run() wraps the search
+  /// in a "bnb.run" span and publishes the result's counters/gauges
+  /// into the metrics registry on exit.  Purely observational: results
+  /// are bit-identical with or without a sink at any thread count.
+  obs::Sink* sink = nullptr;
+
+  /// Checks every budget/tolerance for validity; called once by
+  /// BnbSolver::run before the search starts.
+  Status validate() const;
 };
 
 /// Why the search stopped.
@@ -175,6 +195,14 @@ struct BnbResult {
   double gap() const { return best_value - lower_bound; }
 };
 
+/// Publishes a finished search into `registry`: "bnb.*" counters (runs,
+/// nodes processed/pruned) and gauges (best value, lower bound, gap,
+/// seconds) plus the "solver.*" NodeStats counters.  The result struct
+/// stays the deterministic value record; this is its one bridge onto
+/// the registry snapshot/export path.
+void publish(const BnbResult& result, obs::MetricsRegistry& registry,
+             const obs::Labels& labels = {});
+
 /// Best-first branch-and-bound driver.
 class BnbSolver {
  public:
@@ -185,12 +213,19 @@ class BnbSolver {
 
   /// Runs the search from `root`.  `initial_incumbent`, when provided,
   /// seeds the upper bound (point + exact value) — the warm-start
-  /// heuristic.
+  /// heuristic.  Validates the options (throws InvalidArgumentError on
+  /// a non-ok BnbOptions::validate()) and, when options.sink is set,
+  /// traces the run and publishes the result's counters on exit.
   BnbResult run(BnbProblem& problem, const Box& root,
                 const std::optional<std::pair<linalg::Vector, double>>&
                     initial_incumbent = std::nullopt) const;
 
  private:
+  BnbResult run_search(
+      BnbProblem& problem, const Box& root,
+      const std::optional<std::pair<linalg::Vector, double>>&
+          initial_incumbent) const;
+
   BnbOptions options_;
 };
 

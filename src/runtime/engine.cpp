@@ -17,14 +17,29 @@ const char* to_string(SubmitStatus status) {
   return "?";
 }
 
+Status EngineOptions::validate() const {
+  if (workers < 1) {
+    return Status::invalid("engine needs at least one worker");
+  }
+  if (queue_capacity < 1) {
+    return Status::invalid("queue_capacity must be positive");
+  }
+  if (max_batch < 1) {
+    return Status::invalid("max_batch must be positive");
+  }
+  if (!(max_wait_seconds >= 0.0)) {
+    return Status::invalid("max_wait_seconds must be non-negative");
+  }
+  return Status();
+}
+
 InferenceEngine::InferenceEngine(EngineOptions options)
     : options_(options),
+      tracer_(obs::tracer_of(options.sink)),
+      stats_(obs::metrics_of(options.sink)),
       queue_(options.queue_capacity),
       paused_(options.start_paused) {
-  LDAFP_CHECK(options_.workers >= 1, "engine needs at least one worker");
-  LDAFP_CHECK(options_.max_batch >= 1, "max_batch must be positive");
-  LDAFP_CHECK(options_.max_wait_seconds >= 0.0,
-              "max_wait_seconds must be non-negative");
+  throw_if_error(options_.validate());
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -62,15 +77,15 @@ Submission InferenceEngine::submit(ModelHandle model,
   switch (queue_.try_push(std::move(request))) {
     case PushResult::kOk:
       submission.status = SubmitStatus::kAccepted;
-      stats_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+      stats_.requests_submitted.increment();
       // The queue's high-water mark is monotone; mirroring it into the
-      // stats block keeps report() self-contained.
-      stats_.queue_depth_high_water.store(queue_.high_water_mark(),
-                                          std::memory_order_relaxed);
+      // stats block keeps exports self-contained.
+      stats_.queue_depth_high_water.set_max(
+          static_cast<double>(queue_.high_water_mark()));
       break;
     case PushResult::kFull:
       submission.status = SubmitStatus::kQueueFull;
-      stats_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+      stats_.requests_rejected.increment();
       submission.result = {};
       break;
     case PushResult::kClosed:
@@ -160,6 +175,7 @@ void InferenceEngine::worker_loop() {
 
 void InferenceEngine::score_group(const ModelSnapshot& model,
                                   std::vector<Request*>& group) {
+  obs::ScopedSpan span(tracer_, "engine.batch");
   for (const Request* request : group) {
     stats_.queue_wait.record(request->submitted.seconds());
   }
@@ -183,10 +199,9 @@ void InferenceEngine::score_group(const ModelSnapshot& model,
     stats_.request_total.record(request->submitted.seconds());
     request->promise.set_value(std::move(slice));
   }
-  stats_.batches_scored.fetch_add(1, std::memory_order_relaxed);
-  stats_.samples_scored.fetch_add(packed.rows, std::memory_order_relaxed);
-  stats_.requests_completed.fetch_add(group.size(),
-                                      std::memory_order_relaxed);
+  stats_.batches_scored.increment();
+  stats_.samples_scored.add(packed.rows);
+  stats_.requests_completed.add(group.size());
 }
 
 }  // namespace ldafp::runtime

@@ -26,10 +26,12 @@
 #include <vector>
 
 #include "linalg/vector.h"
+#include "obs/sink.h"
 #include "runtime/batch_scorer.h"
 #include "runtime/queue.h"
 #include "runtime/registry.h"
 #include "runtime/stats.h"
+#include "support/error.h"
 #include "support/timer.h"
 
 namespace ldafp::runtime {
@@ -51,6 +53,17 @@ struct EngineOptions {
   /// applies) but nothing scores until resume().  Deterministic testing
   /// and warm-start hook.
   bool start_paused = false;
+
+  /// Observability seam (may be null = self-contained).  When
+  /// `sink->metrics` is set the engine binds its RuntimeStats handles
+  /// into that registry, so "runtime.*" metrics export alongside the
+  /// rest of the process; when `sink->tracer` is set each scored batch
+  /// records an "engine.batch" span.  Scoring results are identical
+  /// either way.
+  obs::Sink* sink = nullptr;
+
+  /// Checks the sizing knobs; called once by the engine constructor.
+  Status validate() const;
 };
 
 /// Admission outcome of submit().
@@ -117,6 +130,7 @@ class InferenceEngine {
   void score_group(const ModelSnapshot& model, std::vector<Request*>& group);
 
   EngineOptions options_;
+  obs::Tracer* tracer_ = nullptr;
   RuntimeStats stats_;
   BoundedQueue<Request> queue_;
 

@@ -1,70 +1,40 @@
 #include "runtime/stats.h"
 
-#include <cstdio>
-
-#include "support/table.h"
+#include "obs/export.h"
 
 namespace ldafp::runtime {
-namespace {
 
-std::string format_count(std::uint64_t v) { return std::to_string(v); }
-
-std::string format_seconds(double s) {
-  char buf[32];
-  if (s < 1e-3) {
-    std::snprintf(buf, sizeof(buf), "%.1fus", s * 1e6);
-  } else if (s < 1.0) {
-    std::snprintf(buf, sizeof(buf), "%.2fms", s * 1e3);
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.3fs", s);
-  }
-  return buf;
-}
-
-void add_histogram_row(support::TextTable& table, const char* stage,
-                       const support::LatencyHistogram& hist) {
-  const auto snap = hist.snapshot();
-  table.add_row({stage, format_count(snap.total_count),
-                 format_seconds(snap.mean()),
-                 format_seconds(snap.quantile(0.5)),
-                 format_seconds(snap.quantile(0.9)),
-                 format_seconds(snap.quantile(0.99)),
-                 format_seconds(snap.max_seconds)});
-}
-
-}  // namespace
+RuntimeStats::RuntimeStats(obs::MetricsRegistry* registry)
+    : owned_(registry != nullptr ? nullptr
+                                 : std::make_unique<obs::MetricsRegistry>()),
+      registry_(registry != nullptr ? registry : owned_.get()),
+      requests_submitted(registry_->counter("runtime.requests_submitted")),
+      requests_rejected(registry_->counter("runtime.requests_rejected")),
+      requests_completed(registry_->counter("runtime.requests_completed")),
+      samples_scored(registry_->counter("runtime.samples_scored")),
+      batches_scored(registry_->counter("runtime.batches_scored")),
+      queue_depth_high_water(
+          registry_->gauge("runtime.queue_depth_high_water")),
+      queue_wait(registry_->histogram("runtime.queue_wait")),
+      batch_execute(registry_->histogram("runtime.batch_execute")),
+      request_total(registry_->histogram("runtime.request_total")),
+      mean_batch_size_gauge_(
+          registry_->gauge("runtime.mean_batch_size")) {}
 
 double RuntimeStats::mean_batch_size() const {
-  const std::uint64_t batches = batches_scored.load(std::memory_order_relaxed);
+  const std::uint64_t batches = batches_scored.load();
   if (batches == 0) return 0.0;
-  return static_cast<double>(
-             samples_scored.load(std::memory_order_relaxed)) /
+  return static_cast<double>(samples_scored.load()) /
          static_cast<double>(batches);
 }
 
+obs::MetricsSnapshot RuntimeStats::snapshot() const {
+  mean_batch_size_gauge_.set(mean_batch_size());
+  return registry_->snapshot();
+}
+
 std::string RuntimeStats::report() const {
-  support::TextTable counters({"counter", "value"});
-  counters.add_row({"requests submitted",
-                    format_count(requests_submitted.load())});
-  counters.add_row({"requests rejected (queue full)",
-                    format_count(requests_rejected.load())});
-  counters.add_row({"requests completed",
-                    format_count(requests_completed.load())});
-  counters.add_row({"samples scored", format_count(samples_scored.load())});
-  counters.add_row({"batches scored", format_count(batches_scored.load())});
-  char mean_batch[32];
-  std::snprintf(mean_batch, sizeof(mean_batch), "%.2f", mean_batch_size());
-  counters.add_row({"mean batch size", mean_batch});
-  counters.add_row({"queue depth high-water",
-                    format_count(queue_depth_high_water.load())});
-
-  support::TextTable latency(
-      {"stage", "count", "mean", "p50", "p90", "p99", "max"});
-  add_histogram_row(latency, "queue wait", queue_wait);
-  add_histogram_row(latency, "batch execute", batch_execute);
-  add_histogram_row(latency, "request total", request_total);
-
-  return counters.to_string() + "\n" + latency.to_string();
+  return obs::to_table(snapshot());
 }
 
 }  // namespace ldafp::runtime

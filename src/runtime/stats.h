@@ -1,46 +1,80 @@
-// Serving telemetry: counters + per-stage latency histograms.
+// Serving telemetry: thin views over obs::MetricsRegistry handles.
 //
 // One RuntimeStats block lives in the engine; submit paths and workers
-// update it with relaxed atomics and lock-free histogram records, so
-// telemetry never serializes the hot path.  report() renders the block
-// through support::TextTable for logs/benches.
+// update it through lock-free registry handles (relaxed counters,
+// log-spaced histograms), so telemetry never serializes the hot path.
+// The block either binds into a caller-supplied registry (the
+// EngineOptions::sink seam — engine metrics then export alongside
+// everything else in the process) or owns a private one.
+//
+// MIGRATION (PR 5): report()'s hand-assembled tables are deprecated in
+// favor of the uniform obs exporters — call snapshot() and render with
+// obs::to_table / obs::write_json (obs/export.h), which is exactly what
+// the compatibility wrapper report() now does (plus the derived
+// "runtime.mean_batch_size" gauge).  report() is kept so existing
+// callers (serve_bci, runtime_throughput) keep printing; new code
+// should take the snapshot.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
-#include "support/histogram.h"
+#include "obs/metrics.h"
 
 namespace ldafp::runtime {
 
 /// Counter block of one InferenceEngine.
 class RuntimeStats {
+  // Registry storage first: the public handles below bind into it at
+  // construction, and members initialize in declaration order.
+  std::unique_ptr<obs::MetricsRegistry> owned_;
+  obs::MetricsRegistry* registry_;
+
  public:
+  /// Binds the handles into `registry` ("runtime.*" names); owns a
+  /// private registry when null.
+  explicit RuntimeStats(obs::MetricsRegistry* registry = nullptr);
+
+  RuntimeStats(const RuntimeStats&) = delete;
+  RuntimeStats& operator=(const RuntimeStats&) = delete;
+
   // -- submission admission --
-  std::atomic<std::uint64_t> requests_submitted{0};  ///< accepted
-  std::atomic<std::uint64_t> requests_rejected{0};   ///< queue full
-  std::atomic<std::uint64_t> requests_completed{0};
-  std::atomic<std::uint64_t> samples_scored{0};
+  obs::Counter& requests_submitted;  ///< accepted
+  obs::Counter& requests_rejected;   ///< queue full
+  obs::Counter& requests_completed;
+  obs::Counter& samples_scored;
 
   // -- worker batching --
-  std::atomic<std::uint64_t> batches_scored{0};
+  obs::Counter& batches_scored;
 
   /// Deepest the request queue has been (mirrored from the queue at
-  /// report time by the engine; kept here so report() is self-contained).
-  std::atomic<std::uint64_t> queue_depth_high_water{0};
+  /// submit time by the engine; kept here so exports are self-contained).
+  obs::Gauge& queue_depth_high_water;
 
   // -- per-stage latency (seconds) --
-  support::LatencyHistogram queue_wait;     ///< submit -> batch formation
-  support::LatencyHistogram batch_execute;  ///< pack + score of one batch
-  support::LatencyHistogram request_total;  ///< submit -> promise fulfilled
+  obs::Histogram& queue_wait;     ///< submit -> batch formation
+  obs::Histogram& batch_execute;  ///< pack + score of one batch
+  obs::Histogram& request_total;  ///< submit -> promise fulfilled
 
   /// Mean samples per scored batch (the micro-batcher's achieved
   /// amortization).
   double mean_batch_size() const;
 
-  /// Renders counters and histogram quantiles as an aligned text table.
+  /// The registry the handles live in (caller-supplied or owned).
+  const obs::MetricsRegistry& registry() const { return *registry_; }
+
+  /// Snapshot of the bound registry with the derived
+  /// "runtime.mean_batch_size" gauge refreshed first — the uniform
+  /// reporting path (render via obs::to_table / obs::write_json).
+  obs::MetricsSnapshot snapshot() const;
+
+  /// DEPRECATED compatibility wrapper: renders snapshot() through
+  /// obs::to_table.  Prefer snapshot() + an obs exporter.
   std::string report() const;
+
+ private:
+  obs::Gauge& mean_batch_size_gauge_;  ///< derived, refreshed by snapshot()
 };
 
 }  // namespace ldafp::runtime

@@ -2,6 +2,14 @@
 
 #include <sstream>
 
+namespace ldafp {
+
+void throw_if_error(const Status& status) {
+  if (!status.ok()) throw InvalidArgumentError(status.message());
+}
+
+}  // namespace ldafp
+
 namespace ldafp::detail {
 
 void throw_invalid_argument(const char* expr, const char* file, int line,

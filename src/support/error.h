@@ -39,6 +39,34 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// Value-type validation outcome: either ok() or an error message.
+/// Options structs expose `Status validate() const` so configuration
+/// checking is data, not control flow — callers can inspect a rejection
+/// without try/catch, and public entry points raise a non-ok status as
+/// InvalidArgumentError via throw_if_error() exactly once.
+class Status {
+ public:
+  /// Default-constructed status is ok.
+  Status() = default;
+
+  static Status invalid(std::string message) {
+    return Status(std::move(message));
+  }
+
+  bool ok() const { return message_.empty(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Empty for ok statuses.
+  const std::string& message() const { return message_; }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::string message_;
+};
+
+/// Raises a non-ok status as InvalidArgumentError; no-op when ok.
+void throw_if_error(const Status& status);
+
 namespace detail {
 [[noreturn]] void throw_invalid_argument(const char* expr, const char* file,
                                          int line, const std::string& msg);

@@ -217,5 +217,30 @@ TEST(LdaFpTest, InvalidInputsRejected) {
                ldafp::InvalidArgumentError);
 }
 
+TEST(LdaFpTest, OptionsValidateRejectsEachBadKnob) {
+  EXPECT_TRUE(LdaFpOptions{}.validate().ok());
+
+  auto rejects = [](auto&& mutate) {
+    LdaFpOptions options;
+    mutate(options);
+    return !options.validate().ok();
+  };
+  EXPECT_TRUE(rejects([](LdaFpOptions& o) { o.rho = 1.0; }));
+  EXPECT_TRUE(rejects([](LdaFpOptions& o) { o.rho = -0.1; }));
+  EXPECT_TRUE(rejects([](LdaFpOptions& o) { o.rho = std::nan(""); }));
+  EXPECT_TRUE(rejects([](LdaFpOptions& o) { o.t_gap_ratio = 0.0; }));
+  EXPECT_TRUE(rejects([](LdaFpOptions& o) { o.min_t_width_rel = -1.0; }));
+  EXPECT_TRUE(rejects([](LdaFpOptions& o) { o.max_enum_points = 0; }));
+  // Nested options are validated through the same entry point.
+  EXPECT_TRUE(rejects([](LdaFpOptions& o) { o.bnb.max_nodes = 0; }));
+  EXPECT_TRUE(rejects([](LdaFpOptions& o) { o.barrier.mu = 1.0; }));
+
+  // The trainer constructor raises a rejection (including nested ones).
+  LdaFpOptions bad;
+  bad.barrier.gap_tol = -1.0;
+  EXPECT_THROW(LdaFpTrainer(fixed::FixedFormat(2, 2), bad),
+               ldafp::InvalidArgumentError);
+}
+
 }  // namespace
 }  // namespace ldafp::core

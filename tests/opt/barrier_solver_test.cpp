@@ -138,6 +138,35 @@ TEST(BarrierSolverTest, WarmStartValidation) {
                ldafp::InvalidArgumentError);
 }
 
+TEST(BarrierSolverTest, OptionsValidateRejectsEachBadKnob) {
+  EXPECT_TRUE(BarrierOptions{}.validate().ok());
+
+  auto rejects = [](auto&& mutate) {
+    BarrierOptions options;
+    mutate(options);
+    return !options.validate().ok();
+  };
+  EXPECT_TRUE(rejects([](BarrierOptions& o) { o.gap_tol = 0.0; }));
+  EXPECT_TRUE(rejects([](BarrierOptions& o) { o.gap_tol = std::nan(""); }));
+  EXPECT_TRUE(rejects([](BarrierOptions& o) { o.initial_t = -1.0; }));
+  EXPECT_TRUE(rejects([](BarrierOptions& o) { o.warm_initial_t = 0.0; }));
+  EXPECT_TRUE(rejects([](BarrierOptions& o) { o.mu = 1.0; }));
+  EXPECT_TRUE(rejects([](BarrierOptions& o) { o.max_newton_per_stage = 0; }));
+  EXPECT_TRUE(rejects([](BarrierOptions& o) { o.max_total_newton = 0; }));
+  EXPECT_TRUE(rejects([](BarrierOptions& o) { o.newton_tol = 0.0; }));
+  EXPECT_TRUE(rejects([](BarrierOptions& o) { o.feasibility_margin = -1.0; }));
+  EXPECT_TRUE(rejects([](BarrierOptions& o) { o.min_box_width = -1e-9; }));
+
+  // The solver raises a rejection at its entry point.
+  ConvexProblem p(Matrix::identity(2));
+  p.set_box(Box(2, Interval{-1.0, 1.0}));
+  BarrierOptions bad;
+  bad.mu = 0.5;
+  EXPECT_THROW(BarrierSolver(bad).solve(p), ldafp::InvalidArgumentError);
+  EXPECT_THROW(BarrierSolver(bad).find_strictly_feasible(p),
+               ldafp::InvalidArgumentError);
+}
+
 TEST(BarrierSolverTest, WorkspaceReuseIsBitwiseTransparent) {
   // Solving with a caller-owned workspace — including one dirtied by
   // solves of a *different* shape — must be bit-identical to solving

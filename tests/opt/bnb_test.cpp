@@ -191,6 +191,38 @@ TEST(BnbTest, ProgressCallbackFires) {
   EXPECT_NEAR(last_gap, r.gap(), 1e-12);  // final snapshot matches
 }
 
+TEST(BnbTest, OptionsValidateRejectsEachBadKnob) {
+  EXPECT_TRUE(BnbOptions{}.validate().ok());
+  {
+    BnbOptions o;
+    o.max_seconds = 0.0;  // expired-budget anytime semantics stay legal
+    EXPECT_TRUE(o.validate().ok());
+  }
+
+  auto rejects = [](auto&& mutate) {
+    BnbOptions options;
+    mutate(options);
+    return !options.validate().ok();
+  };
+  EXPECT_TRUE(rejects([](BnbOptions& o) { o.max_nodes = 0; }));
+  EXPECT_TRUE(rejects([](BnbOptions& o) { o.max_seconds = -1.0; }));
+  EXPECT_TRUE(rejects([](BnbOptions& o) { o.max_seconds = std::nan(""); }));
+  EXPECT_TRUE(rejects([](BnbOptions& o) { o.abs_gap = -1e-9; }));
+  EXPECT_TRUE(rejects([](BnbOptions& o) { o.rel_gap = -1e-9; }));
+  EXPECT_TRUE(rejects([](BnbOptions& o) {
+    o.progress = [](const BnbResult&) {};
+    o.progress_interval = 0;
+  }));
+
+  // run() raises the rejection at the entry point.
+  IntegerQuadratic problem(Vector{0.3, -0.6});
+  BnbOptions bad;
+  bad.max_nodes = 0;
+  EXPECT_THROW(
+      BnbSolver(bad).run(problem, Box(2, Interval{-2.0, 2.0})),
+      ldafp::InvalidArgumentError);
+}
+
 TEST(BnbTest, StatusNames) {
   EXPECT_STREQ(to_string(BnbStatus::kOptimal), "optimal");
   EXPECT_STREQ(to_string(BnbStatus::kNodeLimit), "node-limit");

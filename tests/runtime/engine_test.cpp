@@ -7,7 +7,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/sink.h"
 #include "runtime/registry.h"
+#include "support/error.h"
 #include "support/rng.h"
 
 namespace ldafp::runtime {
@@ -227,11 +229,49 @@ TEST(InferenceEngineTest, StatsReportRenders) {
   auto sub = engine.submit(model, random_samples(4, 4, rng));
   ASSERT_EQ(sub.status, SubmitStatus::kAccepted);
   (void)sub.result.get();
+  // The deprecated report() wrapper renders the registry snapshot via
+  // obs::to_table, so rows carry the metric identity names.
   const std::string report = engine.stats().report();
-  EXPECT_NE(report.find("requests submitted"), std::string::npos);
-  EXPECT_NE(report.find("queue wait"), std::string::npos);
-  EXPECT_NE(report.find("batch execute"), std::string::npos);
-  EXPECT_NE(report.find("request total"), std::string::npos);
+  EXPECT_NE(report.find("runtime.requests_submitted"), std::string::npos);
+  EXPECT_NE(report.find("runtime.queue_wait"), std::string::npos);
+  EXPECT_NE(report.find("runtime.batch_execute"), std::string::npos);
+  EXPECT_NE(report.find("runtime.request_total"), std::string::npos);
+
+  // The uniform path: the same numbers through the snapshot struct.
+  const obs::MetricsSnapshot snap = engine.stats().snapshot();
+  EXPECT_EQ(snap.counter_value("runtime.requests_submitted"), 1u);
+  EXPECT_EQ(snap.counter_value("runtime.samples_scored"), 4u);
+  EXPECT_DOUBLE_EQ(snap.gauge_value("runtime.mean_batch_size"), 4.0);
+}
+
+TEST(InferenceEngineTest, StatsBindIntoExternalRegistry) {
+  support::Rng rng(13);
+  ModelRegistry registry;
+  const auto model = registry.install("m", random_classifier(4, rng));
+  obs::MetricsRegistry metrics;
+  obs::Sink sink{&metrics, nullptr};
+  {
+    InferenceEngine engine({.workers = 1, .sink = &sink});
+    auto sub = engine.submit(model, random_samples(3, 4, rng));
+    ASSERT_EQ(sub.status, SubmitStatus::kAccepted);
+    (void)sub.result.get();
+    EXPECT_EQ(&engine.stats().registry(), &metrics);
+  }
+  // The engine's counters landed in the caller's registry and survive
+  // the engine itself.
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counter_value("runtime.requests_submitted"), 1u);
+  EXPECT_EQ(snap.counter_value("runtime.samples_scored"), 3u);
+  EXPECT_EQ(snap.counter_value("runtime.requests_completed"), 1u);
+}
+
+TEST(InferenceEngineTest, OptionsValidateRejects) {
+  EXPECT_FALSE(EngineOptions{.workers = 0}.validate().ok());
+  EXPECT_FALSE(EngineOptions{.queue_capacity = 0}.validate().ok());
+  EXPECT_FALSE(EngineOptions{.max_batch = 0}.validate().ok());
+  EXPECT_FALSE(EngineOptions{.max_wait_seconds = -1.0}.validate().ok());
+  EXPECT_TRUE(EngineOptions{}.validate().ok());
+  EXPECT_THROW(InferenceEngine({.workers = 0}), InvalidArgumentError);
 }
 
 }  // namespace

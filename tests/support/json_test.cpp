@@ -1,0 +1,150 @@
+// JsonWriter edge cases: RFC 8259 string escaping, deep nesting, empty
+// containers, non-finite doubles, and the complete() contract.  The obs
+// exporters (and through them --metrics-json, --trace, and the bench
+// emitters) lean on these guarantees for machine-parseable output.
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "support/error.h"
+
+namespace ldafp::support {
+namespace {
+
+std::string render(void (*body)(JsonWriter&)) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  body(json);
+  EXPECT_TRUE(json.complete());
+  return out.str();
+}
+
+TEST(JsonWriterTest, EscapesQuotesAndBackslashes) {
+  const std::string s = render([](JsonWriter& j) {
+    j.value(std::string("say \"hi\" to C:\\temp"));
+  });
+  EXPECT_EQ(s, "\"say \\\"hi\\\" to C:\\\\temp\"");
+}
+
+TEST(JsonWriterTest, EscapesNamedControlCharacters) {
+  const std::string s = render([](JsonWriter& j) {
+    j.value(std::string("a\b\f\n\r\tz"));
+  });
+  EXPECT_EQ(s, "\"a\\b\\f\\n\\r\\tz\"");
+}
+
+TEST(JsonWriterTest, EscapesOtherControlCharactersAsUnicode) {
+  const std::string s = render([](JsonWriter& j) {
+    j.value(std::string("x\x01y\x1fz"));
+  });
+  EXPECT_EQ(s, "\"x\\u0001y\\u001fz\"");
+}
+
+TEST(JsonWriterTest, EscapesKeysLikeValues) {
+  const std::string s = render([](JsonWriter& j) {
+    j.begin_object();
+    j.kv("a\"b", 1);
+    j.end_object();
+  });
+  EXPECT_EQ(s, "{\"a\\\"b\":1}");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  EXPECT_EQ(render([](JsonWriter& j) {
+              j.begin_object();
+              j.end_object();
+            }),
+            "{}");
+  EXPECT_EQ(render([](JsonWriter& j) {
+              j.begin_array();
+              j.end_array();
+            }),
+            "[]");
+  EXPECT_EQ(render([](JsonWriter& j) {
+              j.begin_object();
+              j.key("empty");
+              j.begin_array();
+              j.end_array();
+              j.key("also");
+              j.begin_object();
+              j.end_object();
+              j.end_object();
+            }),
+            "{\"empty\":[],\"also\":{}}");
+}
+
+TEST(JsonWriterTest, DeepNestingRoundTrips) {
+  constexpr int kDepth = 64;
+  std::ostringstream out;
+  JsonWriter json(out);
+  for (int i = 0; i < kDepth; ++i) {
+    json.begin_object();
+    json.key("d");
+    json.begin_array();
+  }
+  json.value(0);
+  for (int i = 0; i < kDepth; ++i) {
+    json.end_array();
+    json.end_object();
+  }
+  EXPECT_TRUE(json.complete());
+  const std::string s = out.str();
+  std::size_t opens = 0;
+  std::size_t closes = 0;
+  for (const char c : s) {
+    if (c == '{' || c == '[') ++opens;
+    if (c == '}' || c == ']') ++closes;
+  }
+  EXPECT_EQ(opens, static_cast<std::size_t>(2 * kDepth));
+  EXPECT_EQ(closes, static_cast<std::size_t>(2 * kDepth));
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  const std::string s = render([](JsonWriter& j) {
+    j.begin_array();
+    j.value(std::numeric_limits<double>::quiet_NaN());
+    j.value(std::numeric_limits<double>::infinity());
+    j.value(-std::numeric_limits<double>::infinity());
+    j.value(1.5);
+    j.end_array();
+  });
+  EXPECT_EQ(s, "[null,null,null,1.5]");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripExactly) {
+  const double v = 0.1 + 0.2;  // not representable as a short decimal
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.value(v);
+  EXPECT_EQ(std::stod(out.str()), v);  // %.17g round-trips
+}
+
+TEST(JsonWriterTest, CompleteOnlyAfterTopLevelValueCloses) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  EXPECT_FALSE(json.complete());
+  json.begin_object();
+  EXPECT_FALSE(json.complete());
+  json.kv("k", true);
+  EXPECT_FALSE(json.complete());
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+}
+
+TEST(JsonWriterTest, MisuseTrips) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  // A value directly inside an object without a key is a bug.
+  EXPECT_THROW(json.value(1), InvalidArgumentError);
+  // Mismatched closer.
+  EXPECT_THROW(json.end_array(), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldafp::support
