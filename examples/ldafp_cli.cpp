@@ -6,6 +6,9 @@
 //   ldafp_cli eval   <rom.hex> <test.csv> [--scale S]
 //   ldafp_cli sweep  <data.csv> <target_error_percent> [--folds F]
 //                    [--threads T] [--metrics-json FILE] [--trace FILE]
+//   ldafp_cli serve  [--port P] [--threads T] [--io-threads N]
+//                    [--queue Q] [--batch B] [--model NAME=ROM.hex ...]
+//                    [--metrics-json FILE]
 //
 // CSV rows are features... , label (0 = class A, 1 = class B).
 // `train` fits LDA-FP, prints the baseline comparison, and optionally
@@ -14,23 +17,35 @@
 // `--metrics-json` / `--trace` attach an obs::Sink to the run and dump
 // the metrics snapshot / span timeline as JSON (README shows samples);
 // the trained results are bit-identical with or without them.
+// `serve` exposes the inference engine over the DESIGN.md §12 TCP
+// protocol; without --model it trains a synthetic fallback classifier
+// so the server is load-testable out of the box.  SIGINT drains the
+// engine and flushes the metrics snapshot before exiting.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/format_policy.h"
 #include "core/lda.h"
 #include "core/ldafp.h"
 #include "data/io.h"
+#include "data/synthetic.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "hw/rom_image.h"
 #include "hw/verilog_gen.h"
+#include "net/net.h"
 #include "obs/export.h"
 #include "obs/sink.h"
+#include "runtime/runtime.h"
 #include "sched/executor.h"
 #include "stats/normal.h"
 #include "support/error.h"
@@ -50,6 +65,9 @@ int usage() {
                "  ldafp_cli sweep <data.csv> <target_error_percent> "
                "[--folds F] [--threads T] [--metrics-json FILE] "
                "[--trace FILE]\n"
+               "  ldafp_cli serve [--port P] [--threads T] "
+               "[--io-threads N] [--queue Q] [--batch B] "
+               "[--model NAME=ROM.hex ...] [--metrics-json FILE]\n"
                "\n"
                "  --threads T   worker threads for training / the sweep\n"
                "                (default: all hardware threads; results\n"
@@ -262,6 +280,128 @@ int cmd_sweep(int argc, char** argv) {
   return 0;
 }
 
+// SIGINT latch for `serve`: the handler only flips the flag; the main
+// thread notices and runs the orderly drain (signal-safe by design).
+std::atomic<bool> g_interrupted{false};
+
+void on_sigint(int) { g_interrupted.store(true); }
+
+/// Trains the synthetic fallback model served when no --model is given:
+/// a conventional quantized-LDA classifier on the paper's 3-feature
+/// synthetic task (fast — no branch-and-bound — and deterministic).
+core::FixedClassifier train_synthetic_fallback(int word_length,
+                                               double* scale_out) {
+  support::Rng rng(1);
+  const data::LabeledDataset dataset = data::make_synthetic(1500, rng);
+  const double beta = stats::confidence_beta(0.9999);
+  const core::TrainingSet raw = dataset.to_training_set();
+  const core::FormatChoice choice =
+      core::choose_format(raw, word_length, beta, 2);
+  const core::TrainingSet scaled =
+      core::scale_training_set(raw, choice.feature_scale);
+  const core::LdaModel lda = core::fit_lda(scaled);
+  const auto model_stats = core::fit_two_class_model(
+      core::quantize_training_set(scaled, choice.format));
+  *scale_out = choice.feature_scale;
+  return core::quantize_lda(lda, model_stats, beta, choice.format);
+}
+
+int cmd_serve(int argc, char** argv) {
+  const auto port = static_cast<std::uint16_t>(
+      flag_value(argc, argv, "--port", 7070));
+  const auto workers = static_cast<std::size_t>(
+      flag_value(argc, argv, "--threads", 4));
+  const auto io_threads = static_cast<std::size_t>(
+      flag_value(argc, argv, "--io-threads", 1));
+  const auto queue = static_cast<std::size_t>(
+      flag_value(argc, argv, "--queue", 1024));
+  const auto batch = static_cast<std::size_t>(
+      flag_value(argc, argv, "--batch", 64));
+  const char* metrics_path = flag_string(argc, argv, "--metrics-json");
+
+  // One registry for the whole serving process: the engine's
+  // "runtime.*" block and the transport's "net.*" block bind into it,
+  // so the exit snapshot covers admission, batching, and the wire.
+  obs::MetricsRegistry metrics;
+  obs::Sink sink;
+  sink.metrics = &metrics;
+
+  runtime::ModelRegistry models;
+  std::string default_model;
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--model") != 0) continue;
+    const std::string spec = argv[i + 1];
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+      std::fprintf(stderr, "--model expects NAME=ROM.hex, got %s\n",
+                   spec.c_str());
+      return 2;
+    }
+    const std::string name = spec.substr(0, eq);
+    const hw::RomImage image = hw::load_rom_image(spec.substr(eq + 1));
+    models.install(name, image);
+    if (default_model.empty()) default_model = name;
+    std::printf("installed %s (%s, %zu weights)\n", name.c_str(),
+                image.format.to_string().c_str(), image.weights.size());
+  }
+  if (models.size() == 0) {
+    double scale = 1.0;
+    const core::FixedClassifier clf =
+        train_synthetic_fallback(6, &scale);
+    models.install("synthetic", clf);
+    default_model = "synthetic";
+    std::printf("no --model given; installed synthetic fallback "
+                "(%s, feature scale %g)\n",
+                clf.format().to_string().c_str(), scale);
+  }
+
+  runtime::EngineOptions engine_options;
+  engine_options.workers = workers;
+  engine_options.queue_capacity = queue;
+  engine_options.max_batch = batch;
+  engine_options.sink = &sink;
+  runtime::InferenceEngine engine(engine_options);
+
+  net::ServerOptions server_options;
+  server_options.port = port;
+  server_options.io_threads = io_threads;
+  server_options.default_model = default_model;
+  server_options.engine = &engine;
+  server_options.registry = &models;
+  server_options.sink = &sink;
+  net::Server server(server_options);
+  server.start();
+  std::printf("serving on %s:%u (%zu io thread%s, %zu workers, "
+              "default model \"%s\") — Ctrl-C to drain and exit\n",
+              server_options.host.c_str(), server.port(), io_threads,
+              io_threads == 1 ? "" : "s", workers,
+              default_model.c_str());
+
+  std::signal(SIGINT, on_sigint);
+  std::signal(SIGTERM, on_sigint);
+  while (!g_interrupted.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  // Orderly drain: stop admission at the socket, let in-flight
+  // responses flush, then drain the engine queue, then report.
+  std::printf("\ndraining...\n");
+  server.stop();
+  engine.shutdown();
+  const obs::MetricsSnapshot snapshot = engine.stats().snapshot();
+  if (metrics_path != nullptr) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", metrics_path);
+      return 1;
+    }
+    obs::write_metrics_json(out, snapshot);
+    std::printf("Wrote metrics to %s\n", metrics_path);
+  }
+  std::printf("%s\n", obs::to_table(snapshot).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -270,6 +410,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "train") == 0) return cmd_train(argc, argv);
     if (std::strcmp(argv[1], "eval") == 0) return cmd_eval(argc, argv);
     if (std::strcmp(argv[1], "sweep") == 0) return cmd_sweep(argc, argv);
+    if (std::strcmp(argv[1], "serve") == 0) return cmd_serve(argc, argv);
   } catch (const ldafp::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,152 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ldafp::net {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      rbuf_(std::move(other.rbuf_)),
+      rpos_(std::exchange(other.rpos_, 0)),
+      peer_closed_(std::exchange(other.peer_closed_, false)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    rbuf_ = std::move(other.rbuf_);
+    rpos_ = std::exchange(other.rpos_, 0);
+    peer_closed_ = std::exchange(other.peer_closed_, false);
+  }
+  return *this;
+}
+
+Client Client::connect_to(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw IoError("invalid address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw IoError("cannot connect to " + host + ": " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send(const ScoreRequest& request) {
+  std::vector<std::uint8_t> frame;
+  encode(frame, request);
+  send_bytes(frame.data(), frame.size());
+}
+
+void Client::send_bytes(const void* data, std::size_t n) {
+  LDAFP_CHECK(fd_ >= 0, "client not connected");
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w =
+        ::send(fd_, bytes + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw IoError("connection lost while sending");
+  }
+}
+
+std::size_t Client::read_some(bool blocking) {
+  std::uint8_t chunk[64 * 1024];
+  while (true) {
+    const ssize_t n =
+        ::recv(fd_, chunk, sizeof(chunk), blocking ? 0 : MSG_DONTWAIT);
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+      return static_cast<std::size_t>(n);
+    }
+    if (n == 0) {
+      peer_closed_ = true;
+      return 0;
+    }
+    if (errno == EINTR) continue;
+    if (!blocking && (errno == EAGAIN || errno == EWOULDBLOCK)) return 0;
+    throw IoError("connection lost while receiving");
+  }
+}
+
+bool Client::decode_buffered(ScoreResponse& out) {
+  DecodedFrame frame;
+  std::size_t consumed = 0;
+  FrameError error = FrameError::kNone;
+  const DecodeState state =
+      decode_frame(rbuf_.data() + rpos_, rbuf_.size() - rpos_,
+                   kMaxFrameBytes, frame, consumed, error);
+  if (state == DecodeState::kNeedMore) return false;
+  if (state == DecodeState::kError) {
+    throw IoError(std::string("undecodable response stream: ") +
+                  to_string(error));
+  }
+  if (frame.type != MessageType::kScoreResponse) {
+    throw IoError("server sent a non-response frame");
+  }
+  rpos_ += consumed;
+  if (rpos_ == rbuf_.size()) {
+    rbuf_.clear();
+    rpos_ = 0;
+  }
+  out = std::move(frame.response);
+  return true;
+}
+
+ScoreResponse Client::recv() {
+  LDAFP_CHECK(fd_ >= 0, "client not connected");
+  ScoreResponse response;
+  while (!decode_buffered(response)) {
+    if (read_some(/*blocking=*/true) == 0) {
+      throw IoError("connection closed by server");
+    }
+  }
+  return response;
+}
+
+bool Client::try_recv(ScoreResponse& out) {
+  LDAFP_CHECK(fd_ >= 0, "client not connected");
+  if (decode_buffered(out)) return true;
+  if (read_some(/*blocking=*/false) == 0) return false;
+  return decode_buffered(out);
+}
+
+ScoreResponse Client::call(const ScoreRequest& request) {
+  send(request);
+  return recv();
+}
+
+}  // namespace ldafp::net

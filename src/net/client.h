@@ -1,0 +1,80 @@
+// Blocking protocol client — the test and load-generator counterpart
+// of the epoll server.
+//
+// One Client owns one TCP connection and speaks the DESIGN.md §12
+// framing: send() writes a whole encoded request, recv() blocks for the
+// next complete response frame (reassembling partial reads through the
+// same decode_frame the server uses).  Pipelining is just calling
+// send() k times before recv() — responses come back in request order,
+// which tests/net assert and bench/serve_load exploits for its
+// closed-loop windows.  try_recv() is the non-blocking drain used by
+// the open-loop generator between paced sends.
+//
+// Blocking by design: each load-generator connection runs on its own
+// thread, where blocking I/O is the simplest correct thing; only the
+// server side needs an event loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace ldafp::net {
+
+/// Blocking client over one connection.  Movable, not copyable.
+class Client {
+ public:
+  /// Disconnected client; connect() before use.
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects (IPv4 dotted-quad host).  Throws IoError on failure.
+  static Client connect_to(const std::string& host, std::uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Encodes and writes one request (blocking until fully written).
+  /// Throws IoError when the connection is lost mid-write.
+  void send(const ScoreRequest& request);
+
+  /// Writes raw bytes verbatim — the protocol-robustness tests use this
+  /// to inject malformed frames.
+  void send_bytes(const void* data, std::size_t n);
+
+  /// Blocks for the next complete response frame.  Throws IoError on
+  /// EOF or an undecodable stream.
+  ScoreResponse recv();
+
+  /// Non-blocking: true when a complete response was already buffered
+  /// (or arrived without waiting).  Never blocks.
+  bool try_recv(ScoreResponse& out);
+
+  /// send() + recv() round trip.
+  ScoreResponse call(const ScoreRequest& request);
+
+  /// True when the peer has closed (observed during a recv attempt).
+  bool peer_closed() const { return peer_closed_; }
+
+  void close();
+  int fd() const { return fd_; }
+
+ private:
+  /// Decodes one buffered response; false when more bytes are needed.
+  bool decode_buffered(ScoreResponse& out);
+  /// Reads once into the buffer.  Returns bytes read, 0 on EOF/EAGAIN.
+  std::size_t read_some(bool blocking);
+
+  int fd_ = -1;
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t rpos_ = 0;
+  bool peer_closed_ = false;
+};
+
+}  // namespace ldafp::net

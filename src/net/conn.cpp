@@ -1,0 +1,250 @@
+#include "net/conn.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+namespace ldafp::net {
+
+namespace {
+/// Socket read chunk; also the compaction threshold for the buffers.
+constexpr std::size_t kIoChunk = 64u * 1024;
+}  // namespace
+
+Connection::Connection(int fd, const ServeContext* ctx)
+    : fd_(fd), ctx_(ctx) {
+  ctx_->metrics->connections_opened.increment();
+}
+
+void Connection::on_readable() {
+  std::uint8_t chunk[kIoChunk];
+  while (!dead_ && !close_after_flush_) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      ctx_->metrics->bytes_rx.add(static_cast<std::uint64_t>(n));
+      ingest(chunk, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) return;
+      continue;
+    }
+    if (n == 0) {  // orderly EOF
+      dead_ = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    dead_ = true;  // ECONNRESET and friends
+    return;
+  }
+}
+
+void Connection::flush() {
+  while (!dead_ && wpos_ < wbuf_.size()) {
+    const ssize_t n = ::send(fd_, wbuf_.data() + wpos_,
+                             wbuf_.size() - wpos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      ctx_->metrics->bytes_tx.add(static_cast<std::uint64_t>(n));
+      consume_output(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    dead_ = true;  // client vanished mid-write
+    return;
+  }
+}
+
+void Connection::consume_output(std::size_t n) {
+  wpos_ += n;
+  if (wpos_ >= wbuf_.size()) {
+    wbuf_.clear();
+    wpos_ = 0;
+  } else if (wpos_ >= kIoChunk) {
+    wbuf_.erase(wbuf_.begin(),
+                wbuf_.begin() + static_cast<std::ptrdiff_t>(wpos_));
+    wpos_ = 0;
+  }
+}
+
+void Connection::ingest(const std::uint8_t* data, std::size_t n) {
+  if (dead_ || close_after_flush_) return;  // stream already condemned
+  rbuf_.insert(rbuf_.end(), data, data + n);
+  while (true) {
+    DecodedFrame frame;
+    std::size_t consumed = 0;
+    FrameError error = FrameError::kNone;
+    const DecodeState state =
+        decode_frame(rbuf_.data() + rpos_, rbuf_.size() - rpos_,
+                     ctx_->max_frame_bytes, frame, consumed, error);
+    if (state == DecodeState::kNeedMore) break;
+    if (state == DecodeState::kError) {
+      fail_protocol(error);
+      return;
+    }
+    rpos_ += consumed;
+    if (frame.type == MessageType::kScoreRequest) {
+      handle_request(std::move(frame.request));
+    } else {
+      // A client pushing response frames at the server is not speaking
+      // the protocol; terminal, same as a framing error.
+      fail_protocol(FrameError::kBadType);
+      return;
+    }
+  }
+  if (rpos_ == rbuf_.size()) {
+    rbuf_.clear();
+    rpos_ = 0;
+  } else if (rpos_ >= kIoChunk) {
+    rbuf_.erase(rbuf_.begin(),
+                rbuf_.begin() + static_cast<std::ptrdiff_t>(rpos_));
+    rpos_ = 0;
+  }
+}
+
+void Connection::handle_request(ScoreRequest&& request) {
+  const std::string& name =
+      request.model.empty() ? ctx_->default_model : request.model;
+  const runtime::ModelHandle model = ctx_->registry->get(name);
+  if (model == nullptr) {
+    enqueue_immediate(request.request_id, ResponseStatus::kUnknownModel,
+                      nullptr);
+    return;
+  }
+  const std::uint16_t samples = request.sample_count();
+  if (samples == 0 || request.dim != model->classifier.dim()) {
+    enqueue_immediate(request.request_id, ResponseStatus::kInvalidRequest,
+                      model);
+    return;
+  }
+  if ((request.expected_integer_bits != 0 ||
+       request.expected_frac_bits != 0) &&
+      (request.expected_integer_bits !=
+           model->classifier.format().integer_bits() ||
+       request.expected_frac_bits !=
+           model->classifier.format().frac_bits())) {
+    enqueue_immediate(request.request_id, ResponseStatus::kFormatMismatch,
+                      model);
+    return;
+  }
+  if (ctx_->draining != nullptr &&
+      ctx_->draining->load(std::memory_order_acquire)) {
+    enqueue_immediate(request.request_id, ResponseStatus::kShuttingDown,
+                      model);
+    return;
+  }
+
+  std::vector<linalg::Vector> xs;
+  xs.reserve(samples);
+  for (std::uint16_t s = 0; s < samples; ++s) {
+    const auto* row = request.features.data() +
+                      static_cast<std::size_t>(s) * request.dim;
+    xs.emplace_back(std::vector<double>(row, row + request.dim));
+  }
+  runtime::Submission sub = ctx_->engine->submit(model, std::move(xs));
+  switch (sub.status) {
+    case runtime::SubmitStatus::kAccepted: {
+      ctx_->metrics->accepted.increment();
+      Pending pending;
+      pending.response.request_id = request.request_id;
+      pending.response.status = ResponseStatus::kOk;
+      pending.model = model;
+      pending.future = std::move(sub.result);
+      pending_.push_back(std::move(pending));
+      return;
+    }
+    case runtime::SubmitStatus::kQueueFull:
+      enqueue_immediate(request.request_id, ResponseStatus::kRejected,
+                        model);
+      return;
+    case runtime::SubmitStatus::kShuttingDown:
+      enqueue_immediate(request.request_id, ResponseStatus::kShuttingDown,
+                        model);
+      return;
+    case runtime::SubmitStatus::kInvalidRequest:
+      enqueue_immediate(request.request_id, ResponseStatus::kInvalidRequest,
+                        model);
+      return;
+  }
+  enqueue_immediate(request.request_id, ResponseStatus::kInternalError,
+                    model);
+}
+
+void Connection::enqueue_immediate(std::uint64_t request_id,
+                                   ResponseStatus status,
+                                   const runtime::ModelHandle& model) {
+  // Rejections are accounted at decision time, not flush time, so the
+  // sent == ok + rejected invariant holds even when the client hangs up
+  // before reading its failure.
+  ctx_->metrics->rejected(status).increment();
+  Pending pending;
+  pending.immediate = true;
+  pending.response.request_id = request_id;
+  pending.response.status = status;
+  if (model != nullptr) {
+    pending.response.model_version = model->version;
+    pending.response.model_integer_bits = static_cast<std::uint8_t>(
+        model->classifier.format().integer_bits());
+    pending.response.model_frac_bits =
+        static_cast<std::uint8_t>(model->classifier.format().frac_bits());
+  }
+  pending_.push_back(std::move(pending));
+}
+
+void Connection::fail_protocol(FrameError error) {
+  (void)error;  // reason is visible to the peer only as the close
+  ctx_->metrics->protocol_errors.increment();
+  // Terminal notice: request_id 0 (the offending frame's id may not
+  // even have parsed), then close once it flushes.  Requests already
+  // pipelined ahead of the bad bytes still complete first — they sit
+  // earlier in the pending queue.
+  Pending pending;
+  pending.immediate = true;
+  pending.response.request_id = 0;
+  pending.response.status = ResponseStatus::kProtocolError;
+  pending_.push_back(std::move(pending));
+  close_after_flush_ = true;
+}
+
+bool Connection::pump() {
+  bool encoded = false;
+  while (!pending_.empty() && !dead_) {
+    Pending& head = pending_.front();
+    if (!head.immediate) {
+      if (head.future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        break;
+      }
+      std::vector<runtime::ScoreResult> results = head.future.get();
+      head.response.model_version = head.model->version;
+      head.response.model_integer_bits = static_cast<std::uint8_t>(
+          head.model->classifier.format().integer_bits());
+      head.response.model_frac_bits = static_cast<std::uint8_t>(
+          head.model->classifier.format().frac_bits());
+      head.response.results.reserve(results.size());
+      for (const runtime::ScoreResult& r : results) {
+        head.response.results.push_back(
+            {static_cast<std::uint8_t>(r.label), r.projection_raw});
+      }
+    }
+    encode_response(head);
+    pending_.pop_front();
+    encoded = true;
+  }
+  return encoded;
+}
+
+void Connection::encode_response(Pending& pending) {
+  encode(wbuf_, pending.response);
+  ctx_->metrics->responses_sent.increment();
+  ctx_->metrics->serve_latency.record(pending.started.seconds());
+  if (unflushed_bytes() > ctx_->max_write_buffer) {
+    // The client is not draining its socket; cut it loose instead of
+    // buffering without bound (the response just encoded is lost, which
+    // is the documented slow-client contract).
+    ctx_->metrics->slow_client_disconnects.increment();
+    dead_ = true;
+  }
+}
+
+}  // namespace ldafp::net

@@ -1,0 +1,138 @@
+// Per-connection serving state machine (sans-I/O core + socket shims).
+//
+// A Connection owns one client's byte streams and its pipeline of
+// in-flight requests.  The protocol work — reassembling partial frames,
+// dispatching decoded requests into the engine, and emitting responses
+// *in request order* even though engine futures complete out of order —
+// is pure buffer-to-buffer logic driven through ingest()/pump(), so
+// tests exercise truncation, pipelining, and malformed-frame handling
+// without a socket (tests/net/conn_test.cpp feeds byte splits at every
+// offset).  The socket shims (on_readable/flush) layer non-blocking
+// recv/send over that core; the epoll server owns when they run.
+//
+// Ordering: every request — accepted or immediately failed — occupies
+// one slot in the pending queue, and pump() only ever completes the
+// head slot, so responses cannot overtake each other.  Backpressure is
+// explicit end to end: engine kQueueFull becomes a REJECTED response
+// (never a silent drop), and a client that stops reading while the
+// write buffer grows past its bound is disconnected (slow-client
+// protection) rather than buffering without limit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "net/metrics.h"
+#include "net/protocol.h"
+#include "runtime/engine.h"
+#include "runtime/registry.h"
+#include "support/timer.h"
+
+namespace ldafp::net {
+
+/// Shared serving dependencies a connection dispatches into (all
+/// borrowed from the server; engine/registry/metrics are thread-safe).
+struct ServeContext {
+  runtime::InferenceEngine* engine = nullptr;
+  runtime::ModelRegistry* registry = nullptr;
+  NetMetrics* metrics = nullptr;
+  /// Model served when a request names none.
+  std::string default_model;
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+  /// Unflushed response bytes beyond this disconnect the client.
+  std::size_t max_write_buffer = 4u << 20;
+  /// Server-wide drain flag: set during shutdown so new requests are
+  /// answered kShuttingDown instead of entering the engine.
+  const std::atomic<bool>* draining = nullptr;
+};
+
+/// One client connection: frame reassembly in, ordered responses out.
+class Connection {
+ public:
+  /// `fd` may be -1 for sans-I/O use (tests); the fd is borrowed — the
+  /// server owns accept/close.
+  Connection(int fd, const ServeContext* ctx);
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // -- socket shims (fd >= 0) --
+
+  /// Drains the socket (non-blocking) through ingest().  EOF or a fatal
+  /// socket error marks the connection dead.
+  void on_readable();
+
+  /// Sends as much buffered response data as the socket accepts.
+  void flush();
+
+  // -- sans-I/O core --
+
+  /// Feeds `n` raw stream bytes: reassembles frames, dispatches each
+  /// complete request, and on a framing error enqueues the terminal
+  /// kProtocolError response and stops consuming input.
+  void ingest(const std::uint8_t* data, std::size_t n);
+
+  /// Completes head-of-line pending requests whose results are ready,
+  /// encoding their responses into the write buffer.  Returns true when
+  /// at least one response was encoded (the server uses this to decide
+  /// whether another flush attempt is worthwhile).
+  bool pump();
+
+  // -- lifecycle state --
+
+  /// In-flight requests (slots awaiting an engine result or encode).
+  std::size_t pending_count() const { return pending_.size(); }
+  /// Unflushed encoded bytes.
+  std::size_t unflushed_bytes() const { return wbuf_.size() - wpos_; }
+  bool wants_write() const { return unflushed_bytes() > 0; }
+  /// True once the connection must be torn down immediately.
+  bool dead() const { return dead_; }
+  /// True when the connection should close after the buffer flushes
+  /// (protocol error or shutdown notice already encoded).
+  bool close_after_flush() const { return close_after_flush_; }
+  /// Dead, or draining a terminal response with nothing left to send.
+  bool finished() const {
+    return dead_ || (close_after_flush_ && !wants_write() &&
+                     pending_.empty());
+  }
+
+  int fd() const { return fd_; }
+
+  // -- test hooks --
+
+  /// The unflushed output bytes (valid until the next pump/flush).
+  const std::uint8_t* output_data() const { return wbuf_.data() + wpos_; }
+  /// Consumes `n` output bytes as if the socket had accepted them.
+  void consume_output(std::size_t n);
+
+ private:
+  struct Pending {
+    ScoreResponse response;             ///< prefilled unless admitted
+    bool immediate = false;             ///< response ready at enqueue
+    runtime::ModelHandle model;         ///< null for immediate failures
+    std::future<std::vector<runtime::ScoreResult>> future;
+    support::WallTimer started;         ///< frame decoded -> encoded
+  };
+
+  void handle_request(ScoreRequest&& request);
+  void enqueue_immediate(std::uint64_t request_id, ResponseStatus status,
+                         const runtime::ModelHandle& model);
+  void fail_protocol(FrameError error);
+  void encode_response(Pending& pending);
+
+  int fd_;
+  const ServeContext* ctx_;
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t rpos_ = 0;
+  std::vector<std::uint8_t> wbuf_;
+  std::size_t wpos_ = 0;
+  std::deque<Pending> pending_;
+  bool close_after_flush_ = false;
+  bool dead_ = false;
+};
+
+}  // namespace ldafp::net

@@ -1,0 +1,14 @@
+// Umbrella header of ldafp_net — the TCP serving front-end.
+//
+//   protocol.h  length-prefixed little-endian frames (DESIGN.md §12)
+//   conn.h      per-connection state machine (reassembly, pipelining)
+//   server.h    epoll event loops over the inference engine
+//   client.h    blocking client for tests and load generation
+//   metrics.h   the "net.*" obs identities
+#pragma once
+
+#include "net/client.h"
+#include "net/conn.h"
+#include "net/metrics.h"
+#include "net/protocol.h"
+#include "net/server.h"

@@ -1,0 +1,223 @@
+#include "net/protocol.h"
+
+#include <algorithm>
+
+#include "support/wire.h"
+
+namespace ldafp::net {
+
+using support::WireReader;
+
+const char* to_string(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kRejected: return "rejected";
+    case ResponseStatus::kUnknownModel: return "unknown-model";
+    case ResponseStatus::kInvalidRequest: return "invalid-request";
+    case ResponseStatus::kFormatMismatch: return "format-mismatch";
+    case ResponseStatus::kShuttingDown: return "shutting-down";
+    case ResponseStatus::kProtocolError: return "protocol-error";
+    case ResponseStatus::kInternalError: return "internal-error";
+  }
+  return "?";
+}
+
+const char* to_string(FrameError error) {
+  switch (error) {
+    case FrameError::kNone: return "none";
+    case FrameError::kBadMagic: return "bad-magic";
+    case FrameError::kBadVersion: return "bad-version";
+    case FrameError::kBadType: return "bad-type";
+    case FrameError::kOversized: return "oversized";
+    case FrameError::kRuntFrame: return "runt-frame";
+    case FrameError::kLengthMismatch: return "length-mismatch";
+    case FrameError::kBadPayload: return "bad-payload";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shared header writer: appends the length prefix (patched at the end)
+/// plus the 32 fixed header bytes, returning the prefix offset.
+std::size_t begin_frame(std::vector<std::uint8_t>& out, MessageType type,
+                        ResponseStatus status, std::uint64_t request_id,
+                        std::uint64_t model_version,
+                        std::uint8_t integer_bits, std::uint8_t frac_bits,
+                        std::uint8_t model_len, std::uint16_t sample_count,
+                        std::uint16_t dim) {
+  const std::size_t prefix = out.size();
+  support::put_u32le(out, 0);  // frame_len, patched by end_frame
+  support::put_u32le(out, kMagic);
+  support::put_u16le(out, kProtocolVersion);
+  support::put_u8(out, static_cast<std::uint8_t>(type));
+  support::put_u8(out, static_cast<std::uint8_t>(status));
+  support::put_u64le(out, request_id);
+  support::put_u64le(out, model_version);
+  support::put_u8(out, integer_bits);
+  support::put_u8(out, frac_bits);
+  support::put_u8(out, model_len);
+  support::put_u8(out, 0);  // reserved
+  support::put_u16le(out, sample_count);
+  support::put_u16le(out, dim);
+  return prefix;
+}
+
+void end_frame(std::vector<std::uint8_t>& out, std::size_t prefix) {
+  const std::size_t frame_len = out.size() - prefix - 4;
+  LDAFP_CHECK(frame_len <= kMaxFrameBytes, "encoded frame exceeds cap");
+  support::patch_u32le(out, prefix, static_cast<std::uint32_t>(frame_len));
+}
+
+}  // namespace
+
+void encode(std::vector<std::uint8_t>& out, const ScoreRequest& request) {
+  LDAFP_CHECK(request.model.size() <= 255,
+              "model name exceeds 255 bytes");
+  LDAFP_CHECK(request.dim > 0, "request dim must be positive");
+  LDAFP_CHECK(request.features.size() % request.dim == 0,
+              "feature count must be a multiple of dim");
+  const std::size_t samples = request.features.size() / request.dim;
+  LDAFP_CHECK(samples >= 1 && samples <= 65535,
+              "sample count must be in [1, 65535]");
+  const std::size_t prefix = begin_frame(
+      out, MessageType::kScoreRequest, ResponseStatus::kOk,
+      request.request_id, /*model_version=*/0,
+      request.expected_integer_bits, request.expected_frac_bits,
+      static_cast<std::uint8_t>(request.model.size()),
+      static_cast<std::uint16_t>(samples), request.dim);
+  support::put_bytes(out, request.model.data(), request.model.size());
+  for (const double v : request.features) support::put_f64le(out, v);
+  end_frame(out, prefix);
+}
+
+void encode(std::vector<std::uint8_t>& out, const ScoreResponse& response) {
+  LDAFP_CHECK(response.results.size() <= 65535,
+              "response result count must fit u16");
+  const std::size_t prefix = begin_frame(
+      out, MessageType::kScoreResponse, response.status,
+      response.request_id, response.model_version,
+      response.model_integer_bits, response.model_frac_bits,
+      /*model_len=*/0,
+      static_cast<std::uint16_t>(response.results.size()), /*dim=*/0);
+  for (const WireResult& r : response.results) {
+    support::put_u8(out, r.label);
+    support::put_i64le(out, r.projection_raw);
+  }
+  end_frame(out, prefix);
+}
+
+DecodeState decode_frame(const std::uint8_t* data, std::size_t size,
+                         std::size_t max_frame, DecodedFrame& out,
+                         std::size_t& consumed, FrameError& error) {
+  consumed = 0;
+  error = FrameError::kNone;
+  max_frame = std::min(max_frame, kMaxFrameBytes);
+
+  // Eager sanity checks: a stream that is not speaking this protocol is
+  // rejected as soon as the magic/version bytes arrive, not after a
+  // bogus "length" worth of garbage has been buffered.
+  if (size >= 8 && support::get_u32le(data + 4) != kMagic) {
+    error = FrameError::kBadMagic;
+    return DecodeState::kError;
+  }
+  if (size >= 10 && support::get_u16le(data + 8) != kProtocolVersion) {
+    error = FrameError::kBadVersion;
+    return DecodeState::kError;
+  }
+  if (size >= 4) {
+    const std::uint32_t frame_len = support::get_u32le(data);
+    if (frame_len < kHeaderBytes) {
+      error = FrameError::kRuntFrame;
+      return DecodeState::kError;
+    }
+    if (frame_len > max_frame) {
+      error = FrameError::kOversized;
+      return DecodeState::kError;
+    }
+    if (size < 4 + static_cast<std::size_t>(frame_len)) {
+      return DecodeState::kNeedMore;
+    }
+  } else {
+    return DecodeState::kNeedMore;
+  }
+
+  const std::uint32_t frame_len = support::get_u32le(data);
+  WireReader reader(data + 4, frame_len);
+  reader.skip(4);  // magic, checked above
+  reader.skip(2);  // version, checked above
+  const auto type = reader.u8();
+  const auto status = reader.u8();
+  const std::uint64_t request_id = reader.u64();
+  const std::uint64_t model_version = reader.u64();
+  const std::uint8_t integer_bits = reader.u8();
+  const std::uint8_t frac_bits = reader.u8();
+  const std::uint8_t model_len = reader.u8();
+  reader.skip(1);  // reserved
+  const std::uint16_t sample_count = reader.u16();
+  const std::uint16_t dim = reader.u16();
+
+  if (type == static_cast<std::uint8_t>(MessageType::kScoreRequest)) {
+    const std::size_t payload = static_cast<std::size_t>(model_len) +
+                                8u * sample_count * dim;
+    if (frame_len != kHeaderBytes + payload) {
+      error = FrameError::kLengthMismatch;
+      return DecodeState::kError;
+    }
+    out.type = MessageType::kScoreRequest;
+    ScoreRequest& req = out.request;
+    req.request_id = request_id;
+    req.expected_integer_bits = integer_bits;
+    req.expected_frac_bits = frac_bits;
+    req.dim = dim;
+    req.model = reader.bytes(model_len);
+    req.features.clear();
+    req.features.reserve(static_cast<std::size_t>(sample_count) * dim);
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(sample_count) * dim; ++i) {
+      req.features.push_back(reader.f64());
+    }
+    if (!reader.ok() || reader.remaining() != 0) {
+      error = FrameError::kBadPayload;
+      return DecodeState::kError;
+    }
+  } else if (type ==
+             static_cast<std::uint8_t>(MessageType::kScoreResponse)) {
+    const std::size_t payload = 9u * sample_count;
+    if (frame_len != kHeaderBytes + payload || model_len != 0) {
+      error = FrameError::kLengthMismatch;
+      return DecodeState::kError;
+    }
+    if (status > static_cast<std::uint8_t>(ResponseStatus::kInternalError)) {
+      error = FrameError::kBadPayload;
+      return DecodeState::kError;
+    }
+    out.type = MessageType::kScoreResponse;
+    ScoreResponse& resp = out.response;
+    resp.request_id = request_id;
+    resp.status = static_cast<ResponseStatus>(status);
+    resp.model_version = model_version;
+    resp.model_integer_bits = integer_bits;
+    resp.model_frac_bits = frac_bits;
+    resp.results.clear();
+    resp.results.reserve(sample_count);
+    for (std::size_t i = 0; i < sample_count; ++i) {
+      WireResult r;
+      r.label = reader.u8();
+      r.projection_raw = reader.i64();
+      resp.results.push_back(r);
+    }
+    if (!reader.ok() || reader.remaining() != 0) {
+      error = FrameError::kBadPayload;
+      return DecodeState::kError;
+    }
+  } else {
+    error = FrameError::kBadType;
+    return DecodeState::kError;
+  }
+
+  consumed = 4 + static_cast<std::size_t>(frame_len);
+  return DecodeState::kFrame;
+}
+
+}  // namespace ldafp::net

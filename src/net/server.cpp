@@ -1,0 +1,331 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+namespace ldafp::net {
+
+namespace {
+
+double steady_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+/// One event loop: an epoll instance, a wake eventfd, and the
+/// connections this thread exclusively owns.
+struct Server::Loop {
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  /// EPOLLOUT interest currently registered, per fd.
+  std::unordered_map<int, bool> write_interest;
+  std::mutex inbox_mu;
+  std::vector<int> inbox;  ///< accepted fds awaiting adoption
+  /// Connection count mirror readable from other threads.
+  std::atomic<std::size_t> conn_count{0};
+};
+
+Status ServerOptions::validate() const {
+  if (engine == nullptr) return Status::invalid("server needs an engine");
+  if (registry == nullptr) {
+    return Status::invalid("server needs a model registry");
+  }
+  if (io_threads < 1) {
+    return Status::invalid("server needs at least one io thread");
+  }
+  if (max_frame_bytes < kFrameOverhead) {
+    return Status::invalid("max_frame_bytes below frame overhead");
+  }
+  if (max_write_buffer < kFrameOverhead) {
+    return Status::invalid("max_write_buffer below frame overhead");
+  }
+  return Status();
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      metrics_(obs::metrics_of(options_.sink)) {
+  throw_if_error(options_.validate());
+  context_.engine = options_.engine;
+  context_.registry = options_.registry;
+  context_.metrics = &metrics_;
+  context_.default_model = options_.default_model;
+  context_.max_frame_bytes = options_.max_frame_bytes;
+  context_.max_write_buffer = options_.max_write_buffer;
+  context_.draining = &draining_;
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  LDAFP_CHECK(!started_, "server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) throw IoError("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("invalid bind address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 512) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("cannot listen on " + options_.host + ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  draining_.store(false, std::memory_order_release);
+  stop_.store(false, std::memory_order_release);
+  loops_.clear();
+  for (std::size_t i = 0; i < options_.io_threads; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->epoll_fd < 0 || loop->wake_fd < 0) {
+      throw IoError("epoll/eventfd setup failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake_fd;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev);
+    loops_.push_back(std::move(loop));
+  }
+  // The first loop doubles as the acceptor.
+  {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    ::epoll_ctl(loops_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    Loop* loop = loops_[i].get();
+    const bool acceptor = i == 0;
+    loop->thread = std::thread([this, loop, acceptor] {
+      run_loop(*loop, acceptor);
+    });
+  }
+  started_ = true;
+}
+
+void Server::stop(double drain_seconds) {
+  if (!started_) return;
+  drain_deadline_.store(steady_now() + drain_seconds,
+                        std::memory_order_release);
+  draining_.store(true, std::memory_order_release);
+  stop_.store(true, std::memory_order_release);
+  for (auto& loop : loops_) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n =
+        ::write(loop->wake_fd, &one, sizeof(one));
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+    if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+    if (loop->wake_fd >= 0) ::close(loop->wake_fd);
+  }
+  loops_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+}
+
+std::size_t Server::connection_count() const {
+  std::size_t total = 0;
+  for (const auto& loop : loops_) {
+    total += loop->conn_count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Server::run_loop(Loop& loop, bool is_acceptor) {
+  std::vector<epoll_event> events(256);
+  bool listener_armed = is_acceptor;
+  while (true) {
+    const bool stopping = stop_.load(std::memory_order_acquire);
+    if (stopping && listener_armed) {
+      // Drain phase: no new clients; existing responses still flush.
+      ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      listener_armed = false;
+    }
+    if (stopping) {
+      bool idle = true;
+      for (const auto& [fd, conn] : loop.conns) {
+        if (conn->pending_count() > 0 || conn->wants_write()) {
+          idle = false;
+          break;
+        }
+      }
+      if (idle ||
+          steady_now() >=
+              drain_deadline_.load(std::memory_order_acquire)) {
+        break;
+      }
+    }
+
+    // Zero timeout while engine futures are outstanding: completions
+    // have no fd to wake us, so the loop polls them (pump) at full
+    // rate.  Otherwise block — the wake eventfd breaks us out for
+    // inbox handoffs and shutdown.
+    bool pending = false;
+    for (const auto& [fd, conn] : loop.conns) {
+      if (conn->pending_count() > 0) {
+        pending = true;
+        break;
+      }
+    }
+    const int timeout_ms = pending || stopping ? 0 : 200;
+    const int n = ::epoll_wait(loop.epoll_fd, events.data(),
+                               static_cast<int>(events.size()),
+                               timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        accept_clients(loop);
+        continue;
+      }
+      if (fd == loop.wake_fd) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(loop.wake_fd, &drained, sizeof(drained));
+        adopt_inbox(loop);
+        continue;
+      }
+      auto it = loop.conns.find(fd);
+      if (it == loop.conns.end()) continue;
+      Connection& conn = *it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_connection(loop, fd);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) conn.on_readable();
+      if ((events[i].events & EPOLLOUT) != 0) conn.flush();
+    }
+    adopt_inbox(loop);
+    service_connections(loop);
+  }
+
+  // Loop exit: every connection this thread owns closes with it.
+  for (auto& [fd, conn] : loop.conns) {
+    metrics_.connections_closed.increment();
+    ::close(fd);
+  }
+  loop.conns.clear();
+  loop.write_interest.clear();
+  loop.conn_count.store(0, std::memory_order_relaxed);
+}
+
+void Server::accept_clients(Loop& loop) {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or transient accept failure — epoll re-arms
+    }
+    set_nodelay(fd);
+    const std::size_t target =
+        next_loop_.fetch_add(1, std::memory_order_relaxed) %
+        loops_.size();
+    Loop& dest = *loops_[target];
+    if (&dest == &loop) {
+      add_connection(loop, fd);
+    } else {
+      {
+        std::lock_guard lock(dest.inbox_mu);
+        dest.inbox.push_back(fd);
+      }
+      const std::uint64_t one = 1;
+      [[maybe_unused]] ssize_t n =
+          ::write(dest.wake_fd, &one, sizeof(one));
+    }
+  }
+}
+
+void Server::adopt_inbox(Loop& loop) {
+  std::vector<int> adopted;
+  {
+    std::lock_guard lock(loop.inbox_mu);
+    adopted.swap(loop.inbox);
+  }
+  for (const int fd : adopted) add_connection(loop, fd);
+}
+
+void Server::add_connection(Loop& loop, int fd) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    return;
+  }
+  loop.conns.emplace(fd, std::make_unique<Connection>(fd, &context_));
+  loop.write_interest[fd] = false;
+  loop.conn_count.store(loop.conns.size(), std::memory_order_relaxed);
+}
+
+void Server::close_connection(Loop& loop, int fd) {
+  ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  loop.conns.erase(fd);
+  loop.write_interest.erase(fd);
+  loop.conn_count.store(loop.conns.size(), std::memory_order_relaxed);
+  metrics_.connections_closed.increment();
+}
+
+void Server::service_connections(Loop& loop) {
+  std::vector<int> finished;
+  for (auto& [fd, conn] : loop.conns) {
+    if (!conn->dead()) {
+      if (conn->pump()) conn->flush();
+      // Level-triggered EPOLLOUT only while bytes are stuck in the
+      // buffer, so an idle writable socket does not spin the loop.
+      const bool want = conn->wants_write() && !conn->dead();
+      bool& armed = loop.write_interest[fd];
+      if (want != armed) {
+        epoll_event ev{};
+        ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+        ev.data.fd = fd;
+        ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, fd, &ev);
+        armed = want;
+      }
+    }
+    if (conn->finished()) finished.push_back(fd);
+  }
+  for (const int fd : finished) close_connection(loop, fd);
+}
+
+}  // namespace ldafp::net

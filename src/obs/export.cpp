@@ -34,6 +34,7 @@ void write_histogram(support::JsonWriter& json,
   json.kv("p50", hist.quantile(0.5));
   json.kv("p90", hist.quantile(0.9));
   json.kv("p99", hist.quantile(0.99));
+  json.kv("p999", hist.quantile(0.999));
   json.kv("max", hist.max_seconds);
   json.end_object();
 }
@@ -117,7 +118,7 @@ std::string to_table(const MetricsSnapshot& snapshot) {
   if (snapshot.histograms.empty()) return values.to_string();
 
   support::TextTable latency(
-      {"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+      {"histogram", "count", "mean", "p50", "p90", "p99", "p999", "max"});
   for (const auto& h : snapshot.histograms) {
     latency.add_row({metric_identity(h.name, h.labels),
                      std::to_string(h.hist.total_count),
@@ -125,6 +126,7 @@ std::string to_table(const MetricsSnapshot& snapshot) {
                      format_duration(h.hist.quantile(0.5)),
                      format_duration(h.hist.quantile(0.9)),
                      format_duration(h.hist.quantile(0.99)),
+                     format_duration(h.hist.quantile(0.999)),
                      format_duration(h.hist.max_seconds)});
   }
   if (values.size() == 0) return latency.to_string();

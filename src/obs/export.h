@@ -23,7 +23,7 @@ namespace ldafp::obs {
 ///    "gauges": {"bnb.gap": 1e-9, ...},
 ///    "histograms": {"eval.train_seconds":
 ///        {"count": 3, "mean": ..., "p50": ..., "p90": ..., "p99": ...,
-///         "max": ...}, ...}}
+///         "p999": ..., "max": ...}, ...}}
 /// Composable: the writer may be inside any container (a bench's
 /// per-case object, the CLI's top-level document).
 void write_json(support::JsonWriter& json, const MetricsSnapshot& snapshot);

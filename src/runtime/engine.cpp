@@ -40,6 +40,7 @@ InferenceEngine::InferenceEngine(EngineOptions options)
       queue_(options.queue_capacity),
       paused_(options.start_paused) {
   throw_if_error(options_.validate());
+  stats_.queue_capacity.set(static_cast<double>(options_.queue_capacity));
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -78,14 +79,16 @@ Submission InferenceEngine::submit(ModelHandle model,
     case PushResult::kOk:
       submission.status = SubmitStatus::kAccepted;
       stats_.requests_submitted.increment();
-      // The queue's high-water mark is monotone; mirroring it into the
-      // stats block keeps exports self-contained.
+      // The queue's depth and high-water mark are mirrored into the
+      // stats block at admission so exports are self-contained.
+      stats_.queue_depth.set(static_cast<double>(queue_.size()));
       stats_.queue_depth_high_water.set_max(
           static_cast<double>(queue_.high_water_mark()));
       break;
     case PushResult::kFull:
       submission.status = SubmitStatus::kQueueFull;
       stats_.requests_rejected.increment();
+      stats_.queue_depth.set(static_cast<double>(queue_.size()));
       submission.result = {};
       break;
     case PushResult::kClosed:
@@ -153,6 +156,7 @@ void InferenceEngine::worker_loop() {
       sample_count += next.samples.size();
       batch.push_back(std::move(next));
     }
+    stats_.queue_depth.set(static_cast<double>(queue_.size()));
 
     // Group by model snapshot (pointer identity — a hot-swap installs a
     // new snapshot, so mixed traffic around a swap splits cleanly) and

@@ -13,6 +13,8 @@ RuntimeStats::RuntimeStats(obs::MetricsRegistry* registry)
       requests_completed(registry_->counter("runtime.requests_completed")),
       samples_scored(registry_->counter("runtime.samples_scored")),
       batches_scored(registry_->counter("runtime.batches_scored")),
+      queue_depth(registry_->gauge("runtime.queue_depth")),
+      queue_capacity(registry_->gauge("runtime.queue_capacity")),
       queue_depth_high_water(
           registry_->gauge("runtime.queue_depth_high_water")),
       queue_wait(registry_->histogram("runtime.queue_wait")),

@@ -48,6 +48,15 @@ class RuntimeStats {
   // -- worker batching --
   obs::Counter& batches_scored;
 
+  /// Live request-queue depth (mirrored from the queue by the engine at
+  /// submit and batch-formation time), plus the configured capacity —
+  /// together they make backpressure visible in every exported
+  /// snapshot: utilization is queue_depth / queue_capacity, and a
+  /// rejected-requests counter climbing while depth pins at capacity is
+  /// the kQueueFull signature bench/serve_load asserts on.
+  obs::Gauge& queue_depth;
+  obs::Gauge& queue_capacity;
+
   /// Deepest the request queue has been (mirrored from the queue at
   /// submit time by the engine; kept here so exports are self-contained).
   obs::Gauge& queue_depth_high_water;

@@ -1,0 +1,260 @@
+// Wire-protocol robustness: encode/decode round trips, truncation at
+// every byte offset, and rejection of malformed frames (bad magic /
+// version / type, runt and oversized lengths, tampered payload counts)
+// without crashes or over-reads.
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.h"
+#include "support/wire.h"
+
+namespace ldafp::net {
+namespace {
+
+ScoreRequest sample_request() {
+  ScoreRequest request;
+  request.request_id = 0xABCDEF0123456789ULL;
+  request.model = "bci-w6";
+  request.expected_integer_bits = 3;
+  request.expected_frac_bits = 5;
+  request.dim = 4;
+  request.features = {0.5,  -1.25, 3.0,  -0.75,   // sample 0
+                      2.25, 0.0,   -3.5, 1.125};  // sample 1
+  return request;
+}
+
+ScoreResponse sample_response() {
+  ScoreResponse response;
+  response.request_id = 42;
+  response.status = ResponseStatus::kOk;
+  response.model_version = 7;
+  response.model_integer_bits = 3;
+  response.model_frac_bits = 5;
+  response.results = {{0, 113}, {1, -92}, {0, 0}};
+  return response;
+}
+
+TEST(Protocol, RequestRoundTrip) {
+  const ScoreRequest request = sample_request();
+  std::vector<std::uint8_t> wire;
+  encode(wire, request);
+  EXPECT_EQ(wire.size(), kFrameOverhead + request.model.size() +
+                             8 * request.features.size());
+
+  DecodedFrame frame;
+  std::size_t consumed = 0;
+  FrameError error = FrameError::kNone;
+  ASSERT_EQ(decode_frame(wire.data(), wire.size(), kMaxFrameBytes, frame,
+                         consumed, error),
+            DecodeState::kFrame);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(error, FrameError::kNone);
+  ASSERT_EQ(frame.type, MessageType::kScoreRequest);
+  EXPECT_EQ(frame.request.request_id, request.request_id);
+  EXPECT_EQ(frame.request.model, request.model);
+  EXPECT_EQ(frame.request.expected_integer_bits, 3);
+  EXPECT_EQ(frame.request.expected_frac_bits, 5);
+  EXPECT_EQ(frame.request.dim, request.dim);
+  EXPECT_EQ(frame.request.sample_count(), 2);
+  EXPECT_EQ(frame.request.features, request.features);
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  const ScoreResponse response = sample_response();
+  std::vector<std::uint8_t> wire;
+  encode(wire, response);
+
+  DecodedFrame frame;
+  std::size_t consumed = 0;
+  FrameError error = FrameError::kNone;
+  ASSERT_EQ(decode_frame(wire.data(), wire.size(), kMaxFrameBytes, frame,
+                         consumed, error),
+            DecodeState::kFrame);
+  EXPECT_EQ(consumed, wire.size());
+  ASSERT_EQ(frame.type, MessageType::kScoreResponse);
+  EXPECT_EQ(frame.response.request_id, 42u);
+  EXPECT_EQ(frame.response.status, ResponseStatus::kOk);
+  EXPECT_EQ(frame.response.model_version, 7u);
+  EXPECT_EQ(frame.response.model_integer_bits, 3);
+  EXPECT_EQ(frame.response.model_frac_bits, 5);
+  ASSERT_EQ(frame.response.results.size(), 3u);
+  EXPECT_EQ(frame.response.results[1].label, 1);
+  EXPECT_EQ(frame.response.results[1].projection_raw, -92);
+}
+
+TEST(Protocol, StatusOnlyResponseRoundTrip) {
+  ScoreResponse response;
+  response.request_id = 9;
+  response.status = ResponseStatus::kRejected;
+  std::vector<std::uint8_t> wire;
+  encode(wire, response);
+  EXPECT_EQ(wire.size(), kFrameOverhead);
+
+  DecodedFrame frame;
+  std::size_t consumed = 0;
+  FrameError error = FrameError::kNone;
+  ASSERT_EQ(decode_frame(wire.data(), wire.size(), kMaxFrameBytes, frame,
+                         consumed, error),
+            DecodeState::kFrame);
+  EXPECT_EQ(frame.response.status, ResponseStatus::kRejected);
+  EXPECT_TRUE(frame.response.results.empty());
+}
+
+TEST(Protocol, EveryTruncationAsksForMoreWithoutConsuming) {
+  std::vector<std::uint8_t> wire;
+  encode(wire, sample_request());
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    DecodedFrame frame;
+    std::size_t consumed = 99;
+    FrameError error = FrameError::kNone;
+    ASSERT_EQ(decode_frame(wire.data(), n, kMaxFrameBytes, frame, consumed,
+                           error),
+              DecodeState::kNeedMore)
+        << "prefix length " << n;
+    EXPECT_EQ(consumed, 0u);
+    EXPECT_EQ(error, FrameError::kNone);
+  }
+}
+
+TEST(Protocol, ConcatenatedFramesDecodeOneAtATime) {
+  std::vector<std::uint8_t> wire;
+  encode(wire, sample_request());
+  const std::size_t first_size = wire.size();
+  ScoreRequest second = sample_request();
+  second.request_id = 2;
+  encode(wire, second);
+
+  DecodedFrame frame;
+  std::size_t consumed = 0;
+  FrameError error = FrameError::kNone;
+  ASSERT_EQ(decode_frame(wire.data(), wire.size(), kMaxFrameBytes, frame,
+                         consumed, error),
+            DecodeState::kFrame);
+  EXPECT_EQ(consumed, first_size);
+  EXPECT_EQ(frame.request.request_id, sample_request().request_id);
+  ASSERT_EQ(decode_frame(wire.data() + consumed, wire.size() - consumed,
+                         kMaxFrameBytes, frame, consumed, error),
+            DecodeState::kFrame);
+  EXPECT_EQ(frame.request.request_id, 2u);
+}
+
+TEST(Protocol, BadMagicRejectedEagerly) {
+  std::vector<std::uint8_t> wire;
+  encode(wire, sample_request());
+  wire[5] ^= 0xFF;  // second magic byte
+  DecodedFrame frame;
+  std::size_t consumed = 0;
+  FrameError error = FrameError::kNone;
+  // Rejected as soon as the magic is buffered — 8 bytes, not a frame.
+  EXPECT_EQ(decode_frame(wire.data(), 8, kMaxFrameBytes, frame, consumed,
+                         error),
+            DecodeState::kError);
+  EXPECT_EQ(error, FrameError::kBadMagic);
+}
+
+TEST(Protocol, WrongVersionRejectedEagerly) {
+  std::vector<std::uint8_t> wire;
+  encode(wire, sample_request());
+  wire[8] = 0x7F;  // version low byte
+  DecodedFrame frame;
+  std::size_t consumed = 0;
+  FrameError error = FrameError::kNone;
+  EXPECT_EQ(decode_frame(wire.data(), 10, kMaxFrameBytes, frame, consumed,
+                         error),
+            DecodeState::kError);
+  EXPECT_EQ(error, FrameError::kBadVersion);
+}
+
+TEST(Protocol, UnknownTypeRejected) {
+  std::vector<std::uint8_t> wire;
+  encode(wire, sample_request());
+  wire[10] = 99;  // type byte
+  DecodedFrame frame;
+  std::size_t consumed = 0;
+  FrameError error = FrameError::kNone;
+  EXPECT_EQ(decode_frame(wire.data(), wire.size(), kMaxFrameBytes, frame,
+                         consumed, error),
+            DecodeState::kError);
+  EXPECT_EQ(error, FrameError::kBadType);
+}
+
+TEST(Protocol, RuntFrameLengthRejected) {
+  std::vector<std::uint8_t> wire;
+  encode(wire, sample_request());
+  support::patch_u32le(wire, 0, kHeaderBytes - 1);
+  DecodedFrame frame;
+  std::size_t consumed = 0;
+  FrameError error = FrameError::kNone;
+  EXPECT_EQ(decode_frame(wire.data(), wire.size(), kMaxFrameBytes, frame,
+                         consumed, error),
+            DecodeState::kError);
+  EXPECT_EQ(error, FrameError::kRuntFrame);
+}
+
+TEST(Protocol, OversizedFrameRejectedBeforeBuffering) {
+  std::vector<std::uint8_t> wire;
+  encode(wire, sample_request());
+  support::patch_u32le(wire, 0, 1u << 19);
+  DecodedFrame frame;
+  std::size_t consumed = 0;
+  FrameError error = FrameError::kNone;
+  // A tight server-side cap rejects on the 4 length bytes alone — the
+  // attacker never gets the server to buffer the claimed length.
+  EXPECT_EQ(decode_frame(wire.data(), 4, /*max_frame=*/4096, frame,
+                         consumed, error),
+            DecodeState::kError);
+  EXPECT_EQ(error, FrameError::kOversized);
+}
+
+TEST(Protocol, TamperedLengthRejected) {
+  std::vector<std::uint8_t> wire;
+  encode(wire, sample_request());
+  // Claim one byte more than the true frame and supply it: the counted
+  // payload no longer matches the header's sample_count * dim.
+  const std::uint32_t true_len = support::get_u32le(wire.data());
+  support::patch_u32le(wire, 0, true_len + 1);
+  wire.push_back(0);
+  DecodedFrame frame;
+  std::size_t consumed = 0;
+  FrameError error = FrameError::kNone;
+  EXPECT_EQ(decode_frame(wire.data(), wire.size(), kMaxFrameBytes, frame,
+                         consumed, error),
+            DecodeState::kError);
+  EXPECT_EQ(error, FrameError::kLengthMismatch);
+}
+
+TEST(Protocol, EncodeRejectsUnrepresentableRequests) {
+  ScoreRequest request = sample_request();
+  std::vector<std::uint8_t> wire;
+
+  request.model.assign(256, 'x');
+  EXPECT_THROW(encode(wire, request), InvalidArgumentError);
+
+  request = sample_request();
+  request.dim = 0;
+  EXPECT_THROW(encode(wire, request), InvalidArgumentError);
+
+  request = sample_request();
+  request.features.push_back(1.0);  // no longer a multiple of dim
+  EXPECT_THROW(encode(wire, request), InvalidArgumentError);
+
+  request = sample_request();
+  request.features.clear();  // zero samples
+  EXPECT_THROW(encode(wire, request), InvalidArgumentError);
+}
+
+TEST(Protocol, StatusNamesAreStable) {
+  EXPECT_STREQ(to_string(ResponseStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(ResponseStatus::kRejected), "rejected");
+  EXPECT_STREQ(to_string(ResponseStatus::kProtocolError),
+               "protocol-error");
+  EXPECT_STREQ(to_string(FrameError::kBadMagic), "bad-magic");
+  EXPECT_STREQ(to_string(FrameError::kOversized), "oversized");
+}
+
+}  // namespace
+}  // namespace ldafp::net

@@ -146,6 +146,10 @@ TEST(InferenceEngineTest, QueueFullReturnsDocumentedRejectionStatus) {
   EXPECT_FALSE(overflow.result.valid());
   EXPECT_EQ(engine.stats().requests_rejected.load(), 1u);
   EXPECT_EQ(engine.stats().queue_depth_high_water.load(), 3u);
+  // The live depth/capacity gauges expose the kQueueFull signature
+  // (depth pinned at capacity while the rejected counter climbs).
+  EXPECT_DOUBLE_EQ(engine.stats().queue_depth.load(), 3.0);
+  EXPECT_DOUBLE_EQ(engine.stats().queue_capacity.load(), 3.0);
 
   // Resuming drains the backlog and fulfills every admitted promise.
   engine.resume();
@@ -242,6 +246,11 @@ TEST(InferenceEngineTest, StatsReportRenders) {
   EXPECT_EQ(snap.counter_value("runtime.requests_submitted"), 1u);
   EXPECT_EQ(snap.counter_value("runtime.samples_scored"), 4u);
   EXPECT_DOUBLE_EQ(snap.gauge_value("runtime.mean_batch_size"), 4.0);
+  // Backpressure visibility: the queue gauges export alongside the
+  // counters (depth is 0 once the lone request drained).
+  EXPECT_NE(snap.find_gauge("runtime.queue_depth"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.gauge_value("runtime.queue_capacity"),
+                   static_cast<double>(EngineOptions{}.queue_capacity));
 }
 
 TEST(InferenceEngineTest, StatsBindIntoExternalRegistry) {

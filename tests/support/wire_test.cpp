@@ -1,0 +1,124 @@
+#include "support/wire.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ldafp::support {
+namespace {
+
+TEST(Wire, WritersEmitLittleEndianBytes) {
+  std::vector<std::uint8_t> out;
+  put_u8(out, 0xAB);
+  put_u16le(out, 0x1234);
+  put_u32le(out, 0xDEADBEEF);
+  put_u64le(out, 0x0102030405060708ULL);
+  const std::vector<std::uint8_t> expected = {
+      0xAB,                                            // u8
+      0x34, 0x12,                                      // u16 LE
+      0xEF, 0xBE, 0xAD, 0xDE,                          // u32 LE
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // u64 LE
+  };
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Wire, RawReadersInvertWriters) {
+  std::vector<std::uint8_t> out;
+  put_u16le(out, 0xBEEF);
+  put_u32le(out, 0x12345678);
+  put_u64le(out, 0xFEDCBA9876543210ULL);
+  EXPECT_EQ(get_u16le(out.data()), 0xBEEF);
+  EXPECT_EQ(get_u32le(out.data() + 2), 0x12345678u);
+  EXPECT_EQ(get_u64le(out.data() + 6), 0xFEDCBA9876543210ULL);
+}
+
+TEST(Wire, PatchOverwritesLengthPrefixInPlace) {
+  std::vector<std::uint8_t> out;
+  put_u32le(out, 0);  // placeholder
+  put_u8(out, 0x55);
+  patch_u32le(out, 0, 0xCAFEF00D);
+  EXPECT_EQ(get_u32le(out.data()), 0xCAFEF00Du);
+  EXPECT_EQ(out[4], 0x55);  // body untouched
+}
+
+TEST(Wire, DoublesRoundTripExactly) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0,
+                          -1.5,
+                          3.141592653589793,
+                          std::numeric_limits<double>::min(),
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity()};
+  std::vector<std::uint8_t> out;
+  for (double v : cases) put_f64le(out, v);
+  WireReader reader(out.data(), out.size());
+  for (double v : cases) {
+    const double back = reader.f64();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back),
+              std::bit_cast<std::uint64_t>(v));
+  }
+  EXPECT_TRUE(reader.ok());
+  // NaN payload bits survive too (value comparison would be useless).
+  out.clear();
+  put_f64le(out, std::numeric_limits<double>::quiet_NaN());
+  WireReader nan_reader(out.data(), out.size());
+  EXPECT_TRUE(std::isnan(nan_reader.f64()));
+}
+
+TEST(Wire, ReaderWalksMixedFields) {
+  std::vector<std::uint8_t> out;
+  put_u8(out, 7);
+  put_u16le(out, 300);
+  put_u32le(out, 70000);
+  put_i64le(out, -42);
+  put_bytes(out, "model", 5);
+  WireReader reader(out.data(), out.size());
+  EXPECT_EQ(reader.u8(), 7);
+  EXPECT_EQ(reader.u16(), 300);
+  EXPECT_EQ(reader.u32(), 70000u);
+  EXPECT_EQ(reader.i64(), -42);
+  EXPECT_EQ(reader.bytes(5), "model");
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(Wire, ReaderLatchesFailurePastEnd) {
+  std::vector<std::uint8_t> out;
+  put_u16le(out, 0x1111);
+  WireReader reader(out.data(), out.size());
+  EXPECT_EQ(reader.u16(), 0x1111);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.u32(), 0u);  // short read -> zero, not UB
+  EXPECT_FALSE(reader.ok());
+  // Latched: later in-bounds-looking reads stay failed and harmless.
+  EXPECT_EQ(reader.u8(), 0u);
+  EXPECT_EQ(reader.bytes(3), "");
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(Wire, ReaderSkipRespectsBounds) {
+  std::vector<std::uint8_t> out;
+  put_u32le(out, 1);
+  put_u8(out, 0x99);
+  WireReader reader(out.data(), out.size());
+  reader.skip(4);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.u8(), 0x99);
+  reader.skip(1);  // past end
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(Wire, EmptySpanFailsEveryRead) {
+  WireReader reader(nullptr, 0);
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_EQ(reader.u8(), 0u);
+  EXPECT_FALSE(reader.ok());
+}
+
+}  // namespace
+}  // namespace ldafp::support
