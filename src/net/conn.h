@@ -91,6 +91,9 @@ class Connection {
   bool wants_write() const { return unflushed_bytes() > 0; }
   /// True once the connection must be torn down immediately.
   bool dead() const { return dead_; }
+  /// Condemns the connection (peer hangup/error seen by the server);
+  /// the owning loop reaps it via finished() after the event batch.
+  void mark_dead() { dead_ = true; }
   /// True when the connection should close after the buffer flushes
   /// (protocol error or shutdown notice already encoded).
   bool close_after_flush() const { return close_after_flush_; }

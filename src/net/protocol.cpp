@@ -158,8 +158,13 @@ DecodeState decode_frame(const std::uint8_t* data, std::size_t size,
   const std::uint16_t dim = reader.u16();
 
   if (type == static_cast<std::uint8_t>(MessageType::kScoreRequest)) {
-    const std::size_t payload = static_cast<std::size_t>(model_len) +
-                                8u * sample_count * dim;
+    // Full-width arithmetic: 8 * sample_count * dim peaks near 2^35, so
+    // a u32 product could wrap to a tiny value, sail past the length
+    // check, and drive the decode loop below into a multi-GiB reserve.
+    const std::size_t payload =
+        static_cast<std::size_t>(model_len) +
+        8 * static_cast<std::size_t>(sample_count) *
+            static_cast<std::size_t>(dim);
     if (frame_len != kHeaderBytes + payload) {
       error = FrameError::kLengthMismatch;
       return DecodeState::kError;
@@ -183,7 +188,7 @@ DecodeState decode_frame(const std::uint8_t* data, std::size_t size,
     }
   } else if (type ==
              static_cast<std::uint8_t>(MessageType::kScoreResponse)) {
-    const std::size_t payload = 9u * sample_count;
+    const std::size_t payload = 9 * static_cast<std::size_t>(sample_count);
     if (frame_len != kHeaderBytes + payload || model_len != 0) {
       error = FrameError::kLengthMismatch;
       return DecodeState::kError;

@@ -1,6 +1,7 @@
 #include "net/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -107,6 +108,7 @@ void Server::start() {
   socklen_t len = sizeof(bound);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
   bound_port_ = ntohs(bound.sin_port);
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
 
   draining_.store(false, std::memory_order_release);
   stop_.store(false, std::memory_order_release);
@@ -154,12 +156,23 @@ void Server::stop(double drain_seconds) {
   }
   for (auto& loop : loops_) {
     if (loop->thread.joinable()) loop->thread.join();
+    // Handed-off fds the loop never adopted (stop raced an in-flight
+    // accept handoff).  Safe to drain here: the acceptor loop joins
+    // first, so nothing pushes into an inbox after its owner joined.
+    // These never became Connections, so no opened/closed accounting.
+    {
+      std::lock_guard lock(loop->inbox_mu);
+      for (const int fd : loop->inbox) ::close(fd);
+      loop->inbox.clear();
+    }
     if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
     if (loop->wake_fd >= 0) ::close(loop->wake_fd);
   }
   loops_.clear();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
+  if (spare_fd_ >= 0) ::close(spare_fd_);
+  spare_fd_ = -1;
   started_ = false;
 }
 
@@ -228,9 +241,14 @@ void Server::run_loop(Loop& loop, bool is_acceptor) {
       if (it == loop.conns.end()) continue;
       Connection& conn = *it->second;
       if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
-        close_connection(loop, fd);
+        // Mark dead, don't close yet: closing mid-batch frees the fd
+        // number, which a same-batch accept could reuse — later stale
+        // events in this batch would then hit the new connection.
+        // service_connections reaps once the batch is done.
+        conn.mark_dead();
         continue;
       }
+      if (conn.dead()) continue;
       if ((events[i].events & EPOLLIN) != 0) conn.on_readable();
       if ((events[i].events & EPOLLOUT) != 0) conn.flush();
     }
@@ -254,6 +272,22 @@ void Server::accept_clients(Loop& loop) {
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // fd table exhausted.  The listener is level-triggered, so
+        // returning with the connection still queued would spin this
+        // loop at 100% CPU.  Release the reserved spare fd, accept the
+        // pending connection just to close it, then re-arm the spare.
+        if (spare_fd_ >= 0) {
+          ::close(spare_fd_);
+          spare_fd_ = -1;
+          const int victim = ::accept4(listen_fd_, nullptr, nullptr,
+                                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (victim >= 0) ::close(victim);
+          spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+          if (victim >= 0) continue;
+        }
+        return;
+      }
       return;  // EAGAIN, or transient accept failure — epoll re-arms
     }
     set_nodelay(fd);

@@ -116,6 +116,10 @@ class Server {
   ServeContext context_;
 
   int listen_fd_ = -1;
+  /// Reserved fd (open on /dev/null) released under EMFILE/ENFILE so
+  /// the acceptor can accept-and-close instead of busy-spinning on the
+  /// level-triggered listener while the fd table is exhausted.
+  int spare_fd_ = -1;
   std::uint16_t bound_port_ = 0;
   std::vector<std::unique_ptr<Loop>> loops_;
   std::atomic<std::size_t> next_loop_{0};

@@ -227,6 +227,27 @@ TEST(Protocol, TamperedLengthRejected) {
   EXPECT_EQ(error, FrameError::kLengthMismatch);
 }
 
+TEST(Protocol, PayloadSizeOverflowRejected) {
+  // sample_count * dim chosen so 8 * count * dim == 2^32 exactly: a
+  // 32-bit payload computation wraps to 0 and a header-only frame would
+  // pass the length check, then reserve ~4 GiB for the decode loop.
+  // Full-width arithmetic must flag the mismatch instead.
+  std::vector<std::uint8_t> wire;
+  encode(wire, sample_request());
+  wire.resize(kFrameOverhead);  // header-only frame, zero payload bytes
+  support::patch_u32le(wire, 0, kHeaderBytes);  // frame_len
+  wire[30] = 0;                                 // model_len
+  wire[32] = 0x00; wire[33] = 0x80;             // sample_count = 32768
+  wire[34] = 0x00; wire[35] = 0x40;             // dim = 16384
+  DecodedFrame frame;
+  std::size_t consumed = 0;
+  FrameError error = FrameError::kNone;
+  EXPECT_EQ(decode_frame(wire.data(), wire.size(), kMaxFrameBytes, frame,
+                         consumed, error),
+            DecodeState::kError);
+  EXPECT_EQ(error, FrameError::kLengthMismatch);
+}
+
 TEST(Protocol, EncodeRejectsUnrepresentableRequests) {
   ScoreRequest request = sample_request();
   std::vector<std::uint8_t> wire;
