@@ -2,25 +2,37 @@
 //
 //   ldafp_cli train  <train.csv> <word_length> [--k K] [--rho R]
 //                    [--nodes N] [--seconds S] [--threads T] [--rom out.hex]
-//                    [--metrics-json FILE] [--trace FILE]
+//                    [--save out.ldafp] [--metrics-json FILE] [--trace FILE]
 //   ldafp_cli eval   <rom.hex> <test.csv> [--scale S]
 //   ldafp_cli sweep  <data.csv> <target_error_percent> [--folds F]
 //                    [--threads T] [--metrics-json FILE] [--trace FILE]
+//   ldafp_cli model inspect <file.ldafp>
 //   ldafp_cli serve  [--port P] [--threads T] [--io-threads N]
-//                    [--queue Q] [--batch B] [--model NAME=ROM.hex ...]
+//                    [--queue Q] [--batch B] [--model NAME=FILE ...]
+//                    [--synthetic] [--retrain-data CSV] [--retrain-after N]
+//                    [--retrain-mode streaming|ldafp] [--store DIR]
 //                    [--metrics-json FILE]
 //
 // CSV rows are features... , label (0 = class A, 1 = class B).
 // `train` fits LDA-FP, prints the baseline comparison, and optionally
-// writes the weight ROM image (the feature scale is printed — apply the
-// same scale at inference, or pass it to `eval`).
+// writes the weight ROM image and/or the versioned `.ldafp` model file
+// (DESIGN.md §13: classifier bits + training provenance + CRC, with a
+// JSON metadata sidecar).  `model inspect` pretty-prints a model file.
 // `--metrics-json` / `--trace` attach an obs::Sink to the run and dump
 // the metrics snapshot / span timeline as JSON (README shows samples);
 // the trained results are bit-identical with or without them.
 // `serve` exposes the inference engine over the DESIGN.md §12 TCP
-// protocol; without --model it trains a synthetic fallback classifier
-// so the server is load-testable out of the box.  SIGINT drains the
-// engine and flushes the metrics snapshot before exiting.
+// protocol.  --model accepts weight-ROM `.hex` files or `.ldafp` model
+// files (the latter carry their feature scale and provenance).  A model
+// is required; pass --synthetic to opt into the load-testing fallback
+// classifier instead.  --retrain-data streams a labeled CSV into the
+// online retraining loop: every --retrain-after samples a candidate is
+// trained, validated on the newest held-out window slice, and hot-
+// promoted through the registry when it is no worse (durable versioned
+// files land in --store).  SIGINT drains the engine and flushes the
+// metrics snapshot — including the model.* lifecycle and drift gauges —
+// before exiting.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -28,6 +40,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -42,6 +55,8 @@
 #include "eval/metrics.h"
 #include "hw/rom_image.h"
 #include "hw/verilog_gen.h"
+#include "model/model_io.h"
+#include "model/retrainer.h"
 #include "net/net.h"
 #include "obs/export.h"
 #include "obs/sink.h"
@@ -50,6 +65,7 @@
 #include "stats/normal.h"
 #include "support/error.h"
 #include "support/rng.h"
+#include "support/table.h"
 
 namespace {
 
@@ -60,14 +76,20 @@ int usage() {
                "usage:\n"
                "  ldafp_cli train <train.csv> <word_length> [--k K] "
                "[--rho R] [--nodes N] [--seconds S] [--threads T] "
-               "[--rom out.hex] [--metrics-json FILE] [--trace FILE]\n"
+               "[--rom out.hex] [--save out.ldafp] "
+               "[--metrics-json FILE] [--trace FILE]\n"
                "  ldafp_cli eval <rom.hex> <test.csv> [--scale S]\n"
                "  ldafp_cli sweep <data.csv> <target_error_percent> "
                "[--folds F] [--threads T] [--metrics-json FILE] "
                "[--trace FILE]\n"
+               "  ldafp_cli model inspect <file.ldafp>\n"
                "  ldafp_cli serve [--port P] [--threads T] "
                "[--io-threads N] [--queue Q] [--batch B] "
-               "[--model NAME=ROM.hex ...] [--metrics-json FILE]\n"
+               "[--model NAME=FILE.hex|FILE.ldafp ...] [--synthetic] "
+               "[--retrain-data CSV] [--retrain-after N] "
+               "[--retrain-mode streaming|ldafp] "
+               "[--retrain-tolerance T] [--store DIR] "
+               "[--metrics-json FILE]\n"
                "\n"
                "  --threads T   worker threads for training / the sweep\n"
                "                (default: all hardware threads; results\n"
@@ -92,6 +114,13 @@ const char* flag_string(int argc, char** argv, const char* name) {
     if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
   }
   return nullptr;
+}
+
+bool flag_present(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
 }
 
 /// The --metrics-json / --trace flags as an obs::Sink: either flag
@@ -214,6 +243,27 @@ int cmd_train(int argc, char** argv) {
     hw::save_rom_image(rom, clf);
     std::printf("Wrote weight ROM image to %s\n", rom);
   }
+  if (const char* save = flag_string(argc, argv, "--save")) {
+    model::TrainingProvenance pv;
+    pv.name = "ldafp";
+    pv.feature_scale = choice.feature_scale;
+    pv.rho = rho;
+    pv.beta = beta;
+    pv.cv_accuracy =
+        1.0 - eval::evaluate(clf, train, choice.feature_scale).error();
+    pv.train_seconds = result.train_seconds;
+    pv.cost = result.cost;
+    pv.gap = result.search.gap();
+    pv.word_length = static_cast<std::uint32_t>(word_length);
+    pv.nodes_processed = result.search.nodes_processed;
+    pv.relaxations = solver.relaxations;
+    pv.phase1_skips = solver.phase1_skips;
+    pv.newton_iterations = solver.newton_iterations;
+    pv.factorizations = solver.factorizations;
+    model::save_model(save, model::SavedModel{clf, pv});
+    std::printf("Wrote model to %s (+ %s.json metadata sidecar)\n", save,
+                save);
+  }
   if (const char* rtl = flag_string(argc, argv, "--verilog")) {
     // RTL + self-checking testbench with golden vectors from the first
     // training samples (scaled like inference inputs).
@@ -280,6 +330,56 @@ int cmd_sweep(int argc, char** argv) {
   return 0;
 }
 
+int cmd_model(int argc, char** argv) {
+  if (argc < 4 || std::strcmp(argv[2], "inspect") != 0) return usage();
+  const char* path = argv[3];
+  const model::DecodeResult loaded = model::load_model(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", path,
+                 model::to_string(loaded.error));
+    return 1;
+  }
+  const core::FixedClassifier& clf = loaded.model->classifier;
+  const model::TrainingProvenance& pv = loaded.model->provenance;
+  char buf[64];
+  const auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return std::string(buf);
+  };
+  support::TextTable t({"field", "value"});
+  t.add_row({"name", pv.name.empty() ? "(unnamed)" : pv.name});
+  t.add_row({"model_version", std::to_string(pv.model_version)});
+  t.add_row({"format", clf.format().to_string()});
+  t.add_row({"dim", std::to_string(clf.dim())});
+  t.add_row({"rounding", fixed::to_string(clf.rounding())});
+  t.add_row({"accumulator", fixed::to_string(clf.accumulator())});
+  t.add_row({"threshold", num(clf.threshold_real()) + "  (raw " +
+                              std::to_string(clf.threshold_fixed().raw()) +
+                              ")"});
+  t.add_row({"feature_scale", num(pv.feature_scale)});
+  t.add_row({"rho / beta", num(pv.rho) + " / " + num(pv.beta)});
+  t.add_row({"cv_accuracy", pv.cv_accuracy < 0.0 ? "(not measured)"
+                                                 : num(pv.cv_accuracy)});
+  t.add_row({"train_seconds", num(pv.train_seconds)});
+  t.add_row({"cost / gap", num(pv.cost) + " / " + num(pv.gap)});
+  t.add_row({"word_length", std::to_string(pv.word_length)});
+  t.add_row({"nodes / relaxations",
+             std::to_string(pv.nodes_processed) + " / " +
+                 std::to_string(pv.relaxations)});
+  t.add_row({"newton / factorizations",
+             std::to_string(pv.newton_iterations) + " / " +
+                 std::to_string(pv.factorizations)});
+  std::printf("%s", t.to_string().c_str());
+  support::TextTable w({"i", "weight", "raw"});
+  const linalg::Vector weights = clf.weights_real();
+  for (std::size_t i = 0; i < clf.dim(); ++i) {
+    w.add_row({std::to_string(i), num(weights[i]),
+               std::to_string(clf.weights_fixed()[i].raw())});
+  }
+  std::printf("%s", w.to_string().c_str());
+  return 0;
+}
+
 // SIGINT latch for `serve`: the handler only flips the flag; the main
 // thread notices and runs the orderly drain (signal-safe by design).
 std::atomic<bool> g_interrupted{false};
@@ -326,33 +426,121 @@ int cmd_serve(int argc, char** argv) {
   obs::Sink sink;
   sink.metrics = &metrics;
 
+  const char* retrain_data = flag_string(argc, argv, "--retrain-data");
+  const auto retrain_after = static_cast<std::size_t>(
+      flag_value(argc, argv, "--retrain-after", 64));
+  const char* store_dir = flag_string(argc, argv, "--store");
+  const char* retrain_mode_name =
+      flag_string(argc, argv, "--retrain-mode");
+  const double retrain_tolerance =
+      flag_value(argc, argv, "--retrain-tolerance", 0.0);
+
   runtime::ModelRegistry models;
   std::string default_model;
+  // The default (first) model: kept aside so the retraining loop can
+  // bootstrap it through the OnlineRetrainer (registry version 1)
+  // instead of a plain install.
+  std::optional<core::FixedClassifier> default_clf;
+  model::TrainingProvenance default_pv;
   for (int i = 2; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--model") != 0) continue;
     const std::string spec = argv[i + 1];
     const std::size_t eq = spec.find('=');
     if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
-      std::fprintf(stderr, "--model expects NAME=ROM.hex, got %s\n",
+      std::fprintf(stderr,
+                   "--model expects NAME=FILE.hex or NAME=FILE.ldafp, "
+                   "got %s\n",
                    spec.c_str());
       return 2;
     }
     const std::string name = spec.substr(0, eq);
-    const hw::RomImage image = hw::load_rom_image(spec.substr(eq + 1));
-    models.install(name, image);
-    if (default_model.empty()) default_model = name;
-    std::printf("installed %s (%s, %zu weights)\n", name.c_str(),
-                image.format.to_string().c_str(), image.weights.size());
+    const std::string file = spec.substr(eq + 1);
+    std::optional<core::FixedClassifier> clf;
+    model::TrainingProvenance pv;
+    const bool is_model_file =
+        file.size() > 6 && file.compare(file.size() - 6, 6, ".ldafp") == 0;
+    if (is_model_file) {
+      const model::DecodeResult loaded = model::load_model(file);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error: %s: %s\n", file.c_str(),
+                     model::to_string(loaded.error));
+        return 1;
+      }
+      clf.emplace(loaded.model->classifier);
+      pv = loaded.model->provenance;
+      std::printf("installed %s from %s (%s, dim %zu, feature scale %g)\n",
+                  name.c_str(), file.c_str(),
+                  clf->format().to_string().c_str(), clf->dim(),
+                  pv.feature_scale);
+    } else {
+      const hw::RomImage image = hw::load_rom_image(file);
+      clf.emplace(image.classifier());
+      std::printf("installed %s (%s, %zu weights)\n", name.c_str(),
+                  image.format.to_string().c_str(), image.weights.size());
+    }
+    if (default_model.empty()) {
+      default_model = name;
+      default_clf = *clf;
+      default_pv = pv;
+      // Defer the default model's install when retraining: the
+      // OnlineRetrainer bootstraps it as registry version 1 below.
+      if (retrain_data != nullptr) continue;
+    }
+    models.install(name, std::move(*clf));
   }
-  if (models.size() == 0) {
+  if (default_model.empty()) {
+    if (!flag_present(argc, argv, "--synthetic")) {
+      std::fprintf(stderr,
+                   "serve needs a model: pass --model NAME=FILE.hex or "
+                   "NAME=FILE.ldafp (train one with `ldafp_cli train "
+                   "... --save model.ldafp`), or opt into the "
+                   "load-testing fallback with --synthetic\n");
+      return 2;
+    }
     double scale = 1.0;
-    const core::FixedClassifier clf =
-        train_synthetic_fallback(6, &scale);
-    models.install("synthetic", clf);
+    const core::FixedClassifier clf = train_synthetic_fallback(6, &scale);
     default_model = "synthetic";
-    std::printf("no --model given; installed synthetic fallback "
-                "(%s, feature scale %g)\n",
+    default_clf = clf;
+    default_pv.name = "synthetic";
+    default_pv.feature_scale = scale;
+    if (retrain_data == nullptr) models.install("synthetic", clf);
+    std::printf("installed synthetic fallback (%s, feature scale %g)\n",
                 clf.format().to_string().c_str(), scale);
+  }
+
+  // Online-retraining loop: labeled CSV samples stream into the
+  // retrainer's window; every --retrain-after samples a candidate is
+  // trained and promoted when no worse on the held-out slice.
+  data::LabeledDataset feed;
+  std::unique_ptr<model::OnlineRetrainer> retrainer;
+  if (retrain_data != nullptr) {
+    feed = data::load_csv(retrain_data);
+    model::RetrainerOptions ropt;
+    ropt.model_name = default_model;
+    ropt.format = default_clf->format();
+    ropt.mode = model::RetrainMode::kStreamingLda;
+    if (retrain_mode_name != nullptr &&
+        std::strcmp(retrain_mode_name, "ldafp") == 0) {
+      ropt.mode = model::RetrainMode::kLdaFp;
+    }
+    ropt.trainer.rho = default_pv.rho > 0.0 ? default_pv.rho : 0.9999;
+    ropt.trainer.rounding = default_clf->rounding();
+    ropt.accuracy_tolerance = retrain_tolerance;
+    ropt.window_capacity = std::max<std::size_t>(8, feed.size());
+    ropt.holdout = std::max<std::size_t>(
+        1, std::min<std::size_t>(128, ropt.window_capacity / 5));
+    ropt.min_class_samples = 2;
+    ropt.store_dir = store_dir != nullptr ? store_dir : "";
+    ropt.sink = &sink;
+    retrainer =
+        std::make_unique<model::OnlineRetrainer>(models, ropt);
+    retrainer->bootstrap(*default_clf, default_pv);
+    std::printf("retraining %s from %s: %zu samples, retrain every %zu, "
+                "mode %s%s%s\n",
+                default_model.c_str(), retrain_data, feed.size(),
+                retrain_after, model::to_string(ropt.mode),
+                store_dir != nullptr ? ", store " : "",
+                store_dir != nullptr ? store_dir : "");
   }
 
   runtime::EngineOptions engine_options;
@@ -377,6 +565,41 @@ int cmd_serve(int argc, char** argv) {
               io_threads == 1 ? "" : "s", workers,
               default_model.c_str());
 
+  // The feeder streams the labeled CSV into the retraining loop while
+  // the server keeps taking traffic — scores into the drift detector,
+  // samples into the window, a synchronous retrain every
+  // --retrain-after samples.
+  std::thread feeder;
+  if (retrainer != nullptr) {
+    feeder = std::thread([&] {
+      std::size_t since_retrain = 0;
+      for (std::size_t i = 0; i < feed.size() && !g_interrupted.load();
+           ++i) {
+        linalg::Vector x = feed.samples[i];
+        x *= default_pv.feature_scale;
+        if (const runtime::ModelHandle h = models.get(default_model)) {
+          retrainer->observe_score(h->classifier.project(x).to_real());
+        }
+        retrainer->observe(x, feed.labels[i]);
+        if (++since_retrain >= retrain_after) {
+          since_retrain = 0;
+          const model::RetrainOutcome outcome = retrainer->retrain_now();
+          std::printf("retrain #%llu: %s (candidate %.4f vs incumbent "
+                      "%.4f)%s\n",
+                      static_cast<unsigned long long>(
+                          retrainer->retrains()),
+                      outcome.reason.c_str(), outcome.candidate_error,
+                      outcome.incumbent_error,
+                      outcome.promoted
+                          ? (" -> v" + std::to_string(outcome.version))
+                                .c_str()
+                          : "");
+        }
+      }
+      retrainer->publish_drift();
+    });
+  }
+
   std::signal(SIGINT, on_sigint);
   std::signal(SIGTERM, on_sigint);
   while (!g_interrupted.load()) {
@@ -386,6 +609,7 @@ int cmd_serve(int argc, char** argv) {
   // Orderly drain: stop admission at the socket, let in-flight
   // responses flush, then drain the engine queue, then report.
   std::printf("\ndraining...\n");
+  if (feeder.joinable()) feeder.join();
   server.stop();
   engine.shutdown();
   const obs::MetricsSnapshot snapshot = engine.stats().snapshot();
@@ -399,6 +623,14 @@ int cmd_serve(int argc, char** argv) {
     std::printf("Wrote metrics to %s\n", metrics_path);
   }
   std::printf("%s\n", obs::to_table(snapshot).c_str());
+  if (retrainer != nullptr) {
+    std::printf("retraining: %llu retrains, %llu promotions, "
+                "%llu rollbacks (last: %s)\n",
+                static_cast<unsigned long long>(retrainer->retrains()),
+                static_cast<unsigned long long>(retrainer->promotions()),
+                static_cast<unsigned long long>(retrainer->rollbacks()),
+                retrainer->last_outcome().reason.c_str());
+  }
   return 0;
 }
 
@@ -410,6 +642,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "train") == 0) return cmd_train(argc, argv);
     if (std::strcmp(argv[1], "eval") == 0) return cmd_eval(argc, argv);
     if (std::strcmp(argv[1], "sweep") == 0) return cmd_sweep(argc, argv);
+    if (std::strcmp(argv[1], "model") == 0) return cmd_model(argc, argv);
     if (std::strcmp(argv[1], "serve") == 0) return cmd_serve(argc, argv);
   } catch (const ldafp::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

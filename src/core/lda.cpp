@@ -19,17 +19,12 @@ const char* to_string(LdaGainPolicy policy) {
   return "?";
 }
 
-LdaModel fit_lda(const TrainingSet& data,
-                 stats::CovarianceEstimator estimator) {
-  LDAFP_CHECK(data.valid(), "training set must have samples in both classes");
-  const linalg::Vector mu_a = stats::sample_mean(data.class_a);
-  const linalg::Vector mu_b = stats::sample_mean(data.class_b);
-  const linalg::Matrix sigma_a =
-      stats::estimate_covariance(data.class_a, mu_a, estimator);
-  const linalg::Matrix sigma_b =
-      stats::estimate_covariance(data.class_b, mu_b, estimator);
-  linalg::Matrix sw = stats::within_class_scatter(sigma_a, sigma_b);
+namespace {
 
+/// The shared back half of both fit_lda overloads: ridge-stabilized
+/// S_W⁻¹(μ_A − μ_B), unit-normalized, with the Eq. 12 threshold.
+LdaModel fit_from_scatter(const linalg::Vector& mu_a,
+                          const linalg::Vector& mu_b, linalg::Matrix sw) {
   // Ridge proportional to the average eigenvalue keeps the solve stable
   // when features are collinear (quantized data often is).
   double trace = 0.0;
@@ -51,6 +46,26 @@ LdaModel fit_lda(const TrainingSet& data,
   model.mu_a = mu_a;
   model.mu_b = mu_b;
   return model;
+}
+
+}  // namespace
+
+LdaModel fit_lda(const TrainingSet& data,
+                 stats::CovarianceEstimator estimator) {
+  LDAFP_CHECK(data.valid(), "training set must have samples in both classes");
+  const linalg::Vector mu_a = stats::sample_mean(data.class_a);
+  const linalg::Vector mu_b = stats::sample_mean(data.class_b);
+  const linalg::Matrix sigma_a =
+      stats::estimate_covariance(data.class_a, mu_a, estimator);
+  const linalg::Matrix sigma_b =
+      stats::estimate_covariance(data.class_b, mu_b, estimator);
+  return fit_from_scatter(mu_a, mu_b,
+                          stats::within_class_scatter(sigma_a, sigma_b));
+}
+
+LdaModel fit_lda(const stats::TwoClassModel& model_stats) {
+  return fit_from_scatter(model_stats.class_a.mu(), model_stats.class_b.mu(),
+                          model_stats.within_class_scatter());
 }
 
 double lda_pow2_gain(const LdaModel& model,

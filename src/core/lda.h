@@ -34,6 +34,14 @@ LdaModel fit_lda(const TrainingSet& data,
                  stats::CovarianceEstimator estimator =
                      stats::CovarianceEstimator::kEmpirical);
 
+/// Fits conventional LDA directly from the two-class Gaussian picture —
+/// no pass over the samples, so sufficient statistics maintained
+/// incrementally (stats::StreamingTwoClass) train in O(M³) regardless
+/// of how many samples produced them.  Identical ridge and
+/// normalization as the sample-based overload: feeding it the model
+/// fitted from a sample set yields the same LdaModel bit for bit.
+LdaModel fit_lda(const stats::TwoClassModel& model_stats);
+
 /// How the float LDA weight vector is rescaled before rounding to the
 /// grid.  A scalar gain on w (threshold scaled alongside) leaves the
 /// floating-point decision unchanged, so the baseline gets to pick the

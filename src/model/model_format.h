@@ -1,0 +1,74 @@
+// The versioned on-disk model format (DESIGN.md §13).
+//
+// A `.ldafp` model file is the durable artifact of training: the exact
+// classifier bits (raw QK.F words — never re-quantized reals), the
+// per-signal fixed-point formats, and the training provenance that
+// justifies deploying them.  Layout, little-endian throughout
+// (support/wire.h):
+//
+//   offset  size  field
+//   0       4     magic 0x4D46444C ("LDFM" on disk)
+//   4       2     format_version (currently 1)
+//   6       2     section_count
+//   8       ...   section_count sections, back to back
+//   EOF-4   4     CRC-32 (support/crc32.h) over bytes [0, EOF-4)
+//
+// Each section is { u16 section_id, u16 reserved = 0, u32 payload_len,
+// payload }.  Version policy: any change to the layout of an existing
+// section, or a new section a loader cannot ignore, bumps
+// format_version; a version-1 loader rejects every other version with
+// kBadVersion and rejects unknown section ids with kBadSection (strict
+// by design — a serving process must never guess at model bits).
+//
+// The loader's corruption taxonomy mirrors net/protocol's frame
+// errors: every failure is an eager, specific code — never a crash,
+// never a silently wrong model.  Checks run in a fixed order so each
+// corruption maps to one deterministic code: minimum length, magic,
+// version, structural section walk (bounds only), CRC over the whole
+// body, then payload decoding.  Truncating the file at *any* byte
+// offset therefore yields kTruncated; flipping a payload bit yields
+// kBadCrc (tests/model/model_io_test.cpp enforces both exhaustively).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ldafp::model {
+
+/// "LDFM" when the u32 is written little-endian.
+inline constexpr std::uint32_t kMagic = 0x4D46444C;
+/// The one format version this loader reads and the saver writes.
+inline constexpr std::uint16_t kFormatVersion = 1;
+/// Fixed header (magic + version + section_count) plus the CRC trailer
+/// — the smallest conceivable file.
+inline constexpr std::size_t kHeaderBytes = 8;
+/// Smallest structurally possible file: header plus the CRC trailer.
+inline constexpr std::size_t kMinFileBytes = kHeaderBytes + 4;
+/// Bytes of each section header (id + reserved + payload_len).
+inline constexpr std::size_t kSectionHeaderBytes = 8;
+/// Absolute ceiling on one section payload (a 64k-feature classifier is
+/// half a megabyte of words; anything larger is hostile input).
+inline constexpr std::size_t kMaxSectionBytes = 1u << 24;
+
+/// Section ids of format version 1.
+enum class SectionId : std::uint16_t {
+  kClassifier = 1,  ///< formats + raw weight/threshold words (mandatory)
+  kProvenance = 2,  ///< training lineage (mandatory)
+};
+
+/// Why a model file could not be loaded.
+enum class LoadError : std::uint8_t {
+  kNone = 0,
+  kBadMagic,    ///< not a model file at all
+  kBadVersion,  ///< format_version this loader does not speak
+  kBadCrc,      ///< body bytes damaged (checksum mismatch)
+  kTruncated,   ///< file shorter than its declared structure
+  kBadSection,  ///< unknown/duplicate/missing section or invalid payload
+  kIo,          ///< the file could not be opened or read
+};
+
+/// Short display name ("bad-magic", ...), used in CLI errors and as a
+/// metrics label.
+const char* to_string(LoadError error);
+
+}  // namespace ldafp::model

@@ -1,0 +1,414 @@
+#include "model/model_io.h"
+
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+#include "support/crc32.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "support/wire.h"
+
+namespace ldafp::model {
+namespace {
+
+// Stable wire codes for the enum tags — written explicitly (not via
+// static_cast of declaration order) so reordering a C++ enum can never
+// silently change the file format.
+std::uint8_t rounding_code(fixed::RoundingMode mode) {
+  switch (mode) {
+    case fixed::RoundingMode::kNearestEven: return 0;
+    case fixed::RoundingMode::kNearestAway: return 1;
+    case fixed::RoundingMode::kTowardZero: return 2;
+    case fixed::RoundingMode::kFloor: return 3;
+  }
+  return 0;
+}
+
+bool rounding_from_code(std::uint8_t code, fixed::RoundingMode& out) {
+  switch (code) {
+    case 0: out = fixed::RoundingMode::kNearestEven; return true;
+    case 1: out = fixed::RoundingMode::kNearestAway; return true;
+    case 2: out = fixed::RoundingMode::kTowardZero; return true;
+    case 3: out = fixed::RoundingMode::kFloor; return true;
+  }
+  return false;
+}
+
+std::uint8_t accumulator_code(fixed::AccumulatorMode acc) {
+  return acc == fixed::AccumulatorMode::kNarrow ? 1 : 0;
+}
+
+bool accumulator_from_code(std::uint8_t code, fixed::AccumulatorMode& out) {
+  switch (code) {
+    case 0: out = fixed::AccumulatorMode::kWide; return true;
+    case 1: out = fixed::AccumulatorMode::kNarrow; return true;
+  }
+  return false;
+}
+
+void append_section(std::vector<std::uint8_t>& out, SectionId id,
+                    const std::vector<std::uint8_t>& payload) {
+  support::put_u16le(out, static_cast<std::uint16_t>(id));
+  support::put_u16le(out, 0);  // reserved
+  support::put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  support::put_bytes(out, payload.data(), payload.size());
+}
+
+std::vector<std::uint8_t> classifier_payload(
+    const core::FixedClassifier& clf) {
+  std::vector<std::uint8_t> p;
+  const fixed::FixedFormat& fmt = clf.format();
+  support::put_u8(p, static_cast<std::uint8_t>(fmt.integer_bits()));
+  support::put_u8(p, static_cast<std::uint8_t>(fmt.frac_bits()));
+  support::put_u8(p, rounding_code(clf.rounding()));
+  support::put_u8(p, accumulator_code(clf.accumulator()));
+  support::put_u32le(p, static_cast<std::uint32_t>(clf.dim()));
+  support::put_i64le(p, clf.threshold_fixed().raw());
+  for (const fixed::Fixed& w : clf.weights_fixed()) {
+    support::put_i64le(p, w.raw());
+  }
+  return p;
+}
+
+std::vector<std::uint8_t> provenance_payload(const TrainingProvenance& pv) {
+  std::vector<std::uint8_t> p;
+  support::put_u16le(p, static_cast<std::uint16_t>(pv.name.size()));
+  support::put_bytes(p, pv.name.data(), pv.name.size());
+  support::put_f64le(p, pv.feature_scale);
+  support::put_f64le(p, pv.rho);
+  support::put_f64le(p, pv.beta);
+  support::put_f64le(p, pv.cv_accuracy);
+  support::put_f64le(p, pv.train_seconds);
+  support::put_f64le(p, pv.cost);
+  support::put_f64le(p, pv.gap);
+  support::put_u32le(p, pv.word_length);
+  support::put_u32le(p, 0);  // reserved
+  support::put_u64le(p, pv.nodes_processed);
+  support::put_u64le(p, pv.relaxations);
+  support::put_u64le(p, pv.phase1_skips);
+  support::put_u64le(p, pv.newton_iterations);
+  support::put_u64le(p, pv.factorizations);
+  support::put_u64le(p, pv.model_version);
+  return p;
+}
+
+/// Fixed-size tail of the provenance payload after the variable-length
+/// name: 7 doubles + 2 u32 + 6 u64.
+constexpr std::size_t kProvenanceTailBytes = 7 * 8 + 2 * 4 + 6 * 8;
+
+/// Decodes the classifier section.  Returns kNone and engages `out` on
+/// success; kBadSection on any structural or value-range violation.
+LoadError decode_classifier(const std::uint8_t* data, std::size_t size,
+                            std::optional<core::FixedClassifier>& out) {
+  support::WireReader r(data, size);
+  const std::uint8_t integer_bits = r.u8();
+  const std::uint8_t frac_bits = r.u8();
+  const std::uint8_t rounding_byte = r.u8();
+  const std::uint8_t acc_byte = r.u8();
+  const std::uint32_t dim = r.u32();
+  if (!r.ok()) return LoadError::kBadSection;
+  if (integer_bits < 1 || integer_bits + frac_bits > 62) {
+    return LoadError::kBadSection;
+  }
+  fixed::RoundingMode rounding;
+  fixed::AccumulatorMode acc;
+  if (!rounding_from_code(rounding_byte, rounding)) {
+    return LoadError::kBadSection;
+  }
+  if (!accumulator_from_code(acc_byte, acc)) return LoadError::kBadSection;
+  if (dim < 1) return LoadError::kBadSection;
+  // Exact-size check: header fields + threshold + dim weight words.
+  const std::size_t expect =
+      8 + 8 + static_cast<std::size_t>(dim) * 8;
+  if (size != expect) return LoadError::kBadSection;
+
+  const fixed::FixedFormat fmt(integer_bits, frac_bits);
+  const std::int64_t threshold_raw = r.i64();
+  std::vector<double> weights(dim);
+  for (std::uint32_t i = 0; i < dim; ++i) {
+    const std::int64_t raw = r.i64();
+    if (raw < fmt.raw_min() || raw > fmt.raw_max()) {
+      return LoadError::kBadSection;
+    }
+    weights[i] = fmt.to_real(raw);
+  }
+  if (!r.ok() || r.remaining() != 0) return LoadError::kBadSection;
+  if (threshold_raw < fmt.raw_min() || threshold_raw > fmt.raw_max()) {
+    return LoadError::kBadSection;
+  }
+  // The stored words are exact grid values, so the constructor's
+  // representability check passes and its quantization reproduces the
+  // identical raw words — bit-for-bit round trip.
+  out.emplace(fmt, linalg::Vector(std::move(weights)),
+              fmt.to_real(threshold_raw), rounding, acc);
+  return LoadError::kNone;
+}
+
+LoadError decode_provenance(const std::uint8_t* data, std::size_t size,
+                            TrainingProvenance& out) {
+  support::WireReader r(data, size);
+  const std::uint16_t name_len = r.u16();
+  if (!r.ok()) return LoadError::kBadSection;
+  if (size != 2 + static_cast<std::size_t>(name_len) +
+                  kProvenanceTailBytes) {
+    return LoadError::kBadSection;
+  }
+  out.name = r.bytes(name_len);
+  out.feature_scale = r.f64();
+  out.rho = r.f64();
+  out.beta = r.f64();
+  out.cv_accuracy = r.f64();
+  out.train_seconds = r.f64();
+  out.cost = r.f64();
+  out.gap = r.f64();
+  out.word_length = r.u32();
+  r.skip(4);  // reserved
+  out.nodes_processed = r.u64();
+  out.relaxations = r.u64();
+  out.phase1_skips = r.u64();
+  out.newton_iterations = r.u64();
+  out.factorizations = r.u64();
+  out.model_version = r.u64();
+  if (!r.ok() || r.remaining() != 0) return LoadError::kBadSection;
+  return LoadError::kNone;
+}
+
+}  // namespace
+
+const char* to_string(LoadError error) {
+  switch (error) {
+    case LoadError::kNone: return "ok";
+    case LoadError::kBadMagic: return "bad-magic";
+    case LoadError::kBadVersion: return "bad-version";
+    case LoadError::kBadCrc: return "bad-crc";
+    case LoadError::kTruncated: return "truncated";
+    case LoadError::kBadSection: return "bad-section";
+    case LoadError::kIo: return "io-error";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_model(const SavedModel& model) {
+  std::vector<std::uint8_t> out;
+  support::put_u32le(out, kMagic);
+  support::put_u16le(out, kFormatVersion);
+  support::put_u16le(out, 2);  // section_count
+  append_section(out, SectionId::kClassifier,
+                 classifier_payload(model.classifier));
+  append_section(out, SectionId::kProvenance,
+                 provenance_payload(model.provenance));
+  support::put_u32le(out, support::crc32(out));
+  return out;
+}
+
+DecodeResult decode_model(const std::uint8_t* data, std::size_t size) {
+  DecodeResult result;
+  // Check order is the taxonomy contract (model_format.h): length,
+  // magic, version, structure, CRC, payloads.
+  if (size < kMinFileBytes) {
+    result.error = LoadError::kTruncated;
+    return result;
+  }
+  if (support::get_u32le(data) != kMagic) {
+    result.error = LoadError::kBadMagic;
+    return result;
+  }
+  if (support::get_u16le(data + 4) != kFormatVersion) {
+    result.error = LoadError::kBadVersion;
+    return result;
+  }
+  const std::uint16_t section_count = support::get_u16le(data + 6);
+  const std::size_t body_end = size - 4;  // CRC trailer excluded
+
+  // Structural walk: section headers only, bounds-checked.  A section
+  // running past the body is a truncation; an unknown id is rejected
+  // before the (matching) CRC can bless it.
+  struct SectionView {
+    std::uint16_t id = 0;
+    const std::uint8_t* payload = nullptr;
+    std::size_t size = 0;
+  };
+  std::vector<SectionView> sections;
+  std::size_t pos = kHeaderBytes;
+  for (std::uint16_t s = 0; s < section_count; ++s) {
+    if (pos + kSectionHeaderBytes > body_end) {
+      result.error = LoadError::kTruncated;
+      return result;
+    }
+    SectionView view;
+    view.id = support::get_u16le(data + pos);
+    const std::uint16_t reserved = support::get_u16le(data + pos + 2);
+    const std::uint32_t payload_len = support::get_u32le(data + pos + 4);
+    pos += kSectionHeaderBytes;
+    if (reserved != 0 || payload_len > kMaxSectionBytes) {
+      result.error = LoadError::kBadSection;
+      return result;
+    }
+    if (pos + payload_len > body_end) {
+      result.error = LoadError::kTruncated;
+      return result;
+    }
+    view.payload = data + pos;
+    view.size = payload_len;
+    pos += payload_len;
+    if (view.id != static_cast<std::uint16_t>(SectionId::kClassifier) &&
+        view.id != static_cast<std::uint16_t>(SectionId::kProvenance)) {
+      result.error = LoadError::kBadSection;
+      return result;
+    }
+    sections.push_back(view);
+  }
+  if (pos != body_end) {
+    // Trailing bytes no section accounts for: the file was assembled
+    // wrong (or grew), not cut short.
+    result.error = LoadError::kBadSection;
+    return result;
+  }
+
+  const std::uint32_t stored_crc = support::get_u32le(data + body_end);
+  if (support::crc32(data, body_end) != stored_crc) {
+    result.error = LoadError::kBadCrc;
+    return result;
+  }
+
+  std::optional<core::FixedClassifier> classifier;
+  TrainingProvenance provenance;
+  bool have_provenance = false;
+  for (const SectionView& view : sections) {
+    if (view.id == static_cast<std::uint16_t>(SectionId::kClassifier)) {
+      if (classifier.has_value()) {  // duplicate
+        result.error = LoadError::kBadSection;
+        return result;
+      }
+      const LoadError err =
+          decode_classifier(view.payload, view.size, classifier);
+      if (err != LoadError::kNone) {
+        result.error = err;
+        return result;
+      }
+    } else {
+      if (have_provenance) {
+        result.error = LoadError::kBadSection;
+        return result;
+      }
+      const LoadError err =
+          decode_provenance(view.payload, view.size, provenance);
+      if (err != LoadError::kNone) {
+        result.error = err;
+        return result;
+      }
+      have_provenance = true;
+    }
+  }
+  if (!classifier.has_value() || !have_provenance) {
+    result.error = LoadError::kBadSection;
+    return result;
+  }
+  result.model.emplace(SavedModel{std::move(*classifier),
+                                  std::move(provenance)});
+  return result;
+}
+
+DecodeResult decode_model(const std::vector<std::uint8_t>& bytes) {
+  return decode_model(bytes.data(), bytes.size());
+}
+
+std::string metadata_json(const SavedModel& model) {
+  const core::FixedClassifier& clf = model.classifier;
+  const fixed::FixedFormat& fmt = clf.format();
+  const TrainingProvenance& pv = model.provenance;
+  std::ostringstream os;
+  support::JsonWriter json(os);
+  json.begin_object();
+  json.kv("format_version", static_cast<std::int64_t>(kFormatVersion));
+  json.kv("name", pv.name);
+  json.kv("model_version", pv.model_version);
+  json.kv("dim", static_cast<std::int64_t>(clf.dim()));
+  // Per-signal fixed-point precision: the feature/weight words share
+  // QK.F; the accumulator either keeps full 2F-fraction products (wide)
+  // or narrows each product back to QK.F before adding (narrow).
+  json.key("signals");
+  json.begin_object();
+  json.kv("features", fmt.to_string());
+  json.kv("weights", fmt.to_string());
+  json.kv("accumulator",
+          clf.accumulator() == fixed::AccumulatorMode::kWide
+              ? fixed::FixedFormat(fmt.integer_bits(),
+                                   2 * fmt.frac_bits()).to_string()
+              : fmt.to_string());
+  json.end_object();
+  json.kv("rounding", fixed::to_string(clf.rounding()));
+  json.kv("accumulator_mode", fixed::to_string(clf.accumulator()));
+  json.kv("threshold", clf.threshold_real());
+  json.kv("threshold_raw", clf.threshold_fixed().raw());
+  json.key("weights");
+  json.begin_array();
+  for (const fixed::Fixed& w : clf.weights_fixed()) {
+    json.value(w.to_real());
+  }
+  json.end_array();
+  json.key("provenance");
+  json.begin_object();
+  json.kv("feature_scale", pv.feature_scale);
+  json.kv("rho", pv.rho);
+  json.kv("beta", pv.beta);
+  json.kv("cv_accuracy", pv.cv_accuracy);
+  json.kv("train_seconds", pv.train_seconds);
+  json.kv("cost", pv.cost);
+  json.kv("gap", pv.gap);
+  json.kv("word_length", static_cast<std::int64_t>(pv.word_length));
+  json.kv("nodes_processed", pv.nodes_processed);
+  json.kv("relaxations", pv.relaxations);
+  json.kv("phase1_skips", pv.phase1_skips);
+  json.kv("newton_iterations", pv.newton_iterations);
+  json.kv("factorizations", pv.factorizations);
+  json.end_object();
+  json.end_object();
+  os << "\n";
+  return os.str();
+}
+
+void save_model(const std::string& path, const SavedModel& model) {
+  const std::vector<std::uint8_t> bytes = encode_model(model);
+  {
+    std::ofstream file(path, std::ios::binary);
+    if (!file) {
+      throw ldafp::IoError("model: cannot create '" + path + "'");
+    }
+    file.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    if (!file) {
+      throw ldafp::IoError("model: write failed for '" + path + "'");
+    }
+  }
+  const std::string sidecar_path = path + ".json";
+  std::ofstream sidecar(sidecar_path);
+  if (!sidecar) {
+    throw ldafp::IoError("model: cannot create '" + sidecar_path + "'");
+  }
+  sidecar << metadata_json(model);
+  if (!sidecar) {
+    throw ldafp::IoError("model: write failed for '" + sidecar_path + "'");
+  }
+}
+
+DecodeResult load_model(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    DecodeResult result;
+    result.error = LoadError::kIo;
+    return result;
+  }
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(file)),
+      std::istreambuf_iterator<char>());
+  if (file.bad()) {
+    DecodeResult result;
+    result.error = LoadError::kIo;
+    return result;
+  }
+  return decode_model(bytes);
+}
+
+}  // namespace ldafp::model

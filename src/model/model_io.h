@@ -1,0 +1,91 @@
+// Save/load of versioned model files (format spec: model_format.h,
+// DESIGN.md §13).
+//
+// The encode/decode pair works on byte vectors so tests can corrupt,
+// truncate, and fuzz without touching the filesystem; save/load wrap
+// them with file I/O and additionally write a human- and
+// tool-readable JSON metadata sidecar next to the binary ("<path>.json"
+// via support::JsonWriter).  The binary file is authoritative — the
+// loader never reads the sidecar.
+//
+// Round-trip contract (enforced by tests/model): decode(encode(m))
+// reproduces the classifier *bit for bit* — same raw weight words,
+// same threshold word, same formats, same rounding/accumulator modes —
+// across every word length, so load(save(m)) classifies every input
+// identically to m.  Corrupt input is always rejected with the
+// specific LoadError code, never a crash and never a silently wrong
+// model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "model/model_format.h"
+
+namespace ldafp::model {
+
+/// Training lineage carried inside the file: where these bits came
+/// from, how good they measured, and what the search spent — the
+/// format/accuracy metadata the paper's design flow (pick W by
+/// accuracy, convert to power) needs to survive deployment.
+struct TrainingProvenance {
+  std::string name;          ///< model name ("" = unnamed)
+  double feature_scale = 1.0;  ///< preprocessing scale (apply at inference)
+  double rho = 0.0;            ///< confidence level of Eq. 16 (0 = n/a)
+  double beta = 0.0;           ///< the Φ⁻¹ multiplier actually used
+  /// Held-out / CV accuracy in [0,1] measured at training time
+  /// (negative = never measured).
+  double cv_accuracy = -1.0;
+  double train_seconds = 0.0;
+  double cost = 0.0;           ///< Fisher cost of the weights (0 = n/a)
+  double gap = 0.0;            ///< B&B optimality gap at exit
+  std::uint32_t word_length = 0;  ///< the sweep point W that chose this model
+  std::uint64_t nodes_processed = 0;
+  std::uint64_t relaxations = 0;
+  std::uint64_t phase1_skips = 0;
+  std::uint64_t newton_iterations = 0;
+  std::uint64_t factorizations = 0;
+  /// Version counter of the serving lineage (1 = first promoted model).
+  std::uint64_t model_version = 0;
+};
+
+/// Everything a model file holds.
+struct SavedModel {
+  core::FixedClassifier classifier;
+  TrainingProvenance provenance;
+};
+
+/// Serializes to the DESIGN.md §13 byte layout (header, classifier +
+/// provenance sections, CRC trailer).
+std::vector<std::uint8_t> encode_model(const SavedModel& model);
+
+/// Decode outcome: `model` is engaged exactly when error == kNone.
+struct DecodeResult {
+  LoadError error = LoadError::kNone;
+  std::optional<SavedModel> model;
+
+  bool ok() const { return error == LoadError::kNone; }
+};
+
+/// Decodes a byte image.  Never throws on malformed input — every
+/// corruption maps to its taxonomy code (see model_format.h for the
+/// check order that makes the mapping deterministic).
+DecodeResult decode_model(const std::uint8_t* data, std::size_t size);
+DecodeResult decode_model(const std::vector<std::uint8_t>& bytes);
+
+/// The JSON metadata sidecar text (also useful for `ldafp_cli model
+/// inspect --json`).
+std::string metadata_json(const SavedModel& model);
+
+/// Writes the binary image to `path` and the sidecar to "<path>.json".
+/// Throws IoError on filesystem failure.
+void save_model(const std::string& path, const SavedModel& model);
+
+/// Reads and decodes `path`.  Filesystem failures come back as kIo;
+/// malformed content as its taxonomy code.  Never throws.
+DecodeResult load_model(const std::string& path);
+
+}  // namespace ldafp::model

@@ -1,0 +1,92 @@
+#include "stats/streaming.h"
+
+#include "support/error.h"
+
+namespace ldafp::stats {
+
+StreamingMoments::StreamingMoments(std::size_t dim)
+    : mean_(dim), scatter_(dim, dim), delta_(dim) {
+  LDAFP_CHECK(dim >= 1, "streaming moments need dimension >= 1");
+}
+
+void StreamingMoments::add(const linalg::Vector& x) {
+  LDAFP_CHECK(x.size() == mean_.size(),
+              "streaming sample dimension mismatch");
+  ++count_;
+  const double inv_n = 1.0 / static_cast<double>(count_);
+  const std::size_t m = mean_.size();
+  // delta = x − mean_old; mean_new = mean_old + delta / n;
+  // scatter += delta (x − mean_new)ᵀ   (the Welford rank-1 form).
+  for (std::size_t i = 0; i < m; ++i) delta_[i] = x[i] - mean_[i];
+  for (std::size_t i = 0; i < m; ++i) mean_[i] += delta_[i] * inv_n;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double di = delta_[i];
+    for (std::size_t j = 0; j < m; ++j) {
+      scatter_(i, j) += di * (x[j] - mean_[j]);
+    }
+  }
+}
+
+void StreamingMoments::merge(const StreamingMoments& other) {
+  LDAFP_CHECK(other.mean_.size() == mean_.size(),
+              "streaming merge dimension mismatch");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    count_ = other.count_;
+    mean_ = other.mean_;
+    scatter_ = other.scatter_;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  const std::size_t m = mean_.size();
+  // Chan et al.: S = S1 + S2 + (n1·n2/n) δδᵀ with δ = mean2 − mean1.
+  for (std::size_t i = 0; i < m; ++i) delta_[i] = other.mean_[i] - mean_[i];
+  const double w = n1 * n2 / n;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double di = delta_[i];
+    for (std::size_t j = 0; j < m; ++j) {
+      scatter_(i, j) += other.scatter_(i, j) + w * di * delta_[j];
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    mean_[i] += delta_[i] * (n2 / n);
+  }
+  count_ += other.count_;
+}
+
+void StreamingMoments::reset() {
+  count_ = 0;
+  const std::size_t m = mean_.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    mean_[i] = 0.0;
+    for (std::size_t j = 0; j < m; ++j) scatter_(i, j) = 0.0;
+  }
+}
+
+linalg::Matrix StreamingMoments::covariance() const {
+  LDAFP_CHECK(count_ >= 1, "covariance needs at least one sample");
+  const double inv_n = 1.0 / static_cast<double>(count_);
+  const std::size_t m = mean_.size();
+  linalg::Matrix cov(m, m);
+  // Population (1/N) normalization, symmetrized against the tiny
+  // asymmetry rank-1 updates accumulate in the low-order bits.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = 0.5 * (scatter_(i, j) + scatter_(j, i)) * inv_n;
+      cov(i, j) = v;
+      cov(j, i) = v;
+    }
+  }
+  return cov;
+}
+
+TwoClassModel StreamingTwoClass::model() const {
+  LDAFP_CHECK(ready(), "both classes need samples before model()");
+  return TwoClassModel{
+      GaussianModel(class_a_.mean(), class_a_.covariance()),
+      GaussianModel(class_b_.mean(), class_b_.covariance())};
+}
+
+}  // namespace ldafp::stats

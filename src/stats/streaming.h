@@ -1,0 +1,94 @@
+// Streaming (rank-1 incremental) estimation of the per-class Gaussian
+// statistics the LDA pipeline consumes.
+//
+// The online-retraining loop (src/model/retrainer.h) sees labeled
+// samples one at a time and cannot afford an O(N·M²) re-scan of its
+// window per update.  StreamingMoments maintains the sample mean and
+// the *centered* scatter matrix with Welford's rank-1 update — O(M²)
+// per sample, numerically stable (no catastrophic cancellation of
+// E[x²] − E[x]²) — and exposes the population-normalized (1/N, paper
+// Eqs. 5-6) covariance at any point.  merge() implements the Chan
+// parallel combination so shards accumulated on different threads fold
+// into one estimate exactly.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "stats/gaussian_model.h"
+
+namespace ldafp::stats {
+
+/// Welford mean/scatter accumulator for one class.
+class StreamingMoments {
+ public:
+  /// Accumulator for M-dimensional samples.
+  explicit StreamingMoments(std::size_t dim);
+
+  std::size_t dim() const { return mean_.size(); }
+  std::size_t count() const { return count_; }
+
+  /// Rank-1 update with one sample (must match dim()).
+  void add(const linalg::Vector& x);
+
+  /// Folds another accumulator of the same dimension into this one
+  /// (Chan et al. pairwise combination — exact, order-independent up to
+  /// floating-point association).
+  void merge(const StreamingMoments& other);
+
+  /// Forgets everything (count back to 0).
+  void reset();
+
+  /// Sample mean; the zero vector while count() == 0.
+  const linalg::Vector& mean() const { return mean_; }
+
+  /// Population covariance (1/N normalization, matching
+  /// stats::sample_covariance).  Requires count() >= 1.
+  linalg::Matrix covariance() const;
+
+ private:
+  std::size_t count_ = 0;
+  linalg::Vector mean_;
+  linalg::Matrix scatter_;  ///< Σ (x−mean)(x−mean)ᵀ, unnormalized
+  linalg::Vector delta_;    ///< scratch: x − mean before the update
+};
+
+/// The two-class streaming picture: one accumulator per class plus the
+/// bridge onto the TwoClassModel every downstream consumer (fit_lda,
+/// quantize_lda, Fisher cost) already takes.
+class StreamingTwoClass {
+ public:
+  explicit StreamingTwoClass(std::size_t dim)
+      : class_a_(dim), class_b_(dim) {}
+
+  std::size_t dim() const { return class_a_.dim(); }
+  StreamingMoments& class_a() { return class_a_; }
+  StreamingMoments& class_b() { return class_b_; }
+  const StreamingMoments& class_a() const { return class_a_; }
+  const StreamingMoments& class_b() const { return class_b_; }
+
+  /// Samples seen across both classes.
+  std::size_t count() const { return class_a_.count() + class_b_.count(); }
+
+  /// True once both classes have at least `per_class` samples — the
+  /// precondition for model().
+  bool ready(std::size_t per_class = 1) const {
+    return class_a_.count() >= per_class && class_b_.count() >= per_class;
+  }
+
+  void reset() {
+    class_a_.reset();
+    class_b_.reset();
+  }
+
+  /// The Eq. 14 two-class Gaussian model of everything seen so far.
+  /// Requires ready().
+  TwoClassModel model() const;
+
+ private:
+  StreamingMoments class_a_;
+  StreamingMoments class_b_;
+};
+
+}  // namespace ldafp::stats

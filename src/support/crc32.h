@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// check trailing every versioned model file (DESIGN.md §13).
+//
+// The model loader needs to distinguish "this file was damaged in
+// transit" (kBadCrc) from "this file was cut short" (kTruncated), so
+// the checksum covers every byte of the file body and is verified
+// before any section payload is interpreted.  The implementation is the
+// standard table-driven byte-at-a-time loop; `seed` lets callers chain
+// incremental updates (crc32(b, n, crc32(a, m)) == crc32(a||b)).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ldafp::support {
+
+/// CRC-32 of `size` bytes starting at `data`.  `seed` is the running
+/// checksum from a previous call (0 starts a fresh computation); the
+/// pre/post inversion is handled internally, so seeds compose by simply
+/// passing the previous return value.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/// Convenience over a byte vector.
+std::uint32_t crc32(const std::vector<std::uint8_t>& bytes,
+                    std::uint32_t seed = 0);
+
+}  // namespace ldafp::support

@@ -1,0 +1,317 @@
+// Loader robustness: bit-exact round trips across the word-length
+// sweep, and the corruption taxonomy under exhaustive truncation and
+// bit-flip fuzzing — a damaged file is always rejected with its
+// specific code, never a crash, never a silently wrong model.
+#include "model/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hw/rom_image.h"
+#include "support/crc32.h"
+#include "support/rng.h"
+#include "support/wire.h"
+
+namespace ldafp::model {
+namespace {
+
+using linalg::Vector;
+
+/// A classifier with deterministic raw words spread over the format's
+/// range (always grid-representable by construction).
+core::FixedClassifier make_classifier(
+    const fixed::FixedFormat& fmt, std::size_t dim,
+    fixed::RoundingMode mode = fixed::RoundingMode::kNearestEven,
+    fixed::AccumulatorMode acc = fixed::AccumulatorMode::kWide) {
+  const std::int64_t span = fmt.raw_max() - fmt.raw_min() + 1;
+  std::vector<double> weights(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    const std::int64_t raw =
+        fmt.raw_min() + static_cast<std::int64_t>((i * 7919 + 13) % span);
+    weights[i] = fmt.to_real(raw);
+  }
+  const std::int64_t threshold_raw =
+      fmt.raw_min() + static_cast<std::int64_t>(9973 % span);
+  return core::FixedClassifier(fmt, Vector(std::move(weights)),
+                               fmt.to_real(threshold_raw), mode, acc);
+}
+
+TrainingProvenance make_provenance() {
+  TrainingProvenance pv;
+  pv.name = "bci-w6";
+  pv.feature_scale = 0.25;
+  pv.rho = 0.9999;
+  pv.beta = 3.89;
+  pv.cv_accuracy = 0.9625;
+  pv.train_seconds = 12.5;
+  pv.cost = 0.0523;
+  pv.gap = 0.0308;
+  pv.word_length = 6;
+  pv.nodes_processed = 200;
+  pv.relaxations = 354;
+  pv.phase1_skips = 286;
+  pv.newton_iterations = 12564;
+  pv.factorizations = 12519;
+  pv.model_version = 3;
+  return pv;
+}
+
+TEST(ModelIoTest, RoundTripBitIdenticalAcrossFormatsAndModes) {
+  const std::vector<std::pair<int, int>> formats = {
+      {1, 1}, {2, 1}, {2, 2}, {3, 3}, {2, 4}, {4, 4},
+      {3, 5}, {2, 6}, {5, 3}, {2, 10}, {4, 12}};
+  const fixed::RoundingMode roundings[] = {
+      fixed::RoundingMode::kNearestEven, fixed::RoundingMode::kNearestAway,
+      fixed::RoundingMode::kTowardZero, fixed::RoundingMode::kFloor};
+  const fixed::AccumulatorMode accs[] = {fixed::AccumulatorMode::kWide,
+                                         fixed::AccumulatorMode::kNarrow};
+  for (const auto& [k, f] : formats) {
+    for (const fixed::RoundingMode mode : roundings) {
+      for (const fixed::AccumulatorMode acc : accs) {
+        const fixed::FixedFormat fmt(k, f);
+        const core::FixedClassifier original =
+            make_classifier(fmt, 5, mode, acc);
+        const DecodeResult round =
+            decode_model(encode_model({original, make_provenance()}));
+        ASSERT_TRUE(round.ok())
+            << fmt.to_string() << ": " << to_string(round.error);
+        const core::FixedClassifier& loaded = round.model->classifier;
+        ASSERT_EQ(loaded.dim(), original.dim());
+        EXPECT_EQ(loaded.format().integer_bits(), fmt.integer_bits());
+        EXPECT_EQ(loaded.format().frac_bits(), fmt.frac_bits());
+        EXPECT_EQ(loaded.rounding(), mode);
+        EXPECT_EQ(loaded.accumulator(), acc);
+        EXPECT_EQ(loaded.threshold_fixed().raw(),
+                  original.threshold_fixed().raw());
+        for (std::size_t i = 0; i < original.dim(); ++i) {
+          EXPECT_EQ(loaded.weights_fixed()[i].raw(),
+                    original.weights_fixed()[i].raw())
+              << fmt.to_string() << " weight " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ModelIoTest, RoundTripPreservesProvenance) {
+  const TrainingProvenance pv = make_provenance();
+  const DecodeResult round = decode_model(
+      encode_model({make_classifier(fixed::FixedFormat(3, 3), 4), pv}));
+  ASSERT_TRUE(round.ok());
+  const TrainingProvenance& got = round.model->provenance;
+  EXPECT_EQ(got.name, pv.name);
+  EXPECT_EQ(got.feature_scale, pv.feature_scale);
+  EXPECT_EQ(got.rho, pv.rho);
+  EXPECT_EQ(got.beta, pv.beta);
+  EXPECT_EQ(got.cv_accuracy, pv.cv_accuracy);
+  EXPECT_EQ(got.train_seconds, pv.train_seconds);
+  EXPECT_EQ(got.cost, pv.cost);
+  EXPECT_EQ(got.gap, pv.gap);
+  EXPECT_EQ(got.word_length, pv.word_length);
+  EXPECT_EQ(got.nodes_processed, pv.nodes_processed);
+  EXPECT_EQ(got.relaxations, pv.relaxations);
+  EXPECT_EQ(got.phase1_skips, pv.phase1_skips);
+  EXPECT_EQ(got.newton_iterations, pv.newton_iterations);
+  EXPECT_EQ(got.factorizations, pv.factorizations);
+  EXPECT_EQ(got.model_version, pv.model_version);
+}
+
+TEST(ModelIoTest, LoadedModelClassifiesIdentically) {
+  const std::vector<std::pair<int, int>> formats = {
+      {2, 2}, {3, 3}, {2, 6}, {4, 8}};
+  support::Rng rng(77);
+  for (const auto& [k, f] : formats) {
+    const fixed::FixedFormat fmt(k, f);
+    const core::FixedClassifier original = make_classifier(fmt, 6);
+    const DecodeResult round =
+        decode_model(encode_model({original, {}}));
+    ASSERT_TRUE(round.ok());
+    const core::FixedClassifier& loaded = round.model->classifier;
+    const double range = fmt.to_real(fmt.raw_max());
+    for (int trial = 0; trial < 200; ++trial) {
+      Vector x(6);
+      for (std::size_t m = 0; m < 6; ++m) {
+        x[m] = rng.uniform(-1.5 * range, 1.5 * range);
+      }
+      EXPECT_EQ(loaded.classify(x), original.classify(x));
+      EXPECT_EQ(loaded.project(x).raw(), original.project(x).raw());
+    }
+  }
+}
+
+TEST(ModelIoTest, TruncationAtEveryByteOffsetIsTruncated) {
+  const std::vector<std::uint8_t> bytes =
+      encode_model({make_classifier(fixed::FixedFormat(3, 3), 4),
+                    make_provenance()});
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const DecodeResult result = decode_model(bytes.data(), len);
+    EXPECT_EQ(result.error, LoadError::kTruncated) << "prefix length "
+                                                   << len;
+    EXPECT_FALSE(result.model.has_value());
+  }
+}
+
+TEST(ModelIoTest, PayloadAndCrcBitFlipsAreBadCrc) {
+  const std::vector<std::uint8_t> clean =
+      encode_model({make_classifier(fixed::FixedFormat(2, 4), 3),
+                    make_provenance()});
+  // Section payload extents from the known layout: header(8),
+  // section header(8) + payload, section header(8) + payload, crc(4).
+  const std::size_t len1 = support::get_u32le(clean.data() + 12);
+  const std::size_t payload1 = 16;
+  const std::size_t header2 = payload1 + len1;
+  const std::size_t payload2 = header2 + 8;
+  std::vector<std::size_t> offsets;
+  for (std::size_t i = payload1; i < header2; ++i) offsets.push_back(i);
+  for (std::size_t i = payload2; i < clean.size(); ++i) {
+    offsets.push_back(i);  // second payload and the CRC trailer itself
+  }
+  std::vector<std::uint8_t> bytes = clean;
+  for (const std::size_t offset : offsets) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[offset] ^= static_cast<std::uint8_t>(1u << bit);
+      const DecodeResult result = decode_model(bytes);
+      EXPECT_EQ(result.error, LoadError::kBadCrc)
+          << "offset " << offset << " bit " << bit;
+      EXPECT_FALSE(result.model.has_value());
+      bytes[offset] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+  ASSERT_TRUE(decode_model(bytes).ok());  // restored clean
+}
+
+TEST(ModelIoTest, BadMagicIsRejectedBeforeAnythingElse) {
+  std::vector<std::uint8_t> bytes =
+      encode_model({make_classifier(fixed::FixedFormat(3, 3), 4), {}});
+  bytes[0] ^= 0xFF;
+  EXPECT_EQ(decode_model(bytes).error, LoadError::kBadMagic);
+}
+
+TEST(ModelIoTest, VersionSkewIsBadVersion) {
+  std::vector<std::uint8_t> bytes =
+      encode_model({make_classifier(fixed::FixedFormat(3, 3), 4), {}});
+  bytes[4] = 2;  // format_version 2
+  // Version is checked before the CRC, so the stale checksum does not
+  // mask the skew...
+  EXPECT_EQ(decode_model(bytes).error, LoadError::kBadVersion);
+  // ...and a well-formed version-2 file (valid CRC) is still rejected.
+  const std::uint32_t crc = support::crc32(bytes.data(), bytes.size() - 4);
+  bytes.resize(bytes.size() - 4);
+  support::put_u32le(bytes, crc);
+  EXPECT_EQ(decode_model(bytes).error, LoadError::kBadVersion);
+}
+
+std::vector<std::uint8_t> with_fresh_crc(std::vector<std::uint8_t> bytes) {
+  const std::uint32_t crc = support::crc32(bytes.data(), bytes.size() - 4);
+  bytes.resize(bytes.size() - 4);
+  support::put_u32le(bytes, crc);
+  return bytes;
+}
+
+TEST(ModelIoTest, UnknownSectionIdIsBadSection) {
+  std::vector<std::uint8_t> bytes =
+      encode_model({make_classifier(fixed::FixedFormat(3, 3), 4), {}});
+  bytes[8] = 7;  // first section id
+  EXPECT_EQ(decode_model(with_fresh_crc(std::move(bytes))).error,
+            LoadError::kBadSection);
+}
+
+TEST(ModelIoTest, DuplicateSectionIsBadSection) {
+  std::vector<std::uint8_t> bytes =
+      encode_model({make_classifier(fixed::FixedFormat(3, 3), 4), {}});
+  const std::size_t len1 = support::get_u32le(bytes.data() + 12);
+  // Relabel the provenance section as a second classifier section.
+  bytes[16 + len1] =
+      static_cast<std::uint8_t>(SectionId::kClassifier);
+  EXPECT_EQ(decode_model(with_fresh_crc(std::move(bytes))).error,
+            LoadError::kBadSection);
+}
+
+TEST(ModelIoTest, MissingMandatorySectionIsBadSection) {
+  // A structurally valid file holding only the classifier section.
+  const core::FixedClassifier clf =
+      make_classifier(fixed::FixedFormat(3, 3), 4);
+  const std::vector<std::uint8_t> full = encode_model({clf, {}});
+  const std::size_t len1 = support::get_u32le(full.data() + 12);
+  std::vector<std::uint8_t> bytes(full.begin(),
+                                  full.begin() +
+                                      static_cast<std::ptrdiff_t>(16 + len1));
+  bytes[6] = 1;  // section_count
+  bytes[7] = 0;
+  const std::uint32_t crc = support::crc32(bytes.data(), bytes.size());
+  support::put_u32le(bytes, crc);
+  EXPECT_EQ(decode_model(bytes).error, LoadError::kBadSection);
+}
+
+TEST(ModelIoTest, UnaccountedTrailingBytesAreBadSection) {
+  std::vector<std::uint8_t> bytes =
+      encode_model({make_classifier(fixed::FixedFormat(3, 3), 4), {}});
+  bytes.insert(bytes.end() - 4, 0x00);  // one byte no section declares
+  EXPECT_EQ(decode_model(with_fresh_crc(std::move(bytes))).error,
+            LoadError::kBadSection);
+}
+
+TEST(ModelIoTest, SaveLoadRoundTripWithSidecar) {
+  const std::string path = testing::TempDir() + "model_io_test.ldafp";
+  const core::FixedClassifier original =
+      make_classifier(fixed::FixedFormat(2, 4), 4);
+  save_model(path, {original, make_provenance()});
+
+  const DecodeResult loaded = load_model(path);
+  ASSERT_TRUE(loaded.ok()) << to_string(loaded.error);
+  EXPECT_EQ(loaded.model->provenance.name, "bci-w6");
+  for (std::size_t i = 0; i < original.dim(); ++i) {
+    EXPECT_EQ(loaded.model->classifier.weights_fixed()[i].raw(),
+              original.weights_fixed()[i].raw());
+  }
+
+  // The JSON sidecar exists and carries the format header.
+  std::ifstream sidecar(path + ".json");
+  ASSERT_TRUE(sidecar.good());
+  const std::string text((std::istreambuf_iterator<char>(sidecar)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"format_version\""), std::string::npos);
+  EXPECT_NE(text.find("\"weights\""), std::string::npos);
+
+  std::remove(path.c_str());
+  std::remove((path + ".json").c_str());
+}
+
+TEST(ModelIoTest, MissingFileIsIoError) {
+  const DecodeResult result =
+      load_model(testing::TempDir() + "does_not_exist.ldafp");
+  EXPECT_EQ(result.error, LoadError::kIo);
+  EXPECT_FALSE(result.model.has_value());
+}
+
+TEST(ModelIoTest, RomImageParityFromLoadedModel) {
+  // The hardware handoff artifact must not care whether the classifier
+  // came from memory or from a model file: byte-identical ROM text.
+  for (const auto& [k, f] :
+       std::vector<std::pair<int, int>>{{2, 2}, {3, 3}, {2, 6}}) {
+    const core::FixedClassifier original =
+        make_classifier(fixed::FixedFormat(k, f), 5);
+    const DecodeResult round =
+        decode_model(encode_model({original, {}}));
+    ASSERT_TRUE(round.ok());
+    EXPECT_EQ(hw::rom_image_text(round.model->classifier),
+              hw::rom_image_text(original));
+    const hw::RomImage from_loaded =
+        hw::RomImage::from_classifier(round.model->classifier);
+    const hw::RomImage from_original =
+        hw::RomImage::from_classifier(original);
+    EXPECT_EQ(from_loaded.threshold, from_original.threshold);
+    for (std::size_t i = 0; i < from_original.weights.size(); ++i) {
+      EXPECT_EQ(from_loaded.weights[i], from_original.weights[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldafp::model

@@ -1,0 +1,154 @@
+#include "stats/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "stats/descriptive.h"
+#include "support/rng.h"
+
+namespace ldafp::stats {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+std::vector<Vector> gaussian_cloud(std::size_t n, double shift,
+                                   std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<Vector> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector x(3);
+    for (std::size_t m = 0; m < 3; ++m) {
+      x[m] = shift + rng.gaussian();
+    }
+    out.push_back(std::move(x));
+  }
+  return out;
+}
+
+TEST(StreamingMomentsTest, MatchesBatchMeanAndCovariance) {
+  const auto samples = gaussian_cloud(257, 0.5, 11);
+  StreamingMoments moments(3);
+  for (const Vector& x : samples) moments.add(x);
+  ASSERT_EQ(moments.count(), samples.size());
+
+  const Vector batch_mean = sample_mean(samples);
+  const Matrix batch_cov = sample_covariance(samples);
+  const Matrix streaming_cov = moments.covariance();
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_NEAR(moments.mean()[m], batch_mean[m], 1e-12);
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_NEAR(streaming_cov(m, k), batch_cov(m, k), 1e-12);
+    }
+  }
+}
+
+TEST(StreamingMomentsTest, SingleSampleHasZeroCovariance) {
+  StreamingMoments moments(2);
+  moments.add(Vector{1.5, -2.0});
+  EXPECT_EQ(moments.count(), 1u);
+  EXPECT_DOUBLE_EQ(moments.mean()[0], 1.5);
+  EXPECT_DOUBLE_EQ(moments.mean()[1], -2.0);
+  const Matrix cov = moments.covariance();
+  for (std::size_t m = 0; m < 2; ++m) {
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_DOUBLE_EQ(cov(m, k), 0.0);
+    }
+  }
+}
+
+TEST(StreamingMomentsTest, MergeMatchesSequentialAccumulation) {
+  const auto shard_a = gaussian_cloud(100, -1.0, 21);
+  const auto shard_b = gaussian_cloud(37, 2.0, 22);
+
+  StreamingMoments sequential(3);
+  for (const Vector& x : shard_a) sequential.add(x);
+  for (const Vector& x : shard_b) sequential.add(x);
+
+  StreamingMoments left(3);
+  StreamingMoments right(3);
+  for (const Vector& x : shard_a) left.add(x);
+  for (const Vector& x : shard_b) right.add(x);
+  left.merge(right);
+
+  ASSERT_EQ(left.count(), sequential.count());
+  const Matrix merged_cov = left.covariance();
+  const Matrix seq_cov = sequential.covariance();
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_NEAR(left.mean()[m], sequential.mean()[m], 1e-10);
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_NEAR(merged_cov(m, k), seq_cov(m, k), 1e-10);
+    }
+  }
+}
+
+TEST(StreamingMomentsTest, MergeWithEmptySideIsIdentity) {
+  const auto samples = gaussian_cloud(20, 0.0, 31);
+  StreamingMoments filled(3);
+  for (const Vector& x : samples) filled.add(x);
+  const Vector mean_before = filled.mean();
+
+  StreamingMoments empty(3);
+  filled.merge(empty);
+  ASSERT_EQ(filled.count(), samples.size());
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_DOUBLE_EQ(filled.mean()[m], mean_before[m]);
+  }
+
+  StreamingMoments other(3);
+  other.merge(filled);
+  ASSERT_EQ(other.count(), samples.size());
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_DOUBLE_EQ(other.mean()[m], mean_before[m]);
+  }
+}
+
+TEST(StreamingMomentsTest, ResetForgetsEverything) {
+  StreamingMoments moments(2);
+  moments.add(Vector{1.0, 2.0});
+  moments.add(Vector{-3.0, 4.0});
+  moments.reset();
+  EXPECT_EQ(moments.count(), 0u);
+  EXPECT_DOUBLE_EQ(moments.mean()[0], 0.0);
+  EXPECT_DOUBLE_EQ(moments.mean()[1], 0.0);
+}
+
+TEST(StreamingTwoClassTest, ModelMatchesBatchFit) {
+  const auto class_a = gaussian_cloud(80, -1.0, 41);
+  const auto class_b = gaussian_cloud(60, 1.0, 42);
+  StreamingTwoClass stream(3);
+  for (const Vector& x : class_a) stream.class_a().add(x);
+  for (const Vector& x : class_b) stream.class_b().add(x);
+  ASSERT_TRUE(stream.ready());
+
+  const TwoClassModel model = stream.model();
+  const Vector mu_a = sample_mean(class_a);
+  const Vector mu_b = sample_mean(class_b);
+  const Matrix sigma_a = sample_covariance(class_a);
+  const Matrix sigma_b = sample_covariance(class_b);
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_NEAR(model.class_a.mu()[m], mu_a[m], 1e-12);
+    EXPECT_NEAR(model.class_b.mu()[m], mu_b[m], 1e-12);
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_NEAR(model.class_a.sigma()(m, k), sigma_a(m, k), 1e-12);
+      EXPECT_NEAR(model.class_b.sigma()(m, k), sigma_b(m, k), 1e-12);
+    }
+  }
+}
+
+TEST(StreamingTwoClassTest, ReadyNeedsBothClasses) {
+  StreamingTwoClass stream(2);
+  EXPECT_FALSE(stream.ready());
+  stream.class_a().add(Vector{1.0, 0.0});
+  EXPECT_FALSE(stream.ready());
+  stream.class_b().add(Vector{-1.0, 0.0});
+  EXPECT_TRUE(stream.ready());
+  EXPECT_FALSE(stream.ready(2));
+}
+
+}  // namespace
+}  // namespace ldafp::stats

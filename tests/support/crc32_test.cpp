@@ -1,0 +1,52 @@
+#include "support/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ldafp::support {
+namespace {
+
+std::uint32_t crc_of(const std::string& s, std::uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(crc_of("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc_of(""), 0u);
+  EXPECT_EQ(crc_of("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc_of("abc"), 0x352441C2u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementalUpdates) {
+  const std::string whole = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t cut = 0; cut <= whole.size(); ++cut) {
+    const std::string head = whole.substr(0, cut);
+    const std::string tail = whole.substr(cut);
+    EXPECT_EQ(crc_of(tail, crc_of(head)), crc_of(whole)) << "cut " << cut;
+  }
+}
+
+TEST(Crc32Test, VectorOverloadMatchesPointerOverload) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0xFF, 0x12, 0x34, 0x56};
+  EXPECT_EQ(crc32(bytes), crc32(bytes.data(), bytes.size()));
+  EXPECT_EQ(crc32(std::vector<std::uint8_t>{}), 0u);
+}
+
+TEST(Crc32Test, SingleBitFlipChangesChecksum) {
+  std::vector<std::uint8_t> bytes(64, 0xA5);
+  const std::uint32_t clean = crc32(bytes);
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc32(bytes), clean) << "byte " << byte << " bit " << bit;
+      bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldafp::support
