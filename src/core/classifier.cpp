@@ -1,5 +1,8 @@
 #include "core/classifier.h"
 
+#include <algorithm>
+
+#include "fixed/simd.h"
 #include "support/error.h"
 
 namespace ldafp::core {
@@ -28,10 +31,13 @@ FixedClassifier::FixedClassifier(fixed::FixedFormat fmt,
   LDAFP_CHECK(weights.size() > 0, "classifier needs at least one weight");
   weights_.reserve(weights.size());
   for (std::size_t m = 0; m < weights.size(); ++m) {
-    LDAFP_CHECK(fmt_.representable(weights[m]),
-                "weight is not representable in the classifier format; "
-                "quantize explicitly first");
-    weights_.push_back(fixed::Fixed::from_real_saturate(fmt_, weights[m]));
+    // Quantized with the classifier's rounding mode, exactly like the
+    // threshold above.  Trained weights are already on the QK.F grid
+    // (Eq. 13) and pass through bit-exactly under every mode; off-grid
+    // weights land on the same word the ROM emitter and BatchScorer
+    // snapshot, so all scoring paths stay in agreement.
+    weights_.push_back(fixed::Fixed::from_real_saturate(fmt_, weights[m],
+                                                        mode_));
   }
 }
 
@@ -55,20 +61,49 @@ std::vector<Label> FixedClassifier::classify_batch(
     const std::vector<linalg::Vector>& xs, fixed::DotDiagnostics* diag) const {
   std::vector<Label> out;
   out.reserve(xs.size());
-  // One scratch buffer for the quantized features, refilled in place per
-  // sample; the weights were quantized once at construction.
-  std::vector<fixed::Fixed> xq;
-  xq.reserve(dim());
-  for (const linalg::Vector& x : xs) {
-    LDAFP_CHECK(x.size() == dim(), "classify_batch dimension mismatch");
-    xq.clear();
-    for (std::size_t m = 0; m < x.size(); ++m) {
-      xq.push_back(fixed::Fixed::from_real_saturate(fmt_, x[m], mode_));
+  if (diag != nullptr) {
+    // Diagnostics need the instrumented per-sample datapath; one scratch
+    // buffer for the quantized features, refilled in place per sample.
+    std::vector<fixed::Fixed> xq;
+    xq.reserve(dim());
+    for (const linalg::Vector& x : xs) {
+      LDAFP_CHECK(x.size() == dim(), "classify_batch dimension mismatch");
+      xq.clear();
+      for (std::size_t m = 0; m < x.size(); ++m) {
+        xq.push_back(fixed::Fixed::from_real_saturate(fmt_, x[m], mode_));
+      }
+      const fixed::Fixed y = fixed::dot_datapath(weights_, xq, fmt_, mode_,
+                                                 acc_, diag);
+      out.push_back(y.raw() >= threshold_.raw() ? Label::kClassA
+                                                : Label::kClassB);
     }
-    const fixed::Fixed y = fixed::dot_datapath(weights_, xq, fmt_, mode_,
-                                               acc_, diag);
-    out.push_back(y.raw() >= threshold_.raw() ? Label::kClassA
-                                              : Label::kClassB);
+    return out;
+  }
+  // Hot path: quantize into one AoSoA tile and run the vector kernels
+  // (bit-identical to the loop above — DESIGN.md §14).
+  namespace simd = fixed::simd;
+  std::vector<std::int64_t> weight_words;
+  weight_words.reserve(dim());
+  for (const fixed::Fixed& w : weights_) weight_words.push_back(w.raw());
+  const simd::DotPlan plan =
+      simd::make_plan(weight_words.data(), dim(), fmt_, mode_, acc_);
+  const std::int64_t threshold_raw = threshold_.raw();
+  std::vector<std::int64_t> tile(dim() * simd::kLane, 0);
+  std::int64_t y[simd::kLane];
+  for (std::size_t base = 0; base < xs.size(); base += simd::kLane) {
+    const std::size_t lanes = std::min(simd::kLane, xs.size() - base);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const linalg::Vector& x = xs[base + lane];
+      LDAFP_CHECK(x.size() == dim(), "classify_batch dimension mismatch");
+      for (std::size_t m = 0; m < dim(); ++m) {
+        tile[m * simd::kLane + lane] = fmt_.quantize_saturate(x[m], mode_);
+      }
+    }
+    simd::score_tile(plan, tile.data(), y, lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      out.push_back(y[lane] >= threshold_raw ? Label::kClassA
+                                             : Label::kClassB);
+    }
   }
   return out;
 }

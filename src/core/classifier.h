@@ -46,11 +46,12 @@ class LinearClassifier {
 /// Fixed-point linear classifier executing the on-chip datapath.
 class FixedClassifier {
  public:
-  /// Builds from *already grid-representable* weights and a real
-  /// threshold (quantized internally with saturation).  Throws
-  /// InvalidArgumentError when a weight is not representable in `fmt` —
-  /// quantize first (fixed::snap_to_grid) so the caller owns that
-  /// rounding decision.
+  /// Builds from real weights and a real threshold, both quantized
+  /// internally with saturation under the classifier's rounding `mode`
+  /// (the same words the ROM emitter and the serving BatchScorer see).
+  /// Trained weights are already on the QK.F grid (Eq. 13) and pass
+  /// through bit-exactly under every mode; callers that must own the
+  /// rounding decision quantize first (fixed::snap_to_grid).
   FixedClassifier(fixed::FixedFormat fmt, const linalg::Vector& weights,
                   double threshold,
                   fixed::RoundingMode mode = fixed::RoundingMode::kNearestEven,
@@ -81,10 +82,10 @@ class FixedClassifier {
                  fixed::DotDiagnostics* diag = nullptr) const;
 
   /// Batched decision rule: classifies every sample with the identical
-  /// datapath (bit-for-bit equal to calling classify per sample), reusing
-  /// one quantization scratch buffer across the batch so steady-state
-  /// scoring allocates nothing per sample.  Diagnostics, when requested,
-  /// aggregate over the whole batch.
+  /// datapath (bit-for-bit equal to calling classify per sample).  With
+  /// no diagnostics requested the batch runs on the vectorized scoring
+  /// kernels (fixed/simd.h); with diagnostics it takes the instrumented
+  /// per-sample datapath, aggregating events over the whole batch.
   std::vector<Label> classify_batch(const std::vector<linalg::Vector>& xs,
                                     fixed::DotDiagnostics* diag =
                                         nullptr) const;

@@ -54,8 +54,12 @@ Fixed dot_wide(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
                const FixedFormat& fmt, RoundingMode mode,
                DotDiagnostics* diag) {
   const FixedFormat wide(fmt.integer_bits(), 2 * fmt.frac_bits());
-  std::int64_t acc = 0;        // wide raw, scale 2^-2F, wrapped
-  std::int64_t exact_sum = 0;  // unwrapped, same scale
+  std::int64_t acc = 0;  // wide raw, scale 2^-2F, wrapped
+  // Unwrapped exact sum at the same scale, for the final-overflow
+  // diagnostic.  Products reach 2^(2W-2) <= 2^60, so an int64 running
+  // sum could itself overflow after a handful of terms on the widest
+  // legal formats — keep the diagnostic in 128 bits.
+  __int128 exact_sum = 0;
   for (std::size_t m = 0; m < w.size(); ++m) {
     const std::int64_t product = w[m].raw() * x[m].raw();  // scale 2^-2F
     if (diag != nullptr &&
@@ -86,6 +90,13 @@ Fixed dot_datapath(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
   LDAFP_CHECK(w.size() == x.size(), "dot_datapath dimension mismatch");
   LDAFP_CHECK(fmt.integer_bits() + 2 * fmt.frac_bits() <= 62,
               "dot_datapath requires K + 2F <= 62");
+  // Signed-overflow envelope: a raw product needs 2W-1 bits, and the
+  // wrapped wide accumulator plus one product needs K+2F+1 more head
+  // room; W <= 31 together with K+2F <= 62 keeps every intermediate
+  // inside int64 (same bound as Fixed::mul_wrap).
+  LDAFP_CHECK(fmt.word_length() <= 31,
+              "dot_datapath limited to word lengths <= 31 bits "
+              "(raw products must fit int64)");
   for (std::size_t m = 0; m < w.size(); ++m) {
     LDAFP_CHECK(w[m].format() == fmt && x[m].format() == fmt,
                 "dot_datapath format mismatch");

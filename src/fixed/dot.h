@@ -52,8 +52,11 @@ struct DotDiagnostics {
 };
 
 /// Computes the on-chip dot product of two already-quantized word
-/// sequences.  Formats of all words must equal `fmt`, and
-/// fmt.integer_bits() + 2*fmt.frac_bits() must stay <= 62.
+/// sequences.  Formats of all words must equal `fmt`; the format must
+/// satisfy fmt.word_length() <= 31 and
+/// fmt.integer_bits() + 2*fmt.frac_bits() <= 62 so every raw product
+/// and wrapped accumulator step fits int64 (checked, see the
+/// signed-overflow audit in tests/fixed/dot_test.cpp).
 Fixed dot_datapath(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
                    const FixedFormat& fmt,
                    RoundingMode mode = RoundingMode::kNearestEven,

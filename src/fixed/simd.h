@@ -1,0 +1,131 @@
+// Portable SIMD kernels for the batch-scoring hot path (DESIGN.md §14).
+//
+// The serving path evaluates y_r = Σ_m w_m · x_{r,m} on the QK.F MAC
+// datapath for whole batches of samples.  Because fixed-point inference
+// is exact integer math, the kernel can be vectorized across samples
+// with zero numerical risk: each vector lane executes the same integer
+// operation sequence the scalar datapath executes for one sample, so
+// lanes cannot change results.  The tests assert bit-identity between
+// every compiled backend and the scalar reference across the full
+// FixedFormat × RoundingMode × AccumulatorMode sweep.
+//
+// Layout: batches are packed AoSoA — tiles of kLane samples, feature-
+// major within a tile (word (r, m) lives at tile[m * kLane + r % kLane]).
+// One tile is the unit of work; a kernel call scores kLane samples.
+// kLane is a fixed layout constant (not the vector width of the chosen
+// backend) so packed buffers are identical on every architecture.
+//
+// Wrap deferral: the scalar datapath wraps the accumulator into its
+// register width after every addition.  Two's-complement wrapping is
+// reduction mod 2^W, and modular reduction commutes with addition, so
+// the wraps can all be deferred to one final reduction — provided the
+// unwrapped int64 sum cannot overflow (which would be UB, not wrapping).
+// make_plan() decides this per classifier (DotPlan::defer_safe) from the
+// word length and feature count; when deferral is not provably safe the
+// dispatcher falls back to the per-step-wrap scalar reference, keeping
+// the vector path exact-by-construction everywhere it runs.
+//
+// Backends: AVX2 (x86-64, runtime-detected), NEON (aarch64), scalar.
+// Dispatch picks the best compiled+supported backend once; tests and the
+// CI scalar-fallback leg can force a backend with set_backend_override()
+// or the LDAFP_SIMD environment variable (scalar|avx2|neon|auto).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fixed/dot.h"
+#include "fixed/format.h"
+
+namespace ldafp::fixed::simd {
+
+/// AoSoA tile width in samples.  A layout constant shared by every
+/// backend: AVX2 runs a tile as two 4×int64 vectors, NEON as four
+/// 2×int64 vectors, scalar as a lane loop.
+inline constexpr std::size_t kLane = 8;
+
+/// Kernel implementation selected at runtime.
+enum class Backend { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// Short display name ("scalar"/"avx2"/"neon").
+const char* to_string(Backend backend);
+
+/// True when `backend` was compiled in and the CPU supports it.
+bool backend_available(Backend backend);
+
+/// The backend score_tile dispatches to (override > LDAFP_SIMD env >
+/// best detected).
+Backend active_backend();
+
+/// Forces a backend for this process (test / bench hook).  Throws
+/// InvalidArgumentError when the backend is unavailable.
+void set_backend_override(Backend backend);
+
+/// Returns dispatch to automatic detection.
+void clear_backend_override();
+
+/// Immutable description of one classifier's dot kernel.  Holds a
+/// borrowed pointer to the weight words — build one per score call (it
+/// is a handful of ints); do not store it past the weights' lifetime.
+struct DotPlan {
+  const std::int64_t* weights = nullptr;  ///< dim raw QK.F words
+  std::size_t dim = 0;
+  int frac_bits = 0;         ///< F
+  int word_length = 0;       ///< W = K + F
+  int wide_word_length = 0;  ///< K + 2F, the wide accumulator register
+  RoundingMode mode = RoundingMode::kNearestEven;
+  AccumulatorMode acc = AccumulatorMode::kWide;
+  /// True when every intermediate wrap may be deferred to the end of
+  /// the reduction without risking int64 overflow (see file comment).
+  bool defer_safe = false;
+};
+
+/// Validates the format against the scoring datapath's integer-overflow
+/// envelope and precomputes the wrap-deferral decision.  Throws
+/// InvalidArgumentError unless W <= 31 and K + 2F <= 62 (the bounds
+/// under which every raw product and wrapped accumulator step fits
+/// int64 — see the signed-overflow audit in tests/fixed/dot_test.cpp).
+DotPlan make_plan(const std::int64_t* weights, std::size_t dim,
+                  const FixedFormat& fmt, RoundingMode mode,
+                  AccumulatorMode acc);
+
+/// Scores `lanes` (1..kLane) samples of one AoSoA tile into y[0..lanes).
+/// `x` holds dim * kLane words, feature-major; y receives the QK.F
+/// projection words after the datapath's final rounding and wrap.
+/// Vector backends run only full tiles (lanes == kLane) with
+/// defer_safe plans; everything else takes the scalar reference, so
+/// results are bit-identical to FixedClassifier::classify per sample
+/// no matter which backend is active.
+void score_tile(const DotPlan& plan, const std::int64_t* x, std::int64_t* y,
+                std::size_t lanes = kLane);
+
+/// The per-step-wrap scalar reference (exactly the fixed::dot_datapath
+/// sequence).  Always available; exposed so tests can pin the baseline.
+void score_tile_scalar(const DotPlan& plan, const std::int64_t* x,
+                       std::int64_t* y, std::size_t lanes = kLane);
+
+/// Wraps a value into W-bit two's complement (sign-extended
+/// representative), the hardware register/adder behaviour.  Same
+/// function as FixedFormat::wrap_raw, available without a format object
+/// so kernels can call it on hot paths.
+constexpr std::int64_t wrap_word(std::int64_t v, int word_length) {
+  const int shift = 64 - word_length;
+  // C++20 guarantees arithmetic right shift on signed types; the left
+  // shift goes through uint64 to avoid signed-overflow UB.
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(v) << shift) >>
+         shift;
+}
+
+#if defined(LDAFP_HAVE_AVX2)
+/// AVX2 kernel (full defer_safe tiles only; compiled with -mavx2 in its
+/// own TU, called only after a runtime CPU check).
+void score_tile_avx2(const DotPlan& plan, const std::int64_t* x,
+                     std::int64_t* y);
+#endif
+#if defined(LDAFP_HAVE_NEON)
+/// NEON kernel (full defer_safe tiles only).
+void score_tile_neon(const DotPlan& plan, const std::int64_t* x,
+                     std::int64_t* y);
+#endif
+
+}  // namespace ldafp::fixed::simd

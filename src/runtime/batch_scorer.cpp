@@ -1,30 +1,77 @@
 #include "runtime/batch_scorer.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "fixed/value.h"
 #include "support/error.h"
 
 namespace ldafp::runtime {
+
+namespace simd = fixed::simd;
 
 BatchScorer::BatchScorer(const core::FixedClassifier& clf)
     : fmt_(clf.format()),
       wide_fmt_(clf.format().integer_bits(), 2 * clf.format().frac_bits()),
       mode_(clf.rounding()),
       acc_(clf.accumulator()),
-      threshold_raw_(clf.threshold_fixed().raw()) {
+      threshold_raw_(clf.threshold_fixed().raw()),
+      q_scale_(std::ldexp(1.0, clf.format().frac_bits())),
+      q_min_(clf.format().min_value()),
+      q_max_(clf.format().max_value()),
+      raw_min_(clf.format().raw_min()),
+      raw_max_(clf.format().raw_max()) {
   weights_raw_.reserve(clf.dim());
   for (const fixed::Fixed& w : clf.weights_fixed()) {
     weights_raw_.push_back(w.raw());
   }
+  // Validate the integer-overflow envelope once at snapshot time (the
+  // same checks make_plan applies per score call).
+  simd::make_plan(weights_raw_.data(), weights_raw_.size(), fmt_, mode_,
+                  acc_);
+}
+
+std::int64_t BatchScorer::quantize(double v) const {
+  LDAFP_CHECK(!std::isnan(v), "cannot quantize NaN");
+  // Mirrors FixedFormat::quantize_saturate with the constants hoisted
+  // out of the per-element path.  v * 2^F is exact for in-range v (a
+  // power-of-two scale only shifts the exponent), so the rounding step
+  // sees the identical double ldexp would produce.
+  if (v <= q_min_) return raw_min_;
+  if (v >= q_max_) return raw_max_;
+  const std::int64_t raw = fixed::round_real_to_int(v * q_scale_, mode_);
+  if (raw < raw_min_) return raw_min_;
+  if (raw > raw_max_) return raw_max_;
+  return raw;
 }
 
 void BatchScorer::pack_into(PackedBatch& out, const linalg::Vector* xs,
                             std::size_t n) const {
-  out.dim = dim();
-  out.words.reserve(out.words.size() + n * dim());
+  constexpr std::size_t kLane = PackedBatch::kLane;
+  if (out.rows == 0) {
+    // Latch the layout on first pack; a cleared batch keeps its word
+    // capacity but re-latches.
+    out.dim = dim();
+    out.words.clear();
+  } else {
+    LDAFP_CHECK(out.dim == dim(),
+                "pack_into: batch already packed at a different dim");
+  }
+  const std::size_t m_count = dim();
+  out.words.reserve(((out.rows + n + kLane - 1) / kLane) * m_count * kLane);
   for (std::size_t r = 0; r < n; ++r) {
-    LDAFP_CHECK(xs[r].size() == dim(), "batch scorer dimension mismatch");
-    for (std::size_t m = 0; m < dim(); ++m) {
-      out.words.push_back(fmt_.quantize_saturate(xs[r][m], mode_));
+    LDAFP_CHECK(xs[r].size() == m_count, "batch scorer dimension mismatch");
+    const std::size_t row = out.rows + r;
+    if (row % kLane == 0) {
+      // New zero-padded tile; padding lanes stay zero (harmless words
+      // that the kernels may read but whose results are never used).
+      out.words.resize(out.words.size() + m_count * kLane, 0);
+    }
+    std::int64_t* tile =
+        out.words.data() + (row / kLane) * m_count * kLane;
+    const std::size_t lane = row % kLane;
+    for (std::size_t m = 0; m < m_count; ++m) {
+      tile[m * kLane + lane] = quantize(xs[r][m]);
     }
   }
   out.rows += n;
@@ -37,35 +84,22 @@ PackedBatch BatchScorer::pack(const std::vector<linalg::Vector>& xs) const {
 }
 
 void BatchScorer::score(const PackedBatch& batch, ScoreResult* out) const {
+  if (batch.rows == 0) return;
   LDAFP_CHECK(batch.dim == dim(), "batch scorer dimension mismatch");
-  const std::size_t m_count = dim();
-  const std::int64_t* w = weights_raw_.data();
-  for (std::size_t r = 0; r < batch.rows; ++r) {
-    const std::int64_t* x = batch.row(r);
-    std::int64_t y_raw;
-    if (acc_ == fixed::AccumulatorMode::kWide) {
-      // Mirrors fixed::dot_wide: exact products at scale 2^-2F, wrapping
-      // accumulation in the K.2F register, one final rounding to QK.F.
-      std::int64_t acc = 0;
-      for (std::size_t m = 0; m < m_count; ++m) {
-        acc = wide_fmt_.wrap_raw(acc + w[m] * x[m]);
-      }
-      y_raw = fmt_.wrap_raw(
-          fixed::Fixed::narrow_raw(acc, fmt_.frac_bits(), mode_));
-    } else {
-      // Mirrors fixed::dot_narrow: every product rounded to QK.F and
-      // wrapped, accumulator wraps in QK.F.
-      std::int64_t acc = 0;
-      for (std::size_t m = 0; m < m_count; ++m) {
-        const std::int64_t prod = fmt_.wrap_raw(
-            fixed::Fixed::narrow_raw(w[m] * x[m], fmt_.frac_bits(), mode_));
-        acc = fmt_.wrap_raw(acc + prod);
-      }
-      y_raw = acc;
+  constexpr std::size_t kLane = PackedBatch::kLane;
+  const simd::DotPlan plan =
+      simd::make_plan(weights_raw_.data(), dim(), fmt_, mode_, acc_);
+  std::int64_t y[kLane];
+  for (std::size_t t = 0; t < batch.tiles(); ++t) {
+    const std::size_t base = t * kLane;
+    const std::size_t lanes = std::min(kLane, batch.rows - base);
+    simd::score_tile(plan, batch.tile(t), y, lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      out[base + lane].projection_raw = y[lane];
+      out[base + lane].label = y[lane] >= threshold_raw_
+                                   ? core::Label::kClassA
+                                   : core::Label::kClassB;
     }
-    out[r].projection_raw = y_raw;
-    out[r].label = y_raw >= threshold_raw_ ? core::Label::kClassA
-                                           : core::Label::kClassB;
   }
 }
 

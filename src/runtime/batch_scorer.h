@@ -3,12 +3,16 @@
 // A BatchScorer snapshots a trained core::FixedClassifier into raw
 // integer form once — weight words, threshold word, format constants —
 // then scores whole batches of feature vectors over a contiguous packed
-// buffer.  The arithmetic replays fixed::dot_datapath step for step
-// (same product narrowing, same wrapping accumulator, same final
-// rounding), so every label and projection is bit-identical to calling
-// FixedClassifier::classify sample by sample; the batch path only
-// removes the per-call allocations and per-element format re-checks.
-// tests/runtime/batch_scorer_test.cpp holds the cross-check.
+// buffer using the vectorized kernels in fixed/simd.h (AVX2/NEON with a
+// runtime-dispatched scalar fallback).  The arithmetic replays
+// fixed::dot_datapath step for step (same product narrowing, same
+// wrapping accumulator, same final rounding), so every label and
+// projection is bit-identical to calling FixedClassifier::classify
+// sample by sample no matter which kernel backend is active; the batch
+// path only removes the per-call allocations, per-element format
+// re-checks, and the scalar one-sample-at-a-time MAC.
+// tests/runtime/batch_scorer_test.cpp and
+// tests/runtime/simd_identity_test.cpp hold the cross-checks.
 //
 // Const methods are thread-safe: a scorer is immutable after
 // construction, which is what lets the serving engine share one
@@ -21,20 +25,38 @@
 #include "core/classifier.h"
 #include "fixed/dot.h"
 #include "fixed/format.h"
+#include "fixed/simd.h"
 #include "linalg/vector.h"
 
 namespace ldafp::runtime {
 
-/// Feature vectors quantized into one contiguous row-major buffer of
-/// raw QK.F words.  Reused across scoring calls to keep the hot path
-/// allocation-free once the buffer has grown to the working batch size.
+/// Feature vectors quantized into one contiguous AoSoA buffer of raw
+/// QK.F words: tiles of fixed::simd::kLane samples, feature-major
+/// within a tile, so one vector load reads the same feature of kLane
+/// consecutive samples.  Partial trailing tiles are zero-padded.
+/// Reused across scoring calls to keep the hot path allocation-free
+/// once the buffer has grown to the working batch size.
 struct PackedBatch {
-  std::size_t rows = 0;
-  std::size_t dim = 0;
-  std::vector<std::int64_t> words;  ///< rows * dim raw words, row-major
+  static constexpr std::size_t kLane = fixed::simd::kLane;
 
-  const std::int64_t* row(std::size_t r) const { return words.data() + r * dim; }
-  void clear() { rows = 0; words.clear(); }
+  std::size_t rows = 0;
+  std::size_t dim = 0;  ///< latched from the first pack_into
+  std::vector<std::int64_t> words;  ///< tiles() * dim * kLane raw words
+
+  std::size_t tiles() const { return (rows + kLane - 1) / kLane; }
+  /// Start of tile t: dim * kLane words, feature-major.
+  const std::int64_t* tile(std::size_t t) const {
+    return words.data() + t * dim * kLane;
+  }
+  /// Raw word of sample r, feature m (test/debug accessor).
+  std::int64_t word(std::size_t r, std::size_t m) const {
+    return words[((r / kLane) * dim + m) * kLane + (r % kLane)];
+  }
+  void clear() {
+    rows = 0;
+    dim = 0;
+    words.clear();
+  }
 };
 
 /// One scored sample: the decision plus the W-bit projection word the
@@ -49,6 +71,8 @@ class BatchScorer {
  public:
   /// Snapshots the classifier's quantized words (no re-quantization —
   /// the exact bits are copied via FixedClassifier::weights_fixed).
+  /// Throws InvalidArgumentError when the format exceeds the scoring
+  /// datapath's integer envelope (W <= 31, K + 2F <= 62).
   explicit BatchScorer(const core::FixedClassifier& clf);
 
   std::size_t dim() const { return weights_raw_.size(); }
@@ -57,7 +81,9 @@ class BatchScorer {
 
   /// Quantizes `n` feature vectors (saturating, as the classifier's
   /// preprocessing prescribes) into `out`, appending after out.rows.
-  /// Throws InvalidArgumentError on a dimension mismatch.
+  /// The batch's dim is latched on the first pack; appending from a
+  /// scorer of a different dim throws InvalidArgumentError, as does a
+  /// per-sample dimension mismatch.
   void pack_into(PackedBatch& out, const linalg::Vector* xs,
                  std::size_t n) const;
 
@@ -76,12 +102,23 @@ class BatchScorer {
   std::vector<core::Label> classify(const std::vector<linalg::Vector>& xs) const;
 
  private:
+  /// fmt_.quantize_saturate(v, mode_) with the scale and limits cached
+  /// (bit-identical: scaling by an exact power of two commutes with the
+  /// rounding step; asserted in tests/runtime/batch_scorer_test.cpp).
+  std::int64_t quantize(double v) const;
+
   fixed::FixedFormat fmt_;
   fixed::FixedFormat wide_fmt_;  ///< K integer + 2F fractional bits
   fixed::RoundingMode mode_;
   fixed::AccumulatorMode acc_;
   std::vector<std::int64_t> weights_raw_;
   std::int64_t threshold_raw_ = 0;
+  // Cached quantizer constants.
+  double q_scale_ = 1.0;  ///< 2^F, exact
+  double q_min_ = 0.0;    ///< fmt_.min_value()
+  double q_max_ = 0.0;    ///< fmt_.max_value()
+  std::int64_t raw_min_ = 0;
+  std::int64_t raw_max_ = 0;
 };
 
 }  // namespace ldafp::runtime

@@ -26,13 +26,59 @@ TEST(LinearClassifierTest, RejectsEmptyWeights) {
                ldafp::InvalidArgumentError);
 }
 
-TEST(FixedClassifierTest, RequiresRepresentableWeights) {
+TEST(FixedClassifierTest, RejectsEmptyWeights) {
   const fixed::FixedFormat fmt(2, 2);
   EXPECT_NO_THROW(FixedClassifier(fmt, Vector{0.25, -1.0}, 0.0));
-  EXPECT_THROW(FixedClassifier(fmt, Vector{0.3}, 0.0),
-               ldafp::InvalidArgumentError);
   EXPECT_THROW(FixedClassifier(fmt, Vector{}, 0.0),
                ldafp::InvalidArgumentError);
+}
+
+// Regression (pre-fix: the constructor quantized weights without the
+// classifier's rounding mode while the threshold honored it, and threw
+// on off-grid weights instead of quantizing them like the threshold).
+// Round-to-nearest vs truncate must land off-grid weights on different
+// words, each exactly the word fmt.quantize_saturate picks.
+TEST(FixedClassifierTest, WeightQuantizationHonorsRoundingMode) {
+  const fixed::FixedFormat fmt(2, 2);  // grid step 0.25
+  const Vector w{0.19, -0.3};
+  for (const auto mode :
+       {fixed::RoundingMode::kNearestEven, fixed::RoundingMode::kNearestAway,
+        fixed::RoundingMode::kTowardZero, fixed::RoundingMode::kFloor}) {
+    const FixedClassifier clf(fmt, w, 0.0, mode);
+    for (std::size_t m = 0; m < w.size(); ++m) {
+      EXPECT_EQ(clf.weights_fixed()[m].raw(),
+                fmt.quantize_saturate(w[m], mode))
+          << fixed::to_string(mode) << " weight " << m;
+    }
+  }
+  // 0.19*4 = 0.76, -0.3*4 = -1.2: nearest rounds to {1, -1}, truncation
+  // to {0, -1}, floor to {0, -2} — the modes genuinely diverge.
+  EXPECT_EQ(FixedClassifier(fmt, w, 0.0, fixed::RoundingMode::kNearestEven)
+                .weights_fixed()[0].raw(), 1);
+  EXPECT_EQ(FixedClassifier(fmt, w, 0.0, fixed::RoundingMode::kTowardZero)
+                .weights_fixed()[0].raw(), 0);
+  EXPECT_EQ(FixedClassifier(fmt, w, 0.0, fixed::RoundingMode::kFloor)
+                .weights_fixed()[1].raw(), -2);
+}
+
+// On-grid weights (the trained case, Eq. 13) pass through bit-exactly
+// under every rounding mode, so training-side behaviour is unchanged.
+TEST(FixedClassifierTest, GridWeightsAreModeInvariant) {
+  const fixed::FixedFormat fmt(3, 4);
+  support::Rng rng(17);
+  Vector w(6);
+  for (std::size_t m = 0; m < w.size(); ++m) {
+    w[m] = fmt.to_real(rng.uniform_int(fmt.raw_min(), fmt.raw_max()));
+  }
+  const FixedClassifier ref(fmt, w, 0.0, fixed::RoundingMode::kNearestEven);
+  for (const auto mode :
+       {fixed::RoundingMode::kNearestAway, fixed::RoundingMode::kTowardZero,
+        fixed::RoundingMode::kFloor}) {
+    const FixedClassifier clf(fmt, w, 0.0, mode);
+    for (std::size_t m = 0; m < w.size(); ++m) {
+      EXPECT_EQ(clf.weights_fixed()[m].raw(), ref.weights_fixed()[m].raw());
+    }
+  }
 }
 
 TEST(FixedClassifierTest, WeightsRoundTrip) {

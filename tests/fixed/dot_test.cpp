@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "support/error.h"
 #include "support/rng.h"
 
 namespace ldafp::fixed {
@@ -148,6 +149,36 @@ TEST(DotTest, NarrowEqualsSumOfRoundedProducts) {
     }
     EXPECT_DOUBLE_EQ(y.to_real(), manual);
   }
+}
+
+// Signed-overflow audit (DESIGN.md §14): raw products need 2W-1 bits,
+// so the datapath rejects word lengths past 31 even when K + 2F alone
+// would pass — pre-audit, Q40.10 (K+2F = 60) reached w*x as silent UB.
+TEST(DotTest, RejectsWordLengthsWhoseProductsOverflowInt64) {
+  const FixedFormat fmt(40, 10);
+  const std::vector<Fixed> w = {Fixed::from_raw(fmt, 1)};
+  const std::vector<Fixed> x = {Fixed::from_raw(fmt, 1)};
+  EXPECT_THROW(dot_datapath(w, x, fmt), ldafp::InvalidArgumentError);
+}
+
+// The final-overflow diagnostic accumulates the unwrapped exact sum; on
+// the widest legal formats that sum exceeds int64 after a few maximal
+// products (8 * 2^60 = 2^63).  Pre-audit this was UB in the diagnostic
+// itself (caught by the UBSan preset); now it must simply report the
+// Eq. 20 violation.
+TEST(DotTest, FinalOverflowDiagnosticSurvivesWidestLegalFormat) {
+  const FixedFormat fmt(2, 29);  // W = 31, K + 2F = 60
+  std::vector<Fixed> w;
+  std::vector<Fixed> x;
+  for (int i = 0; i < 8; ++i) {
+    w.push_back(Fixed::from_raw(fmt, fmt.raw_min()));  // -2^30
+    x.push_back(Fixed::from_raw(fmt, fmt.raw_min()));  // product = 2^60
+  }
+  DotDiagnostics diag;
+  dot_datapath(w, x, fmt, RoundingMode::kNearestEven, AccumulatorMode::kWide,
+               &diag);
+  EXPECT_TRUE(diag.final_overflow);
+  EXPECT_EQ(diag.product_overflows, 8);
 }
 
 TEST(DotTest, QuantizeAndToRealRoundTrip) {

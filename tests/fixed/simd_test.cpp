@@ -1,0 +1,114 @@
+// Kernel-level checks of fixed/simd.h: wrap_word against the format
+// wrap, plan validation/deferral decisions, and tile scoring on raw
+// words pitted against an independent per-step reference — one level
+// below the classifier plumbing that tests/runtime/simd_identity_test
+// sweeps.
+#include "fixed/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fixed/value.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ldafp::fixed::simd {
+namespace {
+
+TEST(SimdTest, WrapWordMatchesFormatWrapRaw) {
+  support::Rng rng(5);
+  for (const auto& fmt : {FixedFormat(2, 2), FixedFormat(3, 5),
+                          FixedFormat(2, 29), FixedFormat(31, 0)}) {
+    const int wide_w = fmt.integer_bits() + 2 * fmt.frac_bits();
+    const FixedFormat wide(fmt.integer_bits(), 2 * fmt.frac_bits());
+    for (int trial = 0; trial < 2000; ++trial) {
+      const std::int64_t v =
+          rng.uniform_int(std::int64_t{-1} << 62, (std::int64_t{1} << 62) - 1);
+      EXPECT_EQ(wrap_word(v, fmt.word_length()), fmt.wrap_raw(v));
+      EXPECT_EQ(wrap_word(v, wide_w), wide.wrap_raw(v));
+    }
+  }
+}
+
+TEST(SimdTest, DeferralDecisionTracksWordLengthAndDim) {
+  const std::vector<std::int64_t> w(1024, 1);
+  const FixedFormat small(2, 6);  // W = 8: always deferrable
+  EXPECT_TRUE(make_plan(w.data(), 1024, small,
+                        RoundingMode::kNearestEven, AccumulatorMode::kWide)
+                  .defer_safe);
+  const FixedFormat wide(2, 29);  // W = 31: products already 60 bits
+  EXPECT_TRUE(make_plan(w.data(), 1, wide, RoundingMode::kNearestEven,
+                        AccumulatorMode::kWide)
+                  .defer_safe);
+  EXPECT_FALSE(make_plan(w.data(), 7, wide, RoundingMode::kNearestEven,
+                         AccumulatorMode::kWide)
+                   .defer_safe);
+  // Narrow products shrink by F bits, so the same format defers fine.
+  EXPECT_TRUE(make_plan(w.data(), 7, wide, RoundingMode::kNearestEven,
+                        AccumulatorMode::kNarrow)
+                  .defer_safe);
+}
+
+/// Independent per-step reference, written against fixed::dot_datapath
+/// semantics rather than by calling score_tile_scalar.
+std::int64_t ref_dot(const std::vector<std::int64_t>& w,
+                     const std::vector<std::int64_t>& x,
+                     const FixedFormat& fmt, RoundingMode mode,
+                     AccumulatorMode acc) {
+  std::vector<Fixed> wq;
+  std::vector<Fixed> xq;
+  for (std::size_t m = 0; m < w.size(); ++m) {
+    wq.push_back(Fixed::from_raw(fmt, w[m]));
+    xq.push_back(Fixed::from_raw(fmt, x[m]));
+  }
+  return dot_datapath(wq, xq, fmt, mode, acc).raw();
+}
+
+TEST(SimdTest, TileScoringMatchesDotDatapathOnRawWords) {
+  support::Rng rng(77);
+  for (const auto& fmt : {FixedFormat(2, 2), FixedFormat(2, 6),
+                          FixedFormat(3, 5), FixedFormat(4, 12),
+                          FixedFormat(2, 29), FixedFormat(31, 0)}) {
+    for (const auto mode :
+         {RoundingMode::kNearestEven, RoundingMode::kNearestAway,
+          RoundingMode::kTowardZero, RoundingMode::kFloor}) {
+      for (const auto acc :
+           {AccumulatorMode::kWide, AccumulatorMode::kNarrow}) {
+        for (const std::size_t dim : {std::size_t{1}, std::size_t{9}}) {
+          std::vector<std::int64_t> w(dim);
+          for (auto& v : w) v = rng.uniform_int(fmt.raw_min(), fmt.raw_max());
+          const DotPlan plan =
+              make_plan(w.data(), dim, fmt, mode, acc);
+          // Raw words drawn over the full range, including the extremes
+          // that drive products and accumulators to the wrap edges.
+          std::vector<std::int64_t> tile(dim * kLane);
+          for (auto& v : tile) {
+            v = rng.uniform_int(fmt.raw_min(), fmt.raw_max());
+          }
+          std::int64_t y_auto[kLane];
+          std::int64_t y_scalar[kLane];
+          score_tile(plan, tile.data(), y_auto);
+          score_tile_scalar(plan, tile.data(), y_scalar);
+          for (std::size_t lane = 0; lane < kLane; ++lane) {
+            std::vector<std::int64_t> x(dim);
+            for (std::size_t m = 0; m < dim; ++m) {
+              x[m] = tile[m * kLane + lane];
+            }
+            const std::int64_t expected = ref_dot(w, x, fmt, mode, acc);
+            ASSERT_EQ(y_scalar[lane], expected)
+                << fmt.to_string() << " " << to_string(mode) << " "
+                << to_string(acc) << " dim=" << dim << " lane=" << lane;
+            ASSERT_EQ(y_auto[lane], expected)
+                << fmt.to_string() << " " << to_string(mode) << " "
+                << to_string(acc) << " dim=" << dim << " lane=" << lane
+                << " backend=" << to_string(active_backend());
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldafp::fixed::simd

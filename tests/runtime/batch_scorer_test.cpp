@@ -79,19 +79,31 @@ TEST(BatchScorerTest, MatchesClassifyBatchConvenienceOverload) {
   EXPECT_EQ(scorer.classify(xs), clf.classify_batch(xs));
 }
 
-TEST(BatchScorerTest, PackLayoutIsRowMajorQuantized) {
+TEST(BatchScorerTest, PackLayoutIsTiledFeatureMajorQuantized) {
   const fixed::FixedFormat fmt(2, 2);
   const core::FixedClassifier clf(fmt, Vector{0.25, -0.5}, 0.0);
   const BatchScorer scorer(clf);
   const auto batch = scorer.pack({Vector{0.25, 1.0}, Vector{-0.75, 0.5}});
   ASSERT_EQ(batch.rows, 2u);
   ASSERT_EQ(batch.dim, 2u);
-  ASSERT_EQ(batch.words.size(), 4u);
+  // One zero-padded AoSoA tile: dim * kLane words, feature-major.
+  ASSERT_EQ(batch.words.size(), 2u * PackedBatch::kLane);
   // Q2.2: 0.25 -> raw 1, 1.0 -> raw 4, -0.75 -> raw -3, 0.5 -> raw 2.
+  EXPECT_EQ(batch.word(0, 0), 1);
+  EXPECT_EQ(batch.word(0, 1), 4);
+  EXPECT_EQ(batch.word(1, 0), -3);
+  EXPECT_EQ(batch.word(1, 1), 2);
+  // Feature m of consecutive samples is contiguous (lane order), the
+  // layout the vector kernels load directly.
   EXPECT_EQ(batch.words[0], 1);
-  EXPECT_EQ(batch.words[1], 4);
-  EXPECT_EQ(batch.words[2], -3);
-  EXPECT_EQ(batch.words[3], 2);
+  EXPECT_EQ(batch.words[1], -3);
+  EXPECT_EQ(batch.words[PackedBatch::kLane], 4);
+  EXPECT_EQ(batch.words[PackedBatch::kLane + 1], 2);
+  // Padding lanes of the partial tile are zero.
+  for (std::size_t lane = 2; lane < PackedBatch::kLane; ++lane) {
+    EXPECT_EQ(batch.words[lane], 0);
+    EXPECT_EQ(batch.words[PackedBatch::kLane + lane], 0);
+  }
 }
 
 TEST(BatchScorerTest, PackIntoAppends) {
@@ -104,10 +116,92 @@ TEST(BatchScorerTest, PackIntoAppends) {
   scorer.pack_into(batch, a.data(), a.size());
   scorer.pack_into(batch, b.data(), b.size());
   EXPECT_EQ(batch.rows, 3u);
-  EXPECT_EQ(batch.words.size(), 6u);
+  EXPECT_EQ(batch.words.size(), 2u * PackedBatch::kLane);
+  EXPECT_EQ(batch.word(1, 0), 4);   // 1.0 -> raw 4
+  EXPECT_EQ(batch.word(2, 1), 2);   // 0.5 -> raw 2
   batch.clear();
   EXPECT_EQ(batch.rows, 0u);
   EXPECT_TRUE(batch.words.empty());
+}
+
+TEST(BatchScorerTest, PackIntoAcrossTileBoundaryScoresEveryRow) {
+  support::Rng rng(21);
+  const fixed::FixedFormat fmt(3, 5);
+  const auto clf = random_classifier(fmt, 5, rng,
+                                     fixed::RoundingMode::kNearestEven,
+                                     fixed::AccumulatorMode::kWide);
+  const BatchScorer scorer(clf);
+  // Append in chunks that straddle tile boundaries: 3 + 7 + 11 = 21 rows.
+  const auto xs = random_samples(21, 5, 3.0, rng);
+  PackedBatch batch;
+  scorer.pack_into(batch, xs.data(), 3);
+  scorer.pack_into(batch, xs.data() + 3, 7);
+  scorer.pack_into(batch, xs.data() + 10, 11);
+  ASSERT_EQ(batch.rows, 21u);
+  std::vector<ScoreResult> scored(batch.rows);
+  scorer.score(batch, scored.data());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(scored[i].projection_raw, clf.project(xs[i]).raw()) << i;
+  }
+}
+
+// Regression (pre-fix: pack_into overwrote out.dim unconditionally, so
+// appending rows packed at a different dim silently reinterpreted every
+// earlier row under the new stride).
+TEST(BatchScorerTest, PackIntoRejectsAppendAtDifferentDim) {
+  const fixed::FixedFormat fmt(2, 2);
+  const core::FixedClassifier clf2(fmt, Vector{0.25, -0.5}, 0.0);
+  const core::FixedClassifier clf3(fmt, Vector{0.25, -0.5, 0.75}, 0.0);
+  const BatchScorer scorer2(clf2);
+  const BatchScorer scorer3(clf3);
+  PackedBatch batch;
+  const std::vector<Vector> a = {Vector{0.25, 0.5}};
+  const std::vector<Vector> b = {Vector{0.25, 0.5, 1.0}};
+  scorer2.pack_into(batch, a.data(), a.size());
+  EXPECT_THROW(scorer3.pack_into(batch, b.data(), b.size()),
+               ldafp::InvalidArgumentError);
+  // The failed append must not have corrupted the existing rows.
+  EXPECT_EQ(batch.rows, 1u);
+  EXPECT_EQ(batch.dim, 2u);
+  // After clear() the batch re-latches to the new scorer's dim.
+  batch.clear();
+  scorer3.pack_into(batch, b.data(), b.size());
+  EXPECT_EQ(batch.dim, 3u);
+  EXPECT_EQ(batch.rows, 1u);
+}
+
+TEST(BatchScorerTest, CachedQuantizerMatchesFormatQuantizeSaturate) {
+  support::Rng rng(33);
+  for (const auto mode :
+       {fixed::RoundingMode::kNearestEven, fixed::RoundingMode::kNearestAway,
+        fixed::RoundingMode::kTowardZero, fixed::RoundingMode::kFloor}) {
+    const fixed::FixedFormat fmt(3, 7);
+    Vector w(1);
+    w[0] = 0.5;
+    const core::FixedClassifier clf(fmt, w, 0.0, mode);
+    const BatchScorer scorer(clf);
+    std::vector<Vector> xs;
+    for (int i = 0; i < 2000; ++i) {
+      Vector x(1);
+      // Cover in-range values, exact grid points, half-way ties, and
+      // saturation on both sides.
+      switch (i % 4) {
+        case 0: x[0] = rng.uniform(-6.0, 6.0); break;
+        case 1: x[0] = fmt.to_real(rng.uniform_int(fmt.raw_min(),
+                                                   fmt.raw_max())); break;
+        case 2: x[0] = fmt.to_real(rng.uniform_int(fmt.raw_min(),
+                                                   fmt.raw_max())) +
+                       fmt.resolution() / 2.0; break;
+        default: x[0] = rng.uniform(-20.0, 20.0); break;
+      }
+      xs.push_back(std::move(x));
+    }
+    const auto batch = scorer.pack(xs);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_EQ(batch.word(i, 0), fmt.quantize_saturate(xs[i][0], mode))
+          << "mode " << fixed::to_string(mode) << " value " << xs[i][0];
+    }
+  }
 }
 
 TEST(BatchScorerTest, DimensionMismatchThrows) {
