@@ -8,7 +8,8 @@
 //                    [--threads T] [--metrics-json FILE] [--trace FILE]
 //   ldafp_cli model inspect <file.ldafp>
 //   ldafp_cli serve  [--port P] [--threads T] [--io-threads N]
-//                    [--queue Q] [--batch B] [--model NAME=FILE ...]
+//                    [--queue Q] [--batch B] [--linger-us U]
+//                    [--model NAME=FILE ...]
 //                    [--synthetic] [--retrain-data CSV] [--retrain-after N]
 //                    [--retrain-mode streaming|ldafp] [--store DIR]
 //                    [--metrics-json FILE]
@@ -85,6 +86,7 @@ int usage() {
                "  ldafp_cli model inspect <file.ldafp>\n"
                "  ldafp_cli serve [--port P] [--threads T] "
                "[--io-threads N] [--queue Q] [--batch B] "
+               "[--linger-us U] "
                "[--model NAME=FILE.hex|FILE.ldafp ...] [--synthetic] "
                "[--retrain-data CSV] [--retrain-after N] "
                "[--retrain-mode streaming|ldafp] "
@@ -417,6 +419,11 @@ int cmd_serve(int argc, char** argv) {
       flag_value(argc, argv, "--queue", 1024));
   const auto batch = static_cast<std::size_t>(
       flag_value(argc, argv, "--batch", 64));
+  // Micro-batch linger ceiling in microseconds; the engine scales the
+  // effective wait with queue depth, so this is the loaded-engine
+  // bound, not a per-request latency floor.
+  const auto linger_us = static_cast<double>(
+      flag_value(argc, argv, "--linger-us", 500));
   const char* metrics_path = flag_string(argc, argv, "--metrics-json");
 
   // One registry for the whole serving process: the engine's
@@ -547,6 +554,7 @@ int cmd_serve(int argc, char** argv) {
   engine_options.workers = workers;
   engine_options.queue_capacity = queue;
   engine_options.max_batch = batch;
+  engine_options.max_wait_seconds = linger_us * 1e-6;
   engine_options.sink = &sink;
   runtime::InferenceEngine engine(engine_options);
 

@@ -6,6 +6,8 @@
 #include <chrono>
 #include <utility>
 
+#include "support/wire.h"
+
 namespace ldafp::net {
 
 namespace {
@@ -13,9 +15,53 @@ namespace {
 constexpr std::size_t kIoChunk = 64u * 1024;
 }  // namespace
 
-Connection::Connection(int fd, const ServeContext* ctx)
-    : fd_(fd), ctx_(ctx) {
+std::uint64_t LoopContext::adopt(Connection* conn) {
+  const std::uint64_t id = next_conn_id++;
+  conns.emplace(id, conn);
+  return id;
+}
+
+void LoopContext::forget(std::uint64_t id) { conns.erase(id); }
+
+std::size_t LoopContext::drain_completions() {
+  std::size_t routed = 0;
+  runtime::RequestBlock* block = completions->drain();
+  while (block != nullptr) {
+    runtime::RequestBlock* next = block->next;
+    block->next = nullptr;
+    const auto it = conns.find(block->conn_id);
+    if (it != conns.end()) {
+      it->second->on_completion(block);
+    } else {
+      // The submitter closed while its request was in flight; nobody
+      // will encode this reply — straight back to the freelist.
+      pool.recycle(block);
+    }
+    ++routed;
+    block = next;
+  }
+  return routed;
+}
+
+Connection::Connection(int fd, const ServeContext* ctx, LoopContext* loop)
+    : fd_(fd), ctx_(ctx), loop_(loop) {
   ctx_->metrics->connections_opened.increment();
+  // Legacy futures mode never receives completions, so it skips the
+  // routing table (conn_id_ stays 0).
+  if (completion_path()) conn_id_ = loop_->adopt(this);
+}
+
+Connection::~Connection() {
+  if (loop_ == nullptr) return;
+  loop_->forget(conn_id_);
+  for (Pending& pending : pending_) {
+    if (pending.block != nullptr && pending.ready) {
+      // Ready blocks are ours again; un-ready ones still belong to the
+      // engine and recycle as orphans when their completion routes.
+      loop_->pool.recycle(pending.block);
+      pending.block = nullptr;
+    }
+  }
 }
 
 void Connection::on_readable() {
@@ -70,26 +116,47 @@ void Connection::consume_output(std::size_t n) {
 void Connection::ingest(const std::uint8_t* data, std::size_t n) {
   if (dead_ || close_after_flush_) return;  // stream already condemned
   rbuf_.insert(rbuf_.end(), data, data + n);
-  while (true) {
-    DecodedFrame frame;
-    std::size_t consumed = 0;
-    FrameError error = FrameError::kNone;
-    const DecodeState state =
-        decode_frame(rbuf_.data() + rpos_, rbuf_.size() - rpos_,
-                     ctx_->max_frame_bytes, frame, consumed, error);
-    if (state == DecodeState::kNeedMore) break;
-    if (state == DecodeState::kError) {
-      fail_protocol(error);
-      return;
+  if (completion_path()) {
+    while (true) {
+      ScoreRequestView view;
+      std::size_t consumed = 0;
+      FrameError error = FrameError::kNone;
+      const DecodeState state =
+          decode_request_view(rbuf_.data() + rpos_, rbuf_.size() - rpos_,
+                              ctx_->max_frame_bytes, view, consumed, error);
+      if (state == DecodeState::kNeedMore) break;
+      if (state == DecodeState::kError) {
+        fail_protocol(error);
+        return;
+      }
+      rpos_ += consumed;
+      // The view aliases rbuf_; handle_request quantizes the payload
+      // into a packed block before returning, so nothing outlives the
+      // buffer.
+      handle_request(view);
     }
-    rpos_ += consumed;
-    if (frame.type == MessageType::kScoreRequest) {
-      handle_request(std::move(frame.request));
-    } else {
-      // A client pushing response frames at the server is not speaking
-      // the protocol; terminal, same as a framing error.
-      fail_protocol(FrameError::kBadType);
-      return;
+  } else {
+    while (true) {
+      DecodedFrame frame;
+      std::size_t consumed = 0;
+      FrameError error = FrameError::kNone;
+      const DecodeState state =
+          decode_frame(rbuf_.data() + rpos_, rbuf_.size() - rpos_,
+                       ctx_->max_frame_bytes, frame, consumed, error);
+      if (state == DecodeState::kNeedMore) break;
+      if (state == DecodeState::kError) {
+        fail_protocol(error);
+        return;
+      }
+      rpos_ += consumed;
+      if (frame.type == MessageType::kScoreRequest) {
+        handle_request_futures(std::move(frame.request));
+      } else {
+        // A client pushing response frames at the server is not
+        // speaking the protocol; terminal, same as a framing error.
+        fail_protocol(FrameError::kBadType);
+        return;
+      }
     }
   }
   if (rpos_ == rbuf_.size()) {
@@ -102,38 +169,96 @@ void Connection::ingest(const std::uint8_t* data, std::size_t n) {
   }
 }
 
-void Connection::handle_request(ScoreRequest&& request) {
-  const std::string& name =
-      request.model.empty() ? ctx_->default_model : request.model;
-  const runtime::ModelHandle model = ctx_->registry->get(name);
-  if (model == nullptr) {
-    enqueue_immediate(request.request_id, ResponseStatus::kUnknownModel,
-                      nullptr);
+ResponseStatus Connection::admission_check(std::string_view model_name,
+                                           std::uint16_t sample_count,
+                                           std::uint16_t dim,
+                                           std::uint8_t expected_integer_bits,
+                                           std::uint8_t expected_frac_bits,
+                                           runtime::ModelHandle& model) {
+  const std::string_view name =
+      model_name.empty() ? std::string_view(ctx_->default_model)
+                         : model_name;
+  model = ctx_->registry->get(name);
+  if (model == nullptr) return ResponseStatus::kUnknownModel;
+  if (sample_count == 0 || dim != model->classifier.dim()) {
+    return ResponseStatus::kInvalidRequest;
+  }
+  if ((expected_integer_bits != 0 || expected_frac_bits != 0) &&
+      (expected_integer_bits !=
+           model->classifier.format().integer_bits() ||
+       expected_frac_bits != model->classifier.format().frac_bits())) {
+    return ResponseStatus::kFormatMismatch;
+  }
+  if (ctx_->draining != nullptr &&
+      ctx_->draining->load(std::memory_order_acquire)) {
+    return ResponseStatus::kShuttingDown;
+  }
+  return ResponseStatus::kOk;
+}
+
+void Connection::handle_request(const ScoreRequestView& request) {
+  runtime::ModelHandle model;
+  const ResponseStatus check = admission_check(
+      request.model, request.sample_count, request.dim,
+      request.expected_integer_bits, request.expected_frac_bits, model);
+  if (check != ResponseStatus::kOk) {
+    enqueue_immediate(request.request_id, check, model);
     return;
   }
-  const std::uint16_t samples = request.sample_count();
-  if (samples == 0 || request.dim != model->classifier.dim()) {
+
+  runtime::RequestBlock* block = loop_->pool.acquire();
+  block->model = model;
+  if (!model->scorer.pack_from_f64_le(block->batch, request.features_le,
+                                      request.sample_count)) {
+    // NaN in the payload: reject at ingest — letting it through would
+    // trip the quantizer's NaN check inside a scoring worker.
+    block->batch.clear();
+    loop_->pool.recycle(block);
     enqueue_immediate(request.request_id, ResponseStatus::kInvalidRequest,
                       model);
     return;
   }
-  if ((request.expected_integer_bits != 0 ||
-       request.expected_frac_bits != 0) &&
-      (request.expected_integer_bits !=
-           model->classifier.format().integer_bits() ||
-       request.expected_frac_bits !=
-           model->classifier.format().frac_bits())) {
-    enqueue_immediate(request.request_id, ResponseStatus::kFormatMismatch,
-                      model);
+  block->completions = loop_->completions;
+  block->conn_id = conn_id_;
+  const runtime::SubmitStatus status = ctx_->engine->submit(block);
+  if (status == runtime::SubmitStatus::kAccepted) {
+    ctx_->metrics->accepted.increment();
+    Pending pending;
+    pending.response.request_id = request.request_id;
+    pending.response.status = ResponseStatus::kOk;
+    pending.model = std::move(model);
+    pending.block = block;
+    pending_.push_back(std::move(pending));
     return;
   }
-  if (ctx_->draining != nullptr &&
-      ctx_->draining->load(std::memory_order_acquire)) {
-    enqueue_immediate(request.request_id, ResponseStatus::kShuttingDown,
-                      model);
+  loop_->pool.recycle(block);  // admission failed; ownership never left
+  switch (status) {
+    case runtime::SubmitStatus::kQueueFull:
+      enqueue_immediate(request.request_id, ResponseStatus::kRejected,
+                        model);
+      return;
+    case runtime::SubmitStatus::kShuttingDown:
+      enqueue_immediate(request.request_id, ResponseStatus::kShuttingDown,
+                        model);
+      return;
+    default:
+      enqueue_immediate(request.request_id, ResponseStatus::kInvalidRequest,
+                        model);
+      return;
+  }
+}
+
+void Connection::handle_request_futures(ScoreRequest&& request) {
+  runtime::ModelHandle model;
+  const ResponseStatus check = admission_check(
+      request.model, request.sample_count(), request.dim,
+      request.expected_integer_bits, request.expected_frac_bits, model);
+  if (check != ResponseStatus::kOk) {
+    enqueue_immediate(request.request_id, check, model);
     return;
   }
 
+  const std::uint16_t samples = request.sample_count();
   std::vector<linalg::Vector> xs;
   xs.reserve(samples);
   for (std::uint16_t s = 0; s < samples; ++s) {
@@ -206,25 +331,48 @@ void Connection::fail_protocol(FrameError error) {
   close_after_flush_ = true;
 }
 
+void Connection::on_completion(runtime::RequestBlock* block) {
+  for (Pending& pending : pending_) {
+    if (pending.block == block) {
+      pending.ready = true;
+      return;
+    }
+  }
+  // No pending slot claims this block (the pipeline was torn down
+  // around it); recycle rather than leak.
+  loop_->pool.recycle(block);
+}
+
 bool Connection::pump() {
   bool encoded = false;
   while (!pending_.empty() && !dead_) {
     Pending& head = pending_.front();
     if (!head.immediate) {
-      if (head.future.wait_for(std::chrono::seconds(0)) !=
-          std::future_status::ready) {
-        break;
-      }
-      std::vector<runtime::ScoreResult> results = head.future.get();
-      head.response.model_version = head.model->version;
-      head.response.model_integer_bits = static_cast<std::uint8_t>(
-          head.model->classifier.format().integer_bits());
-      head.response.model_frac_bits = static_cast<std::uint8_t>(
-          head.model->classifier.format().frac_bits());
-      head.response.results.reserve(results.size());
-      for (const runtime::ScoreResult& r : results) {
-        head.response.results.push_back(
-            {static_cast<std::uint8_t>(r.label), r.projection_raw});
+      if (head.block != nullptr) {
+        // Completion path: the router flips `ready`; no polling.
+        if (!head.ready) break;
+        head.response.model_version = head.model->version;
+        head.response.model_integer_bits = static_cast<std::uint8_t>(
+            head.model->classifier.format().integer_bits());
+        head.response.model_frac_bits = static_cast<std::uint8_t>(
+            head.model->classifier.format().frac_bits());
+      } else {
+        // Legacy futures path (baseline benchmark mode only).
+        if (head.future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+          break;
+        }
+        std::vector<runtime::ScoreResult> results = head.future.get();
+        head.response.model_version = head.model->version;
+        head.response.model_integer_bits = static_cast<std::uint8_t>(
+            head.model->classifier.format().integer_bits());
+        head.response.model_frac_bits = static_cast<std::uint8_t>(
+            head.model->classifier.format().frac_bits());
+        head.response.results.reserve(results.size());
+        for (const runtime::ScoreResult& r : results) {
+          head.response.results.push_back(
+              {static_cast<std::uint8_t>(r.label), r.projection_raw});
+        }
       }
     }
     encode_response(head);
@@ -235,7 +383,24 @@ bool Connection::pump() {
 }
 
 void Connection::encode_response(Pending& pending) {
-  encode(wbuf_, pending.response);
+  if (pending.block != nullptr) {
+    // Stream the frame straight from the pooled block's results — no
+    // WireResult staging vector.
+    const std::vector<runtime::ScoreResult>& results =
+        pending.block->results;
+    const std::size_t prefix = begin_response_frame(
+        wbuf_, pending.response,
+        static_cast<std::uint16_t>(results.size()));
+    for (const runtime::ScoreResult& r : results) {
+      support::put_u8(wbuf_, static_cast<std::uint8_t>(r.label));
+      support::put_i64le(wbuf_, r.projection_raw);
+    }
+    finish_response_frame(wbuf_, prefix);
+    loop_->pool.recycle(pending.block);
+    pending.block = nullptr;
+  } else {
+    encode(wbuf_, pending.response);
+  }
   ctx_->metrics->responses_sent.increment();
   ctx_->metrics->serve_latency.record(pending.started.seconds());
   if (unflushed_bytes() > ctx_->max_write_buffer) {

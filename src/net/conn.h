@@ -3,36 +3,56 @@
 // A Connection owns one client's byte streams and its pipeline of
 // in-flight requests.  The protocol work — reassembling partial frames,
 // dispatching decoded requests into the engine, and emitting responses
-// *in request order* even though engine futures complete out of order —
-// is pure buffer-to-buffer logic driven through ingest()/pump(), so
-// tests exercise truncation, pipelining, and malformed-frame handling
-// without a socket (tests/net/conn_test.cpp feeds byte splits at every
-// offset).  The socket shims (on_readable/flush) layer non-blocking
-// recv/send over that core; the epoll server owns when they run.
+// *in request order* even though completions arrive out of order — is
+// pure buffer-to-buffer logic driven through ingest()/pump()/
+// on_completion(), so tests exercise truncation, pipelining, and
+// malformed-frame handling without a socket (tests/net/conn_test.cpp
+// feeds byte splits at every offset).  The socket shims
+// (on_readable/flush) layer non-blocking recv/send over that core; the
+// epoll server owns when they run.
+//
+// Request lifecycle (the completion-driven hot path): ingest decodes a
+// frame as a borrowed view, quantizes the feature payload straight from
+// the read buffer into a pooled RequestBlock's PackedBatch
+// (BatchScorer::pack_from_f64_le — no per-sample vector allocations,
+// no double[] copy), and submits the block.  The engine delivers the
+// scored block back through the loop's CompletionQueue; the loop routes
+// it here via on_completion(), pump() encodes the response straight
+// from the block's results, and the block returns to the loop's
+// freelist.  Steady state allocates nothing.  A futures-based legacy
+// path (ServeContext::use_futures, or a null LoopContext) is kept
+// solely so bench/serve_load can measure the old pipeline in the same
+// binary.
 //
 // Ordering: every request — accepted or immediately failed — occupies
 // one slot in the pending queue, and pump() only ever completes the
-// head slot, so responses cannot overtake each other.  Backpressure is
-// explicit end to end: engine kQueueFull becomes a REJECTED response
-// (never a silent drop), and a client that stops reading while the
-// write buffer grows past its bound is disconnected (slow-client
-// protection) rather than buffering without limit.
+// head slot, so responses cannot overtake each other no matter what
+// order completions land in.  Backpressure is explicit end to end:
+// engine kQueueFull becomes a REJECTED response (never a silent drop),
+// and a client that stops reading while the write buffer grows past its
+// bound is disconnected (slow-client protection) rather than buffering
+// without limit.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/metrics.h"
 #include "net/protocol.h"
+#include "runtime/completion.h"
 #include "runtime/engine.h"
 #include "runtime/registry.h"
 #include "support/timer.h"
 
 namespace ldafp::net {
+
+class Connection;
 
 /// Shared serving dependencies a connection dispatches into (all
 /// borrowed from the server; engine/registry/metrics are thread-safe).
@@ -48,14 +68,55 @@ struct ServeContext {
   /// Server-wide drain flag: set during shutdown so new requests are
   /// answered kShuttingDown instead of entering the engine.
   const std::atomic<bool>* draining = nullptr;
+  /// Legacy benchmark mode: submit through the promise/future adapter
+  /// and poll readiness in pump(), exactly the pre-completion pipeline.
+  /// Only bench/serve_load --baseline-futures should set this.
+  bool use_futures = false;
+};
+
+/// Per-event-loop serving state shared by the loop's connections: the
+/// engine's delivery target (CompletionQueue + eventfd doorbell), the
+/// RequestBlock freelist, and the conn-id routing table.  Everything
+/// here is single-threaded by construction — exactly one loop thread
+/// (or one test thread) touches it — except the CompletionQueue, whose
+/// producer side is the engine's workers.
+struct LoopContext {
+  LoopContext()
+      : completions(std::make_shared<runtime::CompletionQueue>()) {}
+  ~LoopContext() { completions->abandon(); }
+
+  LoopContext(const LoopContext&) = delete;
+  LoopContext& operator=(const LoopContext&) = delete;
+
+  std::shared_ptr<runtime::CompletionQueue> completions;
+  runtime::RequestPool pool;
+  /// Routing table: block->conn_id → submitting connection (borrowed;
+  /// connections register in their constructor, unregister in their
+  /// destructor).
+  std::unordered_map<std::uint64_t, Connection*> conns;
+  std::uint64_t next_conn_id = 1;
+
+  /// Registers a connection, returning its routing id.
+  std::uint64_t adopt(Connection* conn);
+  void forget(std::uint64_t id);
+
+  /// Routes every queued completion: blocks whose connection is still
+  /// registered land in its pending pipeline (on_completion); orphans —
+  /// the submitter closed mid-flight — recycle straight to the pool.
+  /// Returns how many blocks were routed.  Call after the completion
+  /// eventfd fires (consume_signal first).
+  std::size_t drain_completions();
 };
 
 /// One client connection: frame reassembly in, ordered responses out.
 class Connection {
  public:
   /// `fd` may be -1 for sans-I/O use (tests); the fd is borrowed — the
-  /// server owns accept/close.
-  Connection(int fd, const ServeContext* ctx);
+  /// server owns accept/close.  `loop` wires the completion-driven hot
+  /// path; when null (or ctx->use_futures) the connection falls back to
+  /// the future-polling legacy pipeline.
+  Connection(int fd, const ServeContext* ctx, LoopContext* loop = nullptr);
+  ~Connection();
 
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
@@ -75,6 +136,11 @@ class Connection {
   /// complete request, and on a framing error enqueues the terminal
   /// kProtocolError response and stops consuming input.
   void ingest(const std::uint8_t* data, std::size_t n);
+
+  /// Accepts a scored block back from the loop's completion router,
+  /// marking its pending slot ready (ownership of the block returns to
+  /// this connection until pump() recycles it).
+  void on_completion(runtime::RequestBlock* block);
 
   /// Completes head-of-line pending requests whose results are ready,
   /// encoding their responses into the write buffer.  Returns true when
@@ -104,6 +170,8 @@ class Connection {
   }
 
   int fd() const { return fd_; }
+  /// Completion-routing id (0 when running the legacy path).
+  std::uint64_t conn_id() const { return conn_id_; }
 
   // -- test hooks --
 
@@ -116,12 +184,30 @@ class Connection {
   struct Pending {
     ScoreResponse response;             ///< prefilled unless admitted
     bool immediate = false;             ///< response ready at enqueue
+    bool ready = false;                 ///< completion landed (block path)
     runtime::ModelHandle model;         ///< null for immediate failures
-    std::future<std::vector<runtime::ScoreResult>> future;
+    /// Completion-path record.  While !ready the engine owns it and
+    /// this pointer is only a matching cookie; once ready it is ours
+    /// until pump() recycles it.
+    runtime::RequestBlock* block = nullptr;
+    std::future<std::vector<runtime::ScoreResult>> future;  ///< legacy path
     support::WallTimer started;         ///< frame decoded -> encoded
   };
 
-  void handle_request(ScoreRequest&& request);
+  bool completion_path() const {
+    return loop_ != nullptr && !ctx_->use_futures;
+  }
+
+  void handle_request(const ScoreRequestView& request);
+  void handle_request_futures(ScoreRequest&& request);
+  /// Pre-admission validation shared by both paths; resolves `model`
+  /// and returns kOk when the request may proceed to the engine.
+  ResponseStatus admission_check(std::string_view model_name,
+                                 std::uint16_t sample_count,
+                                 std::uint16_t dim,
+                                 std::uint8_t expected_integer_bits,
+                                 std::uint8_t expected_frac_bits,
+                                 runtime::ModelHandle& model);
   void enqueue_immediate(std::uint64_t request_id, ResponseStatus status,
                          const runtime::ModelHandle& model);
   void fail_protocol(FrameError error);
@@ -129,6 +215,8 @@ class Connection {
 
   int fd_;
   const ServeContext* ctx_;
+  LoopContext* loop_;
+  std::uint64_t conn_id_ = 0;
   std::vector<std::uint8_t> rbuf_;
   std::size_t rpos_ = 0;
   std::vector<std::uint8_t> wbuf_;

@@ -15,6 +15,7 @@ NetMetrics::NetMetrics(obs::MetricsRegistry* registry)
       protocol_errors(registry_->counter("net.protocol_errors")),
       bytes_rx(registry_->counter("net.bytes_rx")),
       bytes_tx(registry_->counter("net.bytes_tx")),
+      loop_wakeups(registry_->counter("net.loop_wakeups")),
       serve_latency(registry_->histogram("net.serve_latency")),
       rejected_queue_full_(registry_->counter(
           "net.rejected", {{"reason", "queue-full"}})),

@@ -49,6 +49,13 @@ class NetMetrics {
   obs::Counter& bytes_rx;
   obs::Counter& bytes_tx;
 
+  // -- event-loop behaviour --
+  /// epoll_wait returns across all loops.  The no-busy-poll invariant:
+  /// this stays proportional to completions + I/O events, not to wall
+  /// time spent with requests in flight (tests/net/server_test.cpp
+  /// bounds it against responses_sent).
+  obs::Counter& loop_wakeups;
+
   // -- latency (seconds) --
   /// Request frame fully decoded -> response frame fully encoded (the
   /// server-side end-to-end view; clients measure the wire round trip).

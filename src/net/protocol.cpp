@@ -1,6 +1,7 @@
 #include "net/protocol.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/wire.h"
 
@@ -69,6 +70,65 @@ void end_frame(std::vector<std::uint8_t>& out, std::size_t prefix) {
   support::patch_u32le(out, prefix, static_cast<std::uint32_t>(frame_len));
 }
 
+/// The 32 fixed header bytes, parsed but unvalidated beyond framing.
+struct FrameHeader {
+  std::uint32_t frame_len = 0;
+  std::uint8_t type = 0;
+  std::uint8_t status = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t model_version = 0;
+  std::uint8_t integer_bits = 0;
+  std::uint8_t frac_bits = 0;
+  std::uint8_t model_len = 0;
+  std::uint16_t sample_count = 0;
+  std::uint16_t dim = 0;
+};
+
+/// Shared framing validation of decode_frame / decode_request_view:
+/// eager magic/version rejection, then the length envelope, then the
+/// fixed-offset header fields once the whole frame is buffered.
+DecodeState parse_header(const std::uint8_t* data, std::size_t size,
+                         std::size_t max_frame, FrameHeader& hdr,
+                         FrameError& error) {
+  max_frame = std::min(max_frame, kMaxFrameBytes);
+
+  // Eager sanity checks: a stream that is not speaking this protocol is
+  // rejected as soon as the magic/version bytes arrive, not after a
+  // bogus "length" worth of garbage has been buffered.
+  if (size >= 8 && support::get_u32le(data + 4) != kMagic) {
+    error = FrameError::kBadMagic;
+    return DecodeState::kError;
+  }
+  if (size >= 10 && support::get_u16le(data + 8) != kProtocolVersion) {
+    error = FrameError::kBadVersion;
+    return DecodeState::kError;
+  }
+  if (size < 4) return DecodeState::kNeedMore;
+  hdr.frame_len = support::get_u32le(data);
+  if (hdr.frame_len < kHeaderBytes) {
+    error = FrameError::kRuntFrame;
+    return DecodeState::kError;
+  }
+  if (hdr.frame_len > max_frame) {
+    error = FrameError::kOversized;
+    return DecodeState::kError;
+  }
+  if (size < 4 + static_cast<std::size_t>(hdr.frame_len)) {
+    return DecodeState::kNeedMore;
+  }
+
+  hdr.type = data[10];
+  hdr.status = data[11];
+  hdr.request_id = support::get_u64le(data + 12);
+  hdr.model_version = support::get_u64le(data + 20);
+  hdr.integer_bits = data[28];
+  hdr.frac_bits = data[29];
+  hdr.model_len = data[30];
+  hdr.sample_count = support::get_u16le(data + 32);
+  hdr.dim = support::get_u16le(data + 34);
+  return DecodeState::kFrame;
+}
+
 }  // namespace
 
 void encode(std::vector<std::uint8_t>& out, const ScoreRequest& request) {
@@ -107,106 +167,97 @@ void encode(std::vector<std::uint8_t>& out, const ScoreResponse& response) {
   end_frame(out, prefix);
 }
 
+DecodeState decode_request_view(const std::uint8_t* data, std::size_t size,
+                                std::size_t max_frame, ScoreRequestView& out,
+                                std::size_t& consumed, FrameError& error) {
+  consumed = 0;
+  error = FrameError::kNone;
+  FrameHeader hdr;
+  const DecodeState state = parse_header(data, size, max_frame, hdr, error);
+  if (state != DecodeState::kFrame) return state;
+  if (hdr.type != static_cast<std::uint8_t>(MessageType::kScoreRequest)) {
+    error = FrameError::kBadType;
+    return DecodeState::kError;
+  }
+  // Full-width arithmetic: 8 * sample_count * dim peaks near 2^35, so a
+  // u32 product could wrap to a tiny value and sail past the length
+  // check.
+  const std::size_t payload =
+      static_cast<std::size_t>(hdr.model_len) +
+      8 * static_cast<std::size_t>(hdr.sample_count) *
+          static_cast<std::size_t>(hdr.dim);
+  if (hdr.frame_len != kHeaderBytes + payload) {
+    error = FrameError::kLengthMismatch;
+    return DecodeState::kError;
+  }
+  out.request_id = hdr.request_id;
+  out.expected_integer_bits = hdr.integer_bits;
+  out.expected_frac_bits = hdr.frac_bits;
+  out.sample_count = hdr.sample_count;
+  out.dim = hdr.dim;
+  const std::uint8_t* body = data + 4 + kHeaderBytes;
+  out.model = std::string_view(reinterpret_cast<const char*>(body),
+                               hdr.model_len);
+  out.features_le = body + hdr.model_len;
+  consumed = 4 + static_cast<std::size_t>(hdr.frame_len);
+  return DecodeState::kFrame;
+}
+
 DecodeState decode_frame(const std::uint8_t* data, std::size_t size,
                          std::size_t max_frame, DecodedFrame& out,
                          std::size_t& consumed, FrameError& error) {
   consumed = 0;
   error = FrameError::kNone;
-  max_frame = std::min(max_frame, kMaxFrameBytes);
+  FrameHeader hdr;
+  const DecodeState state = parse_header(data, size, max_frame, hdr, error);
+  if (state != DecodeState::kFrame) return state;
 
-  // Eager sanity checks: a stream that is not speaking this protocol is
-  // rejected as soon as the magic/version bytes arrive, not after a
-  // bogus "length" worth of garbage has been buffered.
-  if (size >= 8 && support::get_u32le(data + 4) != kMagic) {
-    error = FrameError::kBadMagic;
-    return DecodeState::kError;
-  }
-  if (size >= 10 && support::get_u16le(data + 8) != kProtocolVersion) {
-    error = FrameError::kBadVersion;
-    return DecodeState::kError;
-  }
-  if (size >= 4) {
-    const std::uint32_t frame_len = support::get_u32le(data);
-    if (frame_len < kHeaderBytes) {
-      error = FrameError::kRuntFrame;
-      return DecodeState::kError;
-    }
-    if (frame_len > max_frame) {
-      error = FrameError::kOversized;
-      return DecodeState::kError;
-    }
-    if (size < 4 + static_cast<std::size_t>(frame_len)) {
-      return DecodeState::kNeedMore;
-    }
-  } else {
-    return DecodeState::kNeedMore;
-  }
-
-  const std::uint32_t frame_len = support::get_u32le(data);
-  WireReader reader(data + 4, frame_len);
-  reader.skip(4);  // magic, checked above
-  reader.skip(2);  // version, checked above
-  const auto type = reader.u8();
-  const auto status = reader.u8();
-  const std::uint64_t request_id = reader.u64();
-  const std::uint64_t model_version = reader.u64();
-  const std::uint8_t integer_bits = reader.u8();
-  const std::uint8_t frac_bits = reader.u8();
-  const std::uint8_t model_len = reader.u8();
-  reader.skip(1);  // reserved
-  const std::uint16_t sample_count = reader.u16();
-  const std::uint16_t dim = reader.u16();
-
-  if (type == static_cast<std::uint8_t>(MessageType::kScoreRequest)) {
-    // Full-width arithmetic: 8 * sample_count * dim peaks near 2^35, so
-    // a u32 product could wrap to a tiny value, sail past the length
-    // check, and drive the decode loop below into a multi-GiB reserve.
-    const std::size_t payload =
-        static_cast<std::size_t>(model_len) +
-        8 * static_cast<std::size_t>(sample_count) *
-            static_cast<std::size_t>(dim);
-    if (frame_len != kHeaderBytes + payload) {
-      error = FrameError::kLengthMismatch;
-      return DecodeState::kError;
-    }
+  if (hdr.type == static_cast<std::uint8_t>(MessageType::kScoreRequest)) {
+    ScoreRequestView view;
+    const DecodeState req_state =
+        decode_request_view(data, size, max_frame, view, consumed, error);
+    if (req_state != DecodeState::kFrame) return req_state;
     out.type = MessageType::kScoreRequest;
     ScoreRequest& req = out.request;
-    req.request_id = request_id;
-    req.expected_integer_bits = integer_bits;
-    req.expected_frac_bits = frac_bits;
-    req.dim = dim;
-    req.model = reader.bytes(model_len);
+    req.request_id = view.request_id;
+    req.expected_integer_bits = view.expected_integer_bits;
+    req.expected_frac_bits = view.expected_frac_bits;
+    req.dim = view.dim;
+    req.model.assign(view.model);
     req.features.clear();
-    req.features.reserve(static_cast<std::size_t>(sample_count) * dim);
-    for (std::size_t i = 0;
-         i < static_cast<std::size_t>(sample_count) * dim; ++i) {
-      req.features.push_back(reader.f64());
+    const std::size_t count =
+        static_cast<std::size_t>(view.sample_count) * view.dim;
+    req.features.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      req.features.push_back(std::bit_cast<double>(
+          support::get_u64le(view.features_le + 8 * i)));
     }
-    if (!reader.ok() || reader.remaining() != 0) {
-      error = FrameError::kBadPayload;
-      return DecodeState::kError;
-    }
-  } else if (type ==
-             static_cast<std::uint8_t>(MessageType::kScoreResponse)) {
-    const std::size_t payload = 9 * static_cast<std::size_t>(sample_count);
-    if (frame_len != kHeaderBytes + payload || model_len != 0) {
+    return DecodeState::kFrame;
+  }
+
+  if (hdr.type == static_cast<std::uint8_t>(MessageType::kScoreResponse)) {
+    const std::size_t payload =
+        9 * static_cast<std::size_t>(hdr.sample_count);
+    if (hdr.frame_len != kHeaderBytes + payload || hdr.model_len != 0) {
       error = FrameError::kLengthMismatch;
       return DecodeState::kError;
     }
-    if (status > static_cast<std::uint8_t>(ResponseStatus::kInternalError)) {
+    if (hdr.status >
+        static_cast<std::uint8_t>(ResponseStatus::kInternalError)) {
       error = FrameError::kBadPayload;
       return DecodeState::kError;
     }
     out.type = MessageType::kScoreResponse;
     ScoreResponse& resp = out.response;
-    resp.request_id = request_id;
-    resp.status = static_cast<ResponseStatus>(status);
-    resp.model_version = model_version;
-    resp.model_integer_bits = integer_bits;
-    resp.model_frac_bits = frac_bits;
+    resp.request_id = hdr.request_id;
+    resp.status = static_cast<ResponseStatus>(hdr.status);
+    resp.model_version = hdr.model_version;
+    resp.model_integer_bits = hdr.integer_bits;
+    resp.model_frac_bits = hdr.frac_bits;
     resp.results.clear();
-    resp.results.reserve(sample_count);
-    for (std::size_t i = 0; i < sample_count; ++i) {
+    resp.results.reserve(hdr.sample_count);
+    WireReader reader(data + 4 + kHeaderBytes, payload);
+    for (std::size_t i = 0; i < hdr.sample_count; ++i) {
       WireResult r;
       r.label = reader.u8();
       r.projection_raw = reader.i64();
@@ -216,13 +267,26 @@ DecodeState decode_frame(const std::uint8_t* data, std::size_t size,
       error = FrameError::kBadPayload;
       return DecodeState::kError;
     }
-  } else {
-    error = FrameError::kBadType;
-    return DecodeState::kError;
+    consumed = 4 + static_cast<std::size_t>(hdr.frame_len);
+    return DecodeState::kFrame;
   }
 
-  consumed = 4 + static_cast<std::size_t>(frame_len);
-  return DecodeState::kFrame;
+  error = FrameError::kBadType;
+  return DecodeState::kError;
+}
+
+std::size_t begin_response_frame(std::vector<std::uint8_t>& out,
+                                 const ScoreResponse& response,
+                                 std::uint16_t sample_count) {
+  return begin_frame(out, MessageType::kScoreResponse, response.status,
+                     response.request_id, response.model_version,
+                     response.model_integer_bits, response.model_frac_bits,
+                     /*model_len=*/0, sample_count, /*dim=*/0);
+}
+
+void finish_response_frame(std::vector<std::uint8_t>& out,
+                           std::size_t prefix) {
+  end_frame(out, prefix);
 }
 
 }  // namespace ldafp::net

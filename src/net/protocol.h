@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fixed/format.h"
@@ -155,5 +156,45 @@ struct DecodedFrame {
 DecodeState decode_frame(const std::uint8_t* data, std::size_t size,
                          std::size_t max_frame, DecodedFrame& out,
                          std::size_t& consumed, FrameError& error);
+
+/// Borrowed view of one score-request frame: `model` and `features_le`
+/// alias the caller's receive buffer and are valid only until it
+/// mutates.  The serve path quantizes features straight from
+/// `features_le` into packed tiles (BatchScorer::pack_from_f64_le)
+/// without ever materializing a double[] copy.
+struct ScoreRequestView {
+  std::uint64_t request_id = 0;
+  std::string_view model;
+  std::uint8_t expected_integer_bits = 0;  ///< 0 = any format accepted
+  std::uint8_t expected_frac_bits = 0;
+  std::uint16_t sample_count = 0;
+  std::uint16_t dim = 0;
+  /// sample_count * dim f64 LE values, row-major, aliasing the stream.
+  const std::uint8_t* features_le = nullptr;
+};
+
+/// Zero-copy request decoder: identical framing validation and state
+/// machine as decode_frame, but only score-request frames decode (a
+/// peer pushing response frames at a server fails kBadType, exactly as
+/// the serving connection treats them) and the payload comes back as
+/// views instead of copies.
+DecodeState decode_request_view(const std::uint8_t* data, std::size_t size,
+                                std::size_t max_frame, ScoreRequestView& out,
+                                std::size_t& consumed, FrameError& error);
+
+/// Streaming response encode for the serve hot path: appends the frame
+/// prefix + header announcing `sample_count` result records (ignores
+/// `response.results`), returning a token for finish_response_frame.
+/// The caller appends exactly sample_count { u8 label,
+/// i64 projection_raw } records (support::put_u8 / put_i64le) in
+/// between, which lets pooled ScoreResults encode without materializing
+/// WireResult rows.
+std::size_t begin_response_frame(std::vector<std::uint8_t>& out,
+                                 const ScoreResponse& response,
+                                 std::uint16_t sample_count);
+
+/// Patches the length prefix begun by begin_response_frame.
+void finish_response_frame(std::vector<std::uint8_t>& out,
+                           std::size_t prefix);
 
 }  // namespace ldafp::net

@@ -32,12 +32,17 @@ void set_nodelay(int fd) {
 
 }  // namespace
 
-/// One event loop: an epoll instance, a wake eventfd, and the
+/// One event loop: an epoll instance, a wake eventfd, the loop's
+/// serving state (completion queue + block freelist), and the
 /// connections this thread exclusively owns.
 struct Server::Loop {
   int epoll_fd = -1;
   int wake_fd = -1;
   std::thread thread;
+  /// Completion-delivery target and RequestBlock pool.  Declared before
+  /// `conns`: Connection destructors unregister from (and recycle into)
+  /// this context, so it must outlive the map.
+  LoopContext serve;
   std::unordered_map<int, std::unique_ptr<Connection>> conns;
   /// EPOLLOUT interest currently registered, per fd.
   std::unordered_map<int, bool> write_interest;
@@ -75,6 +80,7 @@ Server::Server(ServerOptions options)
   context_.max_frame_bytes = options_.max_frame_bytes;
   context_.max_write_buffer = options_.max_write_buffer;
   context_.draining = &draining_;
+  context_.use_futures = options_.use_futures_baseline;
 }
 
 Server::~Server() { stop(); }
@@ -124,6 +130,14 @@ void Server::start() {
     ev.events = EPOLLIN;
     ev.data.fd = loop->wake_fd;
     ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev);
+    // The completion doorbell: engine workers ring it when scored
+    // blocks land in this loop's CompletionQueue, so the loop blocks
+    // in epoll_wait instead of polling for results.
+    epoll_event cev{};
+    cev.events = EPOLLIN;
+    cev.data.fd = loop->serve.completions->event_fd();
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD,
+                loop->serve.completions->event_fd(), &cev);
     loops_.push_back(std::move(loop));
   }
   // The first loop doubles as the acceptor.
@@ -187,6 +201,7 @@ std::size_t Server::connection_count() const {
 void Server::run_loop(Loop& loop, bool is_acceptor) {
   std::vector<epoll_event> events(256);
   bool listener_armed = is_acceptor;
+  const int completion_fd = loop.serve.completions->event_fd();
   while (true) {
     const bool stopping = stop_.load(std::memory_order_acquire);
     if (stopping && listener_armed) {
@@ -209,21 +224,30 @@ void Server::run_loop(Loop& loop, bool is_acceptor) {
       }
     }
 
-    // Zero timeout while engine futures are outstanding: completions
-    // have no fd to wake us, so the loop polls them (pump) at full
-    // rate.  Otherwise block — the wake eventfd breaks us out for
-    // inbox handoffs and shutdown.
-    bool pending = false;
-    for (const auto& [fd, conn] : loop.conns) {
-      if (conn->pending_count() > 0) {
-        pending = true;
-        break;
+    // Completion-driven loops always block: in-flight requests wake us
+    // through the CompletionQueue's eventfd, so the timeout is only an
+    // idle housekeeping tick (tightened while stopping so the drain
+    // deadline is honored promptly).  The legacy baseline mode keeps
+    // the old behaviour — zero timeout while futures are outstanding,
+    // because futures have no fd to ring — which is exactly the
+    // busy-poll bench/serve_load --baseline-futures measures against.
+    int timeout_ms;
+    if (options_.use_futures_baseline) {
+      bool pending = false;
+      for (const auto& [fd, conn] : loop.conns) {
+        if (conn->pending_count() > 0) {
+          pending = true;
+          break;
+        }
       }
+      timeout_ms = pending || stopping ? 0 : 200;
+    } else {
+      timeout_ms = stopping ? 10 : 200;
     }
-    const int timeout_ms = pending || stopping ? 0 : 200;
     const int n = ::epoll_wait(loop.epoll_fd, events.data(),
                                static_cast<int>(events.size()),
                                timeout_ms);
+    metrics_.loop_wakeups.increment();
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == listen_fd_) {
@@ -235,6 +259,11 @@ void Server::run_loop(Loop& loop, bool is_acceptor) {
         [[maybe_unused]] ssize_t r =
             ::read(loop.wake_fd, &drained, sizeof(drained));
         adopt_inbox(loop);
+        continue;
+      }
+      if (fd == completion_fd) {
+        loop.serve.completions->consume_signal();
+        loop.serve.drain_completions();
         continue;
       }
       auto it = loop.conns.find(fd);
@@ -326,7 +355,9 @@ void Server::add_connection(Loop& loop, int fd) {
     ::close(fd);
     return;
   }
-  loop.conns.emplace(fd, std::make_unique<Connection>(fd, &context_));
+  loop.conns.emplace(fd,
+                     std::make_unique<Connection>(fd, &context_,
+                                                  &loop.serve));
   loop.write_interest[fd] = false;
   loop.conn_count.store(loop.conns.size(), std::memory_order_relaxed);
 }

@@ -1,15 +1,18 @@
 // Non-blocking epoll TCP front-end over the inference engine
-// (DESIGN.md §12).
+// (DESIGN.md §12, §15).
 //
 // Topology: one listening socket plus `io_threads` event loops, each
 // owning a disjoint set of connections (accepted round-robin, handed
 // over through an eventfd-signalled inbox), so connection state is
 // single-threaded by construction — the only cross-thread traffic is
-// the thread-safe engine/registry/metrics trio every loop shares.  An
-// event loop blocks in epoll_wait while its connections are idle and
-// polls at zero timeout while any engine future is outstanding, which
-// keeps response latency at the engine's micro-batch linger rather
-// than an epoll tick.
+// the thread-safe engine/registry/metrics trio every loop shares.
+// Completion-driven: each loop owns a LoopContext (CompletionQueue +
+// RequestBlock freelist), registers the queue's eventfd in its epoll
+// set, and blocks in epoll_wait at a real timeout even while requests
+// are in flight — engine workers ring the doorbell when scored blocks
+// are ready, so a loop wakes exactly when there is I/O or a reply to
+// encode, never to poll ("net.loop_wakeups" counts the wakes; a test
+// bounds them against completions).
 //
 // The server serves whatever the ModelRegistry holds: requests route
 // by model name (multi-tenant), hot swaps apply at the next request's
@@ -53,6 +56,11 @@ struct ServerOptions {
   /// Model served when a request names none ("" = no default; such
   /// requests fail kUnknownModel).
   std::string default_model;
+  /// Legacy benchmark mode: serve through the promise/future adapter
+  /// with the old zero-timeout future-polling loops.  Exists solely so
+  /// bench/serve_load --baseline-futures can measure the pre-completion
+  /// pipeline in the same binary; never enable it in production.
+  bool use_futures_baseline = false;
 
   /// Scoring engine (borrowed, required, outlives the server).
   runtime::InferenceEngine* engine = nullptr;

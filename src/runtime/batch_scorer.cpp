@@ -1,14 +1,52 @@
 #include "runtime/batch_scorer.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "fixed/value.h"
 #include "support/error.h"
+#include "support/wire.h"
 
 namespace ldafp::runtime {
 
 namespace simd = fixed::simd;
+
+void PackedBatch::append_packed(const PackedBatch& src) {
+  if (src.rows == 0) return;
+  if (rows == 0) {
+    dim = src.dim;
+    words.clear();
+  } else {
+    LDAFP_CHECK(dim == src.dim,
+                "append_packed: batches packed at different dims");
+  }
+  if (rows % kLane == 0) {
+    // Tile-aligned destination: the source tiles (padding included)
+    // drop in verbatim.  Interior padding lanes left by this copy are
+    // zero and get overwritten if more rows land later.
+    words.insert(words.end(), src.words.begin(), src.words.end());
+    rows += src.rows;
+    return;
+  }
+  // Mid-tile destination: restripe row by row into the open lanes.
+  const std::size_t stride = dim * kLane;
+  words.reserve(((rows + src.rows + kLane - 1) / kLane) * stride);
+  for (std::size_t r = 0; r < src.rows; ++r) {
+    const std::size_t row = rows + r;
+    if (row % kLane == 0) {
+      words.resize(words.size() + stride, 0);
+    }
+    std::int64_t* tile = words.data() + (row / kLane) * stride;
+    const std::size_t lane = row % kLane;
+    const std::int64_t* src_tile = src.words.data() + (r / kLane) * stride;
+    const std::size_t src_lane = r % kLane;
+    for (std::size_t m = 0; m < dim; ++m) {
+      tile[m * kLane + lane] = src_tile[m * kLane + src_lane];
+    }
+  }
+  rows += src.rows;
+}
 
 BatchScorer::BatchScorer(const core::FixedClassifier& clf)
     : fmt_(clf.format()),
@@ -81,6 +119,41 @@ PackedBatch BatchScorer::pack(const std::vector<linalg::Vector>& xs) const {
   PackedBatch batch;
   pack_into(batch, xs.data(), xs.size());
   return batch;
+}
+
+bool BatchScorer::pack_from_f64_le(PackedBatch& out,
+                                   const std::uint8_t* payload,
+                                   std::size_t n) const {
+  constexpr std::size_t kLane = PackedBatch::kLane;
+  if (out.rows == 0) {
+    out.dim = dim();
+    out.words.clear();
+  } else {
+    LDAFP_CHECK(out.dim == dim(),
+                "pack_from_f64_le: batch already packed at a different dim");
+  }
+  const std::size_t m_count = dim();
+  out.words.reserve(((out.rows + n + kLane - 1) / kLane) * m_count * kLane);
+  const std::uint8_t* p = payload;
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t row = out.rows;
+    if (row % kLane == 0) {
+      out.words.resize(out.words.size() + m_count * kLane, 0);
+    }
+    std::int64_t* tile =
+        out.words.data() + (row / kLane) * m_count * kLane;
+    const std::size_t lane = row % kLane;
+    for (std::size_t m = 0; m < m_count; ++m, p += 8) {
+      // Exactly what WireReader::f64 yields: the LE u64 bit pattern
+      // reinterpreted as IEEE-754 — so the value entering quantize() is
+      // bit-identical to the decode-then-pack path.
+      const double v = std::bit_cast<double>(support::get_u64le(p));
+      if (std::isnan(v)) return false;  // reject at ingest, not in a worker
+      tile[m * kLane + lane] = quantize(v);
+    }
+    out.rows += 1;
+  }
+  return true;
 }
 
 void BatchScorer::score(const PackedBatch& batch, ScoreResult* out) const {

@@ -57,6 +57,13 @@ struct PackedBatch {
     dim = 0;
     words.clear();
   }
+
+  /// Appends every row of `src` (already-quantized words — pure lane
+  /// restriping, no re-quantization), latching dim from `src` when this
+  /// batch is empty.  Throws InvalidArgumentError on a dim mismatch.
+  /// The engine uses this to merge per-request batches packed at ingest
+  /// into one contiguous scoring batch.
+  void append_packed(const PackedBatch& src);
 };
 
 /// One scored sample: the decision plus the W-bit projection word the
@@ -89,6 +96,19 @@ class BatchScorer {
 
   /// Fresh packed batch from a sample list.
   PackedBatch pack(const std::vector<linalg::Vector>& xs) const;
+
+  /// Zero-copy ingest: quantizes `n` samples straight from a
+  /// little-endian f64 wire payload (n * dim() values, row-major — the
+  /// protocol's request feature layout) into `out`, appending after
+  /// out.rows.  Bit-identical to decoding the payload into doubles and
+  /// calling pack_into (same cached quantizer; reading the IEEE-754 bit
+  /// pattern is exact), asserted by the sweep in
+  /// tests/runtime/batch_scorer_test.cpp.  Returns false — leaving
+  /// `out` with any rows packed before the offender, callers should
+  /// clear() — when a value is NaN, so hostile payloads surface as a
+  /// request error at ingest instead of a crash in a scoring worker.
+  bool pack_from_f64_le(PackedBatch& out, const std::uint8_t* payload,
+                        std::size_t n) const;
 
   /// Scores every row of the batch into `out[0..rows)`.  `out` must
   /// have room for batch.rows results.

@@ -1,6 +1,8 @@
 #include "runtime/engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "support/error.h"
@@ -49,6 +51,36 @@ InferenceEngine::InferenceEngine(EngineOptions options)
 
 InferenceEngine::~InferenceEngine() { shutdown(); }
 
+SubmitStatus InferenceEngine::submit(RequestBlock* block) {
+  if (block == nullptr || block->model == nullptr ||
+      block->batch.rows == 0 ||
+      block->batch.dim != block->model->classifier.dim()) {
+    return SubmitStatus::kInvalidRequest;
+  }
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return SubmitStatus::kShuttingDown;
+  }
+  block->submitted = support::WallTimer();
+  RequestBlock* item = block;
+  switch (queue_.try_push(std::move(item))) {
+    case PushResult::kOk:
+      stats_.requests_submitted.increment();
+      // The queue's depth and high-water mark are mirrored into the
+      // stats block at admission so exports are self-contained.
+      stats_.queue_depth.set(static_cast<double>(queue_.size()));
+      stats_.queue_depth_high_water.set_max(
+          static_cast<double>(queue_.high_water_mark()));
+      return SubmitStatus::kAccepted;
+    case PushResult::kFull:
+      stats_.requests_rejected.increment();
+      stats_.queue_depth.set(static_cast<double>(queue_.size()));
+      return SubmitStatus::kQueueFull;
+    case PushResult::kClosed:
+      return SubmitStatus::kShuttingDown;
+  }
+  return SubmitStatus::kShuttingDown;
+}
+
 Submission InferenceEngine::submit(ModelHandle model,
                                    std::vector<linalg::Vector> samples) {
   Submission submission;
@@ -68,33 +100,21 @@ Submission InferenceEngine::submit(ModelHandle model,
     return submission;
   }
 
-  Request request;
-  request.model = std::move(model);
-  request.samples = std::move(samples);
-  // The future must be taken before the request is moved into the queue:
-  // a worker may fulfill (and destroy) the promise immediately.
-  submission.result = request.promise.get_future();
+  auto block = std::make_unique<RequestBlock>();
+  block->model = std::move(model);
+  block->model->scorer.pack_into(block->batch, samples.data(),
+                                 samples.size());
+  block->promise =
+      std::make_unique<std::promise<std::vector<ScoreResult>>>();
+  // The future must be taken before admission: a worker may fulfill
+  // (and delete) the block immediately.
+  submission.result = block->promise->get_future();
 
-  switch (queue_.try_push(std::move(request))) {
-    case PushResult::kOk:
-      submission.status = SubmitStatus::kAccepted;
-      stats_.requests_submitted.increment();
-      // The queue's depth and high-water mark are mirrored into the
-      // stats block at admission so exports are self-contained.
-      stats_.queue_depth.set(static_cast<double>(queue_.size()));
-      stats_.queue_depth_high_water.set_max(
-          static_cast<double>(queue_.high_water_mark()));
-      break;
-    case PushResult::kFull:
-      submission.status = SubmitStatus::kQueueFull;
-      stats_.requests_rejected.increment();
-      stats_.queue_depth.set(static_cast<double>(queue_.size()));
-      submission.result = {};
-      break;
-    case PushResult::kClosed:
-      submission.status = SubmitStatus::kShuttingDown;
-      submission.result = {};
-      break;
+  submission.status = submit(block.get());
+  if (submission.status == SubmitStatus::kAccepted) {
+    block.release();  // the engine owns it now
+  } else {
+    submission.result = {};
   }
   return submission;
 }
@@ -131,9 +151,8 @@ void InferenceEngine::shutdown() {
 
 void InferenceEngine::worker_loop() {
   using clock = std::chrono::steady_clock;
-  const auto linger = std::chrono::nanoseconds(
-      static_cast<long long>(options_.max_wait_seconds * 1e9));
-  std::vector<Request> batch;
+  WorkerScratch scratch;
+  std::vector<RequestBlock*>& batch = scratch.batch;
   while (true) {
     {
       std::unique_lock lock(pause_mu_);
@@ -141,71 +160,128 @@ void InferenceEngine::worker_loop() {
     }
     batch.clear();
 
-    // Open a micro-batch: block for the first request, then linger up to
-    // max_wait for more while the batch holds fewer than max_batch
-    // samples.  Requests ride whole, so one oversized request still
-    // scores in a single pass.
-    Request first;
+    // Open a micro-batch: block for the first request, then linger for
+    // more while the batch holds fewer than max_batch samples.  The
+    // linger budget adapts to queue depth (shallow queue → short wait,
+    // so an idle engine adds almost no latency; deep queue → full
+    // budget, though a deep queue fills the batch without waiting).
+    // Requests ride whole, so one oversized request still scores in a
+    // single pass.
+    RequestBlock* first = nullptr;
     if (!queue_.pop(first)) return;  // closed and drained
-    std::size_t sample_count = first.samples.size();
-    batch.push_back(std::move(first));
+    std::size_t sample_count = first->batch.rows;
+    batch.push_back(first);
+    const double depth_frac = std::min(
+        1.0, static_cast<double>(queue_.size() + 1) /
+                 static_cast<double>(options_.max_batch));
+    const auto linger = std::chrono::nanoseconds(static_cast<long long>(
+        options_.max_wait_seconds * depth_frac * 1e9));
     const auto deadline = clock::now() + linger;
     while (sample_count < options_.max_batch) {
-      Request next;
+      RequestBlock* next = nullptr;
       if (queue_.pop_wait_until(next, deadline) != PopResult::kItem) break;
-      sample_count += next.samples.size();
-      batch.push_back(std::move(next));
+      sample_count += next->batch.rows;
+      batch.push_back(next);
     }
     stats_.queue_depth.set(static_cast<double>(queue_.size()));
+    stats_.batch_occupancy.record(
+        static_cast<double>(sample_count) /
+        static_cast<double>(options_.max_batch));
 
     // Group by model snapshot (pointer identity — a hot-swap installs a
-    // new snapshot, so mixed traffic around a swap splits cleanly) and
-    // score each group as one contiguous packed batch.
-    std::vector<Request*> group;
-    std::vector<bool> grouped(batch.size(), false);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (grouped[i]) continue;
-      group.clear();
-      for (std::size_t j = i; j < batch.size(); ++j) {
-        if (!grouped[j] && batch[j].model == batch[i].model) {
-          grouped[j] = true;
-          group.push_back(&batch[j]);
-        }
+    // new snapshot, so mixed traffic around a swap splits cleanly) in
+    // one stable pass: batches hold at most a handful of distinct
+    // snapshots, so the key scan is a short linear probe, not the old
+    // quadratic grouped[] sweep.
+    scratch.group_keys.clear();
+    for (RequestBlock* block : batch) {
+      const ModelSnapshot* key = block->model.get();
+      std::size_t g = 0;
+      while (g < scratch.group_keys.size() &&
+             scratch.group_keys[g] != key) {
+        ++g;
       }
-      score_group(*batch[i].model, group);
+      if (g == scratch.group_keys.size()) {
+        scratch.group_keys.push_back(key);
+        if (scratch.groups.size() < scratch.group_keys.size()) {
+          scratch.groups.emplace_back();
+        }
+        scratch.groups[g].clear();
+      }
+      scratch.groups[g].push_back(block);
+    }
+    for (std::size_t g = 0; g < scratch.group_keys.size(); ++g) {
+      score_group(*scratch.groups[g].front()->model, scratch.groups[g],
+                  scratch);
     }
   }
 }
 
 void InferenceEngine::score_group(const ModelSnapshot& model,
-                                  std::vector<Request*>& group) {
+                                  std::vector<RequestBlock*>& group,
+                                  WorkerScratch& scratch) {
   obs::ScopedSpan span(tracer_, "engine.batch");
-  for (const Request* request : group) {
-    stats_.queue_wait.record(request->submitted.seconds());
+  for (const RequestBlock* block : group) {
+    stats_.queue_wait.record(block->submitted.seconds());
   }
 
   support::WallTimer exec;
-  PackedBatch packed;
-  for (const Request* request : group) {
-    model.scorer.pack_into(packed, request->samples.data(),
-                           request->samples.size());
+  std::size_t rows = 0;
+  if (group.size() == 1) {
+    // Single-request group: score straight into the block's pooled
+    // result buffer — no merge, no copy.
+    RequestBlock* block = group.front();
+    block->results.resize(block->batch.rows);
+    model.scorer.score(block->batch, block->results.data());
+    rows = block->batch.rows;
+  } else {
+    // Multi-request group: restripe the per-request tiles into one
+    // contiguous batch (word moves, no re-quantization), score once,
+    // then copy each request's span back into its pooled reply.
+    scratch.merged.clear();
+    for (const RequestBlock* block : group) {
+      scratch.merged.append_packed(block->batch);
+    }
+    scratch.scored.resize(scratch.merged.rows);
+    model.scorer.score(scratch.merged, scratch.scored.data());
+    std::size_t offset = 0;
+    for (RequestBlock* block : group) {
+      const std::size_t n = block->batch.rows;
+      block->results.assign(scratch.scored.begin() + offset,
+                            scratch.scored.begin() + offset + n);
+      offset += n;
+    }
+    rows = scratch.merged.rows;
   }
-  std::vector<ScoreResult> scored(packed.rows);
-  model.scorer.score(packed, scored.data());
   stats_.batch_execute.record(exec.seconds());
 
-  std::size_t offset = 0;
-  for (Request* request : group) {
-    const std::size_t n = request->samples.size();
-    std::vector<ScoreResult> slice(scored.begin() + offset,
-                                   scored.begin() + offset + n);
-    offset += n;
-    stats_.request_total.record(request->submitted.seconds());
-    request->promise.set_value(std::move(slice));
-  }
+  // Counters settle before delivery: a caller woken by its future (or
+  // completion) must see this batch already accounted for.
   stats_.batches_scored.increment();
-  stats_.samples_scored.add(packed.rows);
+  stats_.samples_scored.add(rows);
   stats_.requests_completed.add(group.size());
+  for (RequestBlock* block : group) deliver(block);
+  group.clear();
+}
+
+void InferenceEngine::deliver(RequestBlock* block) {
+  stats_.request_total.record(block->submitted.seconds());
+  if (block->promise != nullptr) {
+    // Adapter path: move the promise and results out, free the block,
+    // then resolve — the future's shared state outlives the block.
+    auto promise = std::move(block->promise);
+    std::vector<ScoreResult> results = std::move(block->results);
+    delete block;
+    promise->set_value(std::move(results));
+    return;
+  }
+  if (std::shared_ptr<CompletionQueue> queue = block->completions.lock()) {
+    queue->push(block);
+    return;
+  }
+  // The consumer tore down while this block was in flight; nobody can
+  // receive it.
+  delete block;
 }
 
 }  // namespace ldafp::runtime

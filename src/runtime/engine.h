@@ -1,19 +1,27 @@
 // Multi-threaded batched inference engine.
 //
-// The serving pipeline is: submit() packs a request (model handle + one
-// or more feature vectors + a promise) into a bounded MPMC queue; a
-// fixed pool of workers pops micro-batches (up to max_batch samples,
-// lingering up to max_wait for stragglers), groups them by model
-// snapshot, scores each group through the model's BatchScorer in one
-// contiguous pass, and fulfills the promises.  Results are bit-identical
-// to calling FixedClassifier::classify per sample — batching changes
-// throughput, never bits (tests/runtime/engine_test.cpp holds the
-// cross-check under producer/worker concurrency).
+// The serving pipeline is completion-driven: submit(RequestBlock*)
+// admits a pooled record that already carries its quantized PackedBatch
+// (packed at ingest — no per-sample vectors, no re-quantization) into a
+// bounded MPMC queue; a fixed pool of workers pops micro-batches (up to
+// max_batch samples, lingering adaptively for stragglers), groups them
+// by model snapshot in one stable pass, scores each group through the
+// model's BatchScorer, and pushes each finished block onto its
+// submitter's CompletionQueue — ringing that consumer's eventfd so an
+// epoll loop wakes exactly when replies exist instead of polling
+// futures.  Results are bit-identical to calling
+// FixedClassifier::classify per sample — batching and lane-merging
+// change throughput, never bits (tests/runtime/engine_test.cpp and
+// completion_test.cpp hold the cross-check under concurrency).
+//
+// A thin future-based submit() adapter survives for callers that want
+// one-shot request/response without owning a completion queue; it rides
+// the same block pipeline with a promise attached.
 //
 // Overload behaviour is explicit: a full queue rejects the submission
 // with SubmitStatus::kQueueFull instead of buffering without bound, and
 // shutdown() closes admission, drains every in-flight request, then
-// joins the workers — a drained engine never breaks a promise.
+// joins the workers — a drained engine never drops a completion.
 #pragma once
 
 #include <atomic>
@@ -28,6 +36,7 @@
 #include "linalg/vector.h"
 #include "obs/sink.h"
 #include "runtime/batch_scorer.h"
+#include "runtime/completion.h"
 #include "runtime/queue.h"
 #include "runtime/registry.h"
 #include "runtime/stats.h"
@@ -46,8 +55,11 @@ struct EngineOptions {
   /// pass (requests are admitted whole, so a single oversized request
   /// still scores in one pass).
   std::size_t max_batch = 64;
-  /// How long a worker lingers for more requests while its batch is
-  /// short.  0 disables lingering (score whatever is queued).
+  /// Linger budget: the most a worker waits for more requests while its
+  /// batch is short.  The effective linger adapts to queue depth —
+  /// max_wait_seconds * min(1, (depth + 1) / max_batch) — so an idle
+  /// engine answers at near-zero added latency while a loaded one waits
+  /// long enough to fill its batch.  0 disables lingering.
   double max_wait_seconds = 500e-6;
   /// Start with workers parked; traffic is admitted (and backpressure
   /// applies) but nothing scores until resume().  Deterministic testing
@@ -77,8 +89,9 @@ enum class SubmitStatus {
 /// Short display name of a submit status.
 const char* to_string(SubmitStatus status);
 
-/// An admitted (or rejected) request: when status == kAccepted, `result`
-/// resolves to one ScoreResult per submitted sample, in order.
+/// An admitted (or rejected) request on the adapter path: when status ==
+/// kAccepted, `result` resolves to one ScoreResult per submitted sample,
+/// in order.
 struct Submission {
   SubmitStatus status = SubmitStatus::kInvalidRequest;
   std::future<std::vector<ScoreResult>> result;
@@ -95,8 +108,19 @@ class InferenceEngine {
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
-  /// Enqueues `samples` for scoring against `model`.  All samples of a
-  /// request ride in one queue slot and resolve through one future.
+  /// Completion-driven admission (the serve hot path).  `block` must
+  /// carry a model handle and a non-empty PackedBatch packed by that
+  /// model's scorer; `block->completions` (or `block->promise`) names
+  /// the delivery target.  On kAccepted the engine owns the block until
+  /// it delivers the completion — exactly once, even across shutdown.
+  /// On any other status ownership stays with the caller (recycle or
+  /// retry).  Thread-safe.
+  SubmitStatus submit(RequestBlock* block);
+
+  /// Future-based adapter: enqueues `samples` for scoring against
+  /// `model`.  All samples of a request ride in one queue slot and
+  /// resolve through one future.  (Unlike the block path, this packs on
+  /// the submitting thread and pays one promise allocation.)
   Submission submit(ModelHandle model, std::vector<linalg::Vector> samples);
 
   /// Single-sample convenience.
@@ -119,20 +143,30 @@ class InferenceEngine {
   const EngineOptions& options() const { return options_; }
 
  private:
-  struct Request {
-    ModelHandle model;
-    std::vector<linalg::Vector> samples;
-    std::promise<std::vector<ScoreResult>> promise;
-    support::WallTimer submitted;  ///< started at admission
+  /// Per-worker reusable scratch: the merged packed batch, the scored
+  /// results staging area, and the grouping arrays all live for the
+  /// worker's lifetime, so the steady-state scoring path allocates
+  /// nothing once warm.
+  struct WorkerScratch {
+    std::vector<RequestBlock*> batch;
+    std::vector<const ModelSnapshot*> group_keys;
+    std::vector<std::vector<RequestBlock*>> groups;
+    PackedBatch merged;
+    std::vector<ScoreResult> scored;
   };
 
   void worker_loop();
-  void score_group(const ModelSnapshot& model, std::vector<Request*>& group);
+  void score_group(const ModelSnapshot& model,
+                   std::vector<RequestBlock*>& group,
+                   WorkerScratch& scratch);
+  /// Hands a scored block to its delivery target (completion queue,
+  /// promise, or — when the consumer is gone — the deleter).
+  void deliver(RequestBlock* block);
 
   EngineOptions options_;
   obs::Tracer* tracer_ = nullptr;
   RuntimeStats stats_;
-  BoundedQueue<Request> queue_;
+  BoundedQueue<RequestBlock*> queue_;
 
   std::mutex pause_mu_;
   std::condition_variable pause_cv_;

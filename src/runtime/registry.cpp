@@ -27,14 +27,14 @@ ModelHandle ModelRegistry::install(const std::string& name,
   return install(name, image.classifier(mode, acc));
 }
 
-ModelHandle ModelRegistry::get(const std::string& name) const {
+ModelHandle ModelRegistry::get(std::string_view name) const {
   std::shared_lock lock(mu_);
   const auto it = models_.find(name);
   if (it == models_.end() || it->second.empty()) return nullptr;
   return it->second.rbegin()->second;
 }
 
-ModelHandle ModelRegistry::get(const std::string& name,
+ModelHandle ModelRegistry::get(std::string_view name,
                                std::uint64_t version) const {
   std::shared_lock lock(mu_);
   const auto it = models_.find(name);

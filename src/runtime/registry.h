@@ -12,10 +12,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/classifier.h"
@@ -67,11 +69,13 @@ class ModelRegistry {
                       fixed::AccumulatorMode acc =
                           fixed::AccumulatorMode::kWide);
 
-  /// Latest version of `name`; nullptr when absent.
-  ModelHandle get(const std::string& name) const;
+  /// Latest version of `name`; nullptr when absent.  Takes a view (the
+  /// map compares heterogeneously) so the serve hot path resolves
+  /// wire-decoded names without materializing a std::string.
+  ModelHandle get(std::string_view name) const;
 
   /// Specific version of `name`; nullptr when absent.
-  ModelHandle get(const std::string& name, std::uint64_t version) const;
+  ModelHandle get(std::string_view name, std::uint64_t version) const;
 
   /// Drops all versions of `name`.  In-flight handles stay valid; true
   /// when the name existed.
@@ -88,7 +92,9 @@ class ModelRegistry {
 
  private:
   mutable std::shared_mutex mu_;
-  std::map<std::string, std::map<std::uint64_t, ModelHandle>> models_;
+  /// std::less<> enables find(string_view) without a temporary string.
+  std::map<std::string, std::map<std::uint64_t, ModelHandle>, std::less<>>
+      models_;
 };
 
 }  // namespace ldafp::runtime

@@ -64,7 +64,13 @@ class RuntimeStats {
   // -- per-stage latency (seconds) --
   obs::Histogram& queue_wait;     ///< submit -> batch formation
   obs::Histogram& batch_execute;  ///< pack + score of one batch
-  obs::Histogram& request_total;  ///< submit -> promise fulfilled
+  obs::Histogram& request_total;  ///< submit -> completion delivered
+
+  /// Fill fraction of each formed micro-batch (samples / max_batch,
+  /// in (0, 1]); the adaptive linger's efficiency signal — a
+  /// distribution pinned low under load means batching is not
+  /// amortizing, pinned at 1.0 means the queue always fills the batch.
+  obs::Histogram& batch_occupancy;
 
   /// Mean samples per scored batch (the micro-batcher's achieved
   /// amortization).

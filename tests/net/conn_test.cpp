@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -54,12 +55,15 @@ class ConnTest : public ::testing::Test {
     return r;
   }
 
-  /// Pumps until every pending slot has completed (engine futures
-  /// resolve on worker threads) or the deadline passes.
+  /// Drives the connection until every pending slot has completed or
+  /// the deadline passes — routing engine completions the way the
+  /// serving loop does (drain_completions), then pumping.  Also covers
+  /// the legacy futures mode, where pump() itself polls readiness.
   void drain(Connection& conn, double seconds = 5.0) {
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::duration<double>(seconds);
     while (conn.pending_count() > 0 && !conn.dead()) {
+      loop_.drain_completions();
       conn.pump();
       ASSERT_LT(std::chrono::steady_clock::now(), deadline)
           << "connection did not drain";
@@ -93,10 +97,12 @@ class ConnTest : public ::testing::Test {
   NetMetrics metrics_;
   std::atomic<bool> draining_{false};
   ServeContext context_;
+  /// Completion routing + block pool, as one serving event loop owns it.
+  LoopContext loop_;
 };
 
 TEST_F(ConnTest, SingleRequestScoresAgainstTheClassifier) {
-  Connection conn(-1, &context_);
+  Connection conn(-1, &context_, &loop_);
   std::vector<std::uint8_t> wire;
   const ScoreRequest req = request(1);
   encode(wire, req);
@@ -120,7 +126,7 @@ TEST_F(ConnTest, SingleRequestScoresAgainstTheClassifier) {
 }
 
 TEST_F(ConnTest, ByteAtATimeIngestReassemblesTheFrame) {
-  Connection conn(-1, &context_);
+  Connection conn(-1, &context_, &loop_);
   std::vector<std::uint8_t> wire;
   encode(wire, request(3));
   for (const std::uint8_t byte : wire) {
@@ -138,7 +144,7 @@ TEST_F(ConnTest, SplitAtEveryOffsetDecodesIdentically) {
   std::vector<std::uint8_t> wire;
   encode(wire, request(5));
   for (std::size_t split = 1; split < wire.size(); ++split) {
-    Connection conn(-1, &context_);
+    Connection conn(-1, &context_, &loop_);
     conn.ingest(wire.data(), split);
     EXPECT_EQ(conn.pending_count(), 0u) << "split " << split;
     conn.ingest(wire.data() + split, wire.size() - split);
@@ -151,7 +157,7 @@ TEST_F(ConnTest, SplitAtEveryOffsetDecodesIdentically) {
 }
 
 TEST_F(ConnTest, PipelinedResponsesComeBackInRequestOrder) {
-  Connection conn(-1, &context_);
+  Connection conn(-1, &context_, &loop_);
   constexpr std::uint64_t kCount = 32;
   std::vector<std::uint8_t> wire;
   for (std::uint64_t id = 1; id <= kCount; ++id) encode(wire, request(id));
@@ -166,7 +172,7 @@ TEST_F(ConnTest, PipelinedResponsesComeBackInRequestOrder) {
 }
 
 TEST_F(ConnTest, MixedOutcomesPreserveOrderAndTheConnection) {
-  Connection conn(-1, &context_);
+  Connection conn(-1, &context_, &loop_);
   std::vector<std::uint8_t> wire;
   encode(wire, request(1));
   ScoreRequest unknown = request(2);
@@ -203,7 +209,7 @@ TEST_F(ConnTest, MixedOutcomesPreserveOrderAndTheConnection) {
 }
 
 TEST_F(ConnTest, DrainingAnswersShuttingDown) {
-  Connection conn(-1, &context_);
+  Connection conn(-1, &context_, &loop_);
   draining_.store(true);
   std::vector<std::uint8_t> wire;
   encode(wire, request(1));
@@ -215,7 +221,7 @@ TEST_F(ConnTest, DrainingAnswersShuttingDown) {
 }
 
 TEST_F(ConnTest, MalformedFrameGetsTerminalProtocolError) {
-  Connection conn(-1, &context_);
+  Connection conn(-1, &context_, &loop_);
   // A good request pipelined ahead of the garbage still completes.
   std::vector<std::uint8_t> wire;
   encode(wire, request(1));
@@ -245,7 +251,7 @@ TEST_F(ConnTest, MalformedFrameGetsTerminalProtocolError) {
 TEST_F(ConnTest, OversizedFrameIsTerminal) {
   ServeContext small = context_;
   small.max_frame_bytes = 256;
-  Connection conn(-1, &small);
+  Connection conn(-1, &small, &loop_);
   std::vector<std::uint8_t> wire;
   ScoreRequest big = request(1);
   for (int s = 0; s < 16; ++s) {
@@ -263,7 +269,7 @@ TEST_F(ConnTest, OversizedFrameIsTerminal) {
 TEST_F(ConnTest, SlowClientIsDisconnectedAtTheWriteBound) {
   ServeContext tight = context_;
   tight.max_write_buffer = 128;  // a few response frames
-  Connection conn(-1, &tight);
+  Connection conn(-1, &tight, &loop_);
   std::vector<std::uint8_t> wire;
   for (std::uint64_t id = 1; id <= 16; ++id) encode(wire, request(id));
   conn.ingest(wire.data(), wire.size());
@@ -272,12 +278,122 @@ TEST_F(ConnTest, SlowClientIsDisconnectedAtTheWriteBound) {
                         std::chrono::seconds(5);
   while (!conn.dead() &&
          std::chrono::steady_clock::now() < deadline) {
+    loop_.drain_completions();
     conn.pump();
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
   EXPECT_TRUE(conn.dead());
   EXPECT_EQ(metrics_.slow_client_disconnects.load(), 1u);
   EXPECT_TRUE(conn.finished());
+}
+
+// The head-of-line guarantee under adversarial completion order: the
+// test intercepts the loop's completion queue, hands the scored blocks
+// back to the connection in *reverse* submission order, and the
+// responses still come out in request order.
+TEST_F(ConnTest, OutOfOrderCompletionsStayHeadOfLineOrdered) {
+  constexpr std::uint64_t kCount = 8;
+  Connection conn(-1, &context_, &loop_);
+  std::vector<std::uint8_t> wire;
+  for (std::uint64_t id = 1; id <= kCount; ++id) encode(wire, request(id));
+  conn.ingest(wire.data(), wire.size());
+  ASSERT_EQ(conn.pending_count(), kCount);
+
+  // Collect every scored block straight off the CompletionQueue,
+  // bypassing drain_completions' routing.
+  std::vector<runtime::RequestBlock*> blocks;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (blocks.size() < kCount) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    for (runtime::RequestBlock* b = loop_.completions->drain();
+         b != nullptr;) {
+      runtime::RequestBlock* next = b->next;
+      b->next = nullptr;
+      blocks.push_back(b);
+      b = next;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+
+  // Deliver in reverse: the tail request's completion lands first.
+  for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
+    conn.on_completion(*it);
+  }
+  while (conn.pending_count() > 0) ASSERT_TRUE(conn.pump());
+
+  const auto got = responses(conn);
+  ASSERT_EQ(got.size(), kCount);
+  for (std::uint64_t id = 1; id <= kCount; ++id) {
+    EXPECT_EQ(got[id - 1].request_id, id);
+    EXPECT_EQ(got[id - 1].status, ResponseStatus::kOk);
+  }
+}
+
+// A NaN feature is caught at ingest (pack_from_f64_le refuses it) and
+// answered kInvalidRequest — a per-request failure, not a crash in a
+// scoring worker and not a torn connection.
+TEST_F(ConnTest, NaNFeatureAnswersInvalidRequestAndKeepsTheStream) {
+  Connection conn(-1, &context_, &loop_);
+  std::vector<std::uint8_t> wire;
+  ScoreRequest poisoned = request(1);
+  poisoned.features[2] = std::numeric_limits<double>::quiet_NaN();
+  encode(wire, poisoned);
+  encode(wire, request(2));
+  conn.ingest(wire.data(), wire.size());
+  drain(conn);
+  const auto got = responses(conn);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].request_id, 1u);
+  EXPECT_EQ(got[0].status, ResponseStatus::kInvalidRequest);
+  EXPECT_EQ(got[1].request_id, 2u);
+  EXPECT_EQ(got[1].status, ResponseStatus::kOk);
+  EXPECT_FALSE(conn.dead());
+  EXPECT_EQ(metrics_.rejected(ResponseStatus::kInvalidRequest).load(), 1u);
+}
+
+// Steady state allocates nothing: after the first round trip the block
+// comes from (and returns to) the loop's freelist, so the live-block
+// count stays flat across subsequent requests.
+TEST_F(ConnTest, SteadyStateRecyclesBlocksThroughThePool) {
+  Connection conn(-1, &context_, &loop_);
+  std::vector<std::uint8_t> wire;
+  encode(wire, request(1));
+  conn.ingest(wire.data(), wire.size());
+  drain(conn);
+  (void)responses(conn);
+  ASSERT_EQ(loop_.pool.free_count(), 1u);
+  const std::int64_t live_after_warmup = runtime::RequestBlock::live();
+
+  for (std::uint64_t id = 2; id <= 20; ++id) {
+    std::vector<std::uint8_t> next;
+    encode(next, request(id));
+    conn.ingest(next.data(), next.size());
+    drain(conn);
+    (void)responses(conn);
+    EXPECT_EQ(loop_.pool.free_count(), 1u);
+    EXPECT_EQ(runtime::RequestBlock::live(), live_after_warmup);
+  }
+}
+
+// The legacy futures mode (bench baseline) still serves correctly —
+// same wire behaviour, pump()-polled readiness.
+TEST_F(ConnTest, FuturesBaselineModeServesIdentically) {
+  ServeContext legacy = context_;
+  legacy.use_futures = true;
+  Connection conn(-1, &legacy, &loop_);
+  EXPECT_EQ(conn.conn_id(), 0u);  // never registered for routing
+  constexpr std::uint64_t kCount = 8;
+  std::vector<std::uint8_t> wire;
+  for (std::uint64_t id = 1; id <= kCount; ++id) encode(wire, request(id));
+  conn.ingest(wire.data(), wire.size());
+  drain(conn);
+  const auto got = responses(conn);
+  ASSERT_EQ(got.size(), kCount);
+  for (std::uint64_t id = 1; id <= kCount; ++id) {
+    EXPECT_EQ(got[id - 1].request_id, id);
+    EXPECT_EQ(got[id - 1].status, ResponseStatus::kOk);
+  }
 }
 
 }  // namespace

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "support/error.h"
 #include "support/rng.h"
+#include "support/wire.h"
 
 namespace ldafp::runtime {
 namespace {
@@ -209,6 +212,140 @@ TEST(BatchScorerTest, DimensionMismatchThrows) {
   const core::FixedClassifier clf(fmt, Vector{0.25, -0.5}, 0.0);
   const BatchScorer scorer(clf);
   EXPECT_THROW(scorer.score({Vector{1.0}}), ldafp::InvalidArgumentError);
+}
+
+/// Little-endian f64 wire payload for `xs` (the protocol's request
+/// feature layout: row-major, 8 bytes per value).
+std::vector<std::uint8_t> wire_payload(const std::vector<Vector>& xs) {
+  std::vector<std::uint8_t> payload;
+  for (const Vector& x : xs) {
+    for (std::size_t m = 0; m < x.size(); ++m) {
+      support::put_f64le(payload, x[m]);
+    }
+  }
+  return payload;
+}
+
+// The zero-copy ingest contract: quantizing straight from the wire
+// payload produces the exact words (and therefore the exact scores)
+// that the decode-to-doubles + pack_into path produces, across every
+// format × rounding mode combination, saturation included.
+TEST(BatchScorerTest, PackFromWireBitIdenticalToPackIntoAcrossConfigs) {
+  support::Rng rng(55);
+  const std::vector<fixed::FixedFormat> formats = {
+      {2, 2}, {2, 4}, {3, 5}, {2, 10}, {4, 12}};
+  const std::vector<fixed::RoundingMode> modes = {
+      fixed::RoundingMode::kNearestEven, fixed::RoundingMode::kNearestAway,
+      fixed::RoundingMode::kTowardZero, fixed::RoundingMode::kFloor};
+  for (const auto& fmt : formats) {
+    for (const auto mode : modes) {
+      const auto clf = random_classifier(fmt, 6, rng, mode,
+                                         fixed::AccumulatorMode::kWide);
+      const BatchScorer scorer(clf);
+      // Range past representable so the saturating path quantizes too.
+      const auto xs = random_samples(37, 6, 2.0 * fmt.max_value() + 1.0, rng);
+      const auto payload = wire_payload(xs);
+
+      PackedBatch reference;
+      scorer.pack_into(reference, xs.data(), xs.size());
+      PackedBatch wire;
+      ASSERT_TRUE(scorer.pack_from_f64_le(wire, payload.data(), xs.size()))
+          << fmt.to_string();
+      ASSERT_EQ(wire.rows, reference.rows) << fmt.to_string();
+      ASSERT_EQ(wire.dim, reference.dim) << fmt.to_string();
+      ASSERT_EQ(wire.words, reference.words)
+          << fmt.to_string() << " mode " << fixed::to_string(mode);
+    }
+  }
+}
+
+TEST(BatchScorerTest, PackFromWireAppendsAfterExistingRows) {
+  support::Rng rng(57);
+  const fixed::FixedFormat fmt(3, 5);
+  const auto clf = random_classifier(fmt, 4, rng,
+                                     fixed::RoundingMode::kNearestEven,
+                                     fixed::AccumulatorMode::kWide);
+  const BatchScorer scorer(clf);
+  const auto xs = random_samples(11, 4, 3.0, rng);
+  PackedBatch reference;
+  scorer.pack_into(reference, xs.data(), xs.size());
+
+  // Wire-pack in chunks that straddle a tile boundary.
+  PackedBatch wire;
+  const auto payload = wire_payload(xs);
+  ASSERT_TRUE(scorer.pack_from_f64_le(wire, payload.data(), 3));
+  ASSERT_TRUE(scorer.pack_from_f64_le(wire, payload.data() + 3 * 4 * 8, 8));
+  EXPECT_EQ(wire.words, reference.words);
+}
+
+// NaN features return false (reject-at-ingest) instead of feeding the
+// scoring datapath an unquantizable value.
+TEST(BatchScorerTest, PackFromWireRejectsNaN) {
+  const fixed::FixedFormat fmt(2, 2);
+  const core::FixedClassifier clf(fmt, Vector{0.25, -0.5}, 0.0);
+  const BatchScorer scorer(clf);
+  std::vector<std::uint8_t> payload;
+  support::put_f64le(payload, 0.5);
+  support::put_f64le(payload, std::numeric_limits<double>::quiet_NaN());
+  PackedBatch batch;
+  EXPECT_FALSE(scorer.pack_from_f64_le(batch, payload.data(), 1));
+  // Infinities are representable through saturation, not an error.
+  payload.clear();
+  support::put_f64le(payload, std::numeric_limits<double>::infinity());
+  support::put_f64le(payload, -std::numeric_limits<double>::infinity());
+  batch.clear();
+  ASSERT_TRUE(scorer.pack_from_f64_le(batch, payload.data(), 1));
+  EXPECT_EQ(batch.word(0, 0), fmt.raw_max());
+  EXPECT_EQ(batch.word(0, 1), fmt.raw_min());
+}
+
+// append_packed restripes already-quantized rows without touching their
+// bits — both the tile-aligned verbatim path and the mid-tile lane
+// restripe must equal packing the concatenated sample list directly.
+TEST(BatchScorerTest, AppendPackedMatchesDirectPack) {
+  support::Rng rng(59);
+  const fixed::FixedFormat fmt(3, 5);
+  const auto clf = random_classifier(fmt, 3, rng,
+                                     fixed::RoundingMode::kNearestEven,
+                                     fixed::AccumulatorMode::kWide);
+  const BatchScorer scorer(clf);
+  // Row counts chosen so merges hit both destination cases: 8 rows
+  // (tile-aligned for kLane in {1,2,4,8}) then 5 (mid-tile restripe).
+  const auto a = random_samples(8, 3, 3.0, rng);
+  const auto b = random_samples(5, 3, 3.0, rng);
+  const auto c = random_samples(6, 3, 3.0, rng);
+
+  PackedBatch merged;
+  merged.append_packed(scorer.pack(a));
+  merged.append_packed(scorer.pack(b));
+  merged.append_packed(scorer.pack(c));
+
+  std::vector<Vector> all;
+  all.insert(all.end(), a.begin(), a.end());
+  all.insert(all.end(), b.begin(), b.end());
+  all.insert(all.end(), c.begin(), c.end());
+  const PackedBatch direct = scorer.pack(all);
+  ASSERT_EQ(merged.rows, direct.rows);
+  EXPECT_EQ(merged.words, direct.words);
+
+  // And the merged batch scores bit-identically to per-sample classify.
+  std::vector<ScoreResult> scored(merged.rows);
+  scorer.score(merged, scored.data());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(scored[i].projection_raw, clf.project(all[i]).raw()) << i;
+  }
+}
+
+TEST(BatchScorerTest, AppendPackedRejectsDimMismatch) {
+  const fixed::FixedFormat fmt(2, 2);
+  const core::FixedClassifier clf2(fmt, Vector{0.25, -0.5}, 0.0);
+  const core::FixedClassifier clf3(fmt, Vector{0.25, -0.5, 0.75}, 0.0);
+  PackedBatch merged;
+  merged.append_packed(BatchScorer(clf2).pack({Vector{0.25, 0.5}}));
+  EXPECT_THROW(
+      merged.append_packed(BatchScorer(clf3).pack({Vector{0.0, 0.0, 0.0}})),
+      ldafp::InvalidArgumentError);
+  EXPECT_EQ(merged.rows, 1u);
 }
 
 }  // namespace
