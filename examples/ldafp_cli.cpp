@@ -2,10 +2,12 @@
 //
 //   ldafp_cli train  <train.csv> <word_length> [--k K] [--rho R]
 //                    [--nodes N] [--seconds S] [--threads T] [--rom out.hex]
-//                    [--save out.ldafp] [--metrics-json FILE] [--trace FILE]
+//                    [--save out.ldafp] [--datapath fixed|lns]
+//                    [--metrics-json FILE] [--trace FILE]
 //   ldafp_cli eval   <rom.hex> <test.csv> [--scale S]
 //   ldafp_cli sweep  <data.csv> <target_error_percent> [--folds F]
-//                    [--threads T] [--metrics-json FILE] [--trace FILE]
+//                    [--threads T] [--datapath fixed|lns]
+//                    [--metrics-json FILE] [--trace FILE]
 //   ldafp_cli model inspect <file.ldafp>
 //   ldafp_cli serve  [--port P] [--threads T] [--io-threads N]
 //                    [--queue Q] [--batch B] [--linger-us U]
@@ -19,6 +21,13 @@
 // writes the weight ROM image and/or the versioned `.ldafp` model file
 // (DESIGN.md §13: classifier bits + training provenance + CRC, with a
 // JSON metadata sidecar).  `model inspect` pretty-prints a model file.
+// `--datapath lns` deploys the trained weights on the logarithmic
+// number system backend (fixed/datapath.h): training still searches the
+// QK.F grid, the result is re-quantized to the log grid, and every
+// reported error runs through the LNS datapath.  The combination rules
+// live in validate_datapath() — LNS has no hex ROM form and needs
+// word lengths >= 4 — and violations are rejected up front with a
+// Status message, never half-executed.
 // `--metrics-json` / `--trace` attach an obs::Sink to the run and dump
 // the metrics snapshot / span timeline as JSON (README shows samples);
 // the trained results are bit-identical with or without them.
@@ -78,10 +87,12 @@ int usage() {
                "  ldafp_cli train <train.csv> <word_length> [--k K] "
                "[--rho R] [--nodes N] [--seconds S] [--threads T] "
                "[--rom out.hex] [--save out.ldafp] "
+               "[--datapath fixed|lns] "
                "[--metrics-json FILE] [--trace FILE]\n"
                "  ldafp_cli eval <rom.hex> <test.csv> [--scale S]\n"
                "  ldafp_cli sweep <data.csv> <target_error_percent> "
-               "[--folds F] [--threads T] [--metrics-json FILE] "
+               "[--folds F] [--threads T] [--datapath fixed|lns] "
+               "[--metrics-json FILE] "
                "[--trace FILE]\n"
                "  ldafp_cli model inspect <file.ldafp>\n"
                "  ldafp_cli serve [--port P] [--threads T] "
@@ -96,6 +107,11 @@ int usage() {
                "  --threads T   worker threads for training / the sweep\n"
                "                (default: all hardware threads; results\n"
                "                are bit-identical at any thread count)\n"
+               "  --datapath D  arithmetic backend the classifier deploys\n"
+               "                on: fixed (QK.F two's complement, default)\n"
+               "                or lns (logarithmic number system; needs\n"
+               "                word lengths >= 4, scores on the scalar\n"
+               "                datapath, and has no --rom form)\n"
                "  --metrics-json FILE  dump solver/search counters as JSON\n"
                "  --trace FILE         dump the span timeline as JSON\n"
                "                (observability only; trained results are\n"
@@ -174,6 +190,38 @@ struct ObsFlags {
   obs::Sink sink_;
 };
 
+/// Parses --datapath (default: two's complement).  Returns false (after
+/// printing the choices) on an unrecognized backend name.
+bool datapath_flag(int argc, char** argv, fixed::DatapathKind* out) {
+  *out = fixed::DatapathKind::kTwosComplement;
+  const char* name = flag_string(argc, argv, "--datapath");
+  if (name == nullptr) return true;
+  if (fixed::parse_datapath_kind(name, out)) return true;
+  std::fprintf(stderr, "--datapath expects 'fixed' or 'lns', got '%s'\n",
+               name);
+  return false;
+}
+
+/// Flag-combination rules for a non-default backend, as data (Status)
+/// rather than scattered exits: LNS layouts need sign + >= 3 exponent
+/// bits, and the hex ROM form stores QK.F grid reals that log-grid
+/// (irrational) weights cannot round-trip through.
+ldafp::Status validate_datapath(fixed::DatapathKind kind, int word_length,
+                                bool rom_requested) {
+  if (kind == fixed::DatapathKind::kTwosComplement) return {};
+  if (word_length < 4) {
+    return ldafp::Status::invalid(
+        "--datapath lns needs a word length >= 4 "
+        "(1 sign bit + >= 3 exponent bits)");
+  }
+  if (rom_requested) {
+    return ldafp::Status::invalid(
+        "--datapath lns cannot write --rom: hex ROM images hold QK.F "
+        "grid values; save LNS models with --save out.ldafp instead");
+  }
+  return {};
+}
+
 /// The --threads flag as an executor: default 0 = all hardware threads,
 /// 1 = today's single-threaded path, N > 1 = a pool of N workers.
 /// Results are bit-identical at any thread count (DESIGN.md §9).
@@ -185,8 +233,16 @@ sched::Executor threads_flag(int argc, char** argv) {
 
 int cmd_train(int argc, char** argv) {
   if (argc < 4) return usage();
-  const data::LabeledDataset train = data::load_csv(argv[2]);
+  fixed::DatapathKind datapath;
+  if (!datapath_flag(argc, argv, &datapath)) return 2;
   const int word_length = std::atoi(argv[3]);
+  const ldafp::Status valid = validate_datapath(
+      datapath, word_length, flag_string(argc, argv, "--rom") != nullptr);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "error: %s\n", valid.message().c_str());
+    return 2;
+  }
+  const data::LabeledDataset train = data::load_csv(argv[2]);
   const int k = static_cast<int>(flag_value(argc, argv, "--k", 2));
   const double rho = flag_value(argc, argv, "--rho", 0.9999);
   std::printf("Loaded %zu samples x %zu features\n", train.size(),
@@ -216,7 +272,22 @@ int cmd_train(int argc, char** argv) {
     std::printf("No feasible classifier at this format.\n");
     return 1;
   }
-  const core::FixedClassifier clf = trainer.make_classifier(result);
+  // Deploy on the requested backend: the trained QK.F grid weights are
+  // re-quantized onto the LNS log grid, and all scoring below runs
+  // through that datapath (scalar — the SIMD kernels are QK.F-only).
+  const core::FixedClassifier tc_clf = trainer.make_classifier(result);
+  const core::FixedClassifier clf =
+      datapath == fixed::DatapathKind::kTwosComplement
+          ? tc_clf
+          : core::FixedClassifier(tc_clf.format(), tc_clf.weights_real(),
+                                  tc_clf.threshold_real(), tc_clf.rounding(),
+                                  tc_clf.accumulator(), datapath);
+  if (datapath != fixed::DatapathKind::kTwosComplement) {
+    std::printf("Datapath %s: weights re-quantized to the log grid; "
+                "scoring falls back to the scalar datapath (the SIMD "
+                "kernels are QK.F-only)\n",
+                fixed::to_string(datapath));
+  }
   std::printf("LDA-FP: cost %.6g, %zu nodes, %.2fs, status %s, gap %.3g\n",
               result.cost, result.search.nodes_processed,
               result.train_seconds, opt::to_string(result.search.status),
@@ -232,9 +303,18 @@ int cmd_train(int argc, char** argv) {
   // Training-set error comparison against the rounded-LDA baseline.
   const auto model = core::fit_two_class_model(
       core::quantize_training_set(scaled, choice.format));
-  const core::FixedClassifier baseline = core::quantize_lda(
+  const core::FixedClassifier tc_baseline = core::quantize_lda(
       core::fit_lda(scaled), model, beta, choice.format,
       core::LdaGainPolicy::kMaxRange);
+  // The baseline deploys on the same backend, so the comparison stays
+  // apples to apples.
+  const core::FixedClassifier baseline =
+      datapath == fixed::DatapathKind::kTwosComplement
+          ? tc_baseline
+          : core::FixedClassifier(
+                tc_baseline.format(), tc_baseline.weights_real(),
+                tc_baseline.threshold_real(), tc_baseline.rounding(),
+                tc_baseline.accumulator(), datapath);
   std::printf("Training-set error: LDA-FP %.2f%% vs rounded LDA %.2f%%\n",
               100.0 * eval::evaluate(clf, train,
                                      choice.feature_scale).error(),
@@ -308,9 +388,20 @@ int cmd_sweep(int argc, char** argv) {
   const auto folds = static_cast<std::size_t>(
       flag_value(argc, argv, "--folds", 5));
 
+  fixed::DatapathKind datapath;
+  if (!datapath_flag(argc, argv, &datapath)) return 2;
+
   ObsFlags obs_flags(argc, argv);
   eval::ExperimentConfig config;
   config.word_lengths = {3, 4, 5, 6, 7, 8, 10, 12};
+  config.datapath = datapath;
+  if (datapath == fixed::DatapathKind::kLns) {
+    // The LNS layout needs sign + >= 3 exponent bits, so the sweep
+    // starts at W = 4 (validate_datapath applies the same floor).
+    config.word_lengths = {4, 5, 6, 7, 8, 10, 12};
+    std::printf("Datapath lns: sweeping word lengths >= 4 on the "
+                "log-domain backend (scalar scoring)\n");
+  }
   config.ldafp.bnb.max_nodes = 1000;
   config.ldafp.bnb.max_seconds = 30.0;
   config.ldafp.bnb.rel_gap = 1e-3;
@@ -351,13 +442,13 @@ int cmd_model(int argc, char** argv) {
   support::TextTable t({"field", "value"});
   t.add_row({"name", pv.name.empty() ? "(unnamed)" : pv.name});
   t.add_row({"model_version", std::to_string(pv.model_version)});
+  t.add_row({"datapath", fixed::to_string(clf.datapath_kind())});
   t.add_row({"format", clf.format().to_string()});
   t.add_row({"dim", std::to_string(clf.dim())});
   t.add_row({"rounding", fixed::to_string(clf.rounding())});
   t.add_row({"accumulator", fixed::to_string(clf.accumulator())});
   t.add_row({"threshold", num(clf.threshold_real()) + "  (raw " +
-                              std::to_string(clf.threshold_fixed().raw()) +
-                              ")"});
+                              std::to_string(clf.threshold_raw()) + ")"});
   t.add_row({"feature_scale", num(pv.feature_scale)});
   t.add_row({"rho / beta", num(pv.rho) + " / " + num(pv.beta)});
   t.add_row({"cv_accuracy", pv.cv_accuracy < 0.0 ? "(not measured)"
@@ -376,7 +467,7 @@ int cmd_model(int argc, char** argv) {
   const linalg::Vector weights = clf.weights_real();
   for (std::size_t i = 0; i < clf.dim(); ++i) {
     w.add_row({std::to_string(i), num(weights[i]),
-               std::to_string(clf.weights_fixed()[i].raw())});
+               std::to_string(clf.weight_words()[i])});
   }
   std::printf("%s", w.to_string().c_str());
   return 0;
@@ -479,6 +570,11 @@ int cmd_serve(int argc, char** argv) {
                   name.c_str(), file.c_str(),
                   clf->format().to_string().c_str(), clf->dim(),
                   pv.feature_scale);
+      if (clf->datapath_kind() != fixed::DatapathKind::kTwosComplement) {
+        std::printf("  %s datapath: scoring uses the scalar backend "
+                    "(SIMD kernels are QK.F-only)\n",
+                    fixed::to_string(clf->datapath_kind()));
+      }
     } else {
       const hw::RomImage image = hw::load_rom_image(file);
       clf.emplace(image.classifier());
@@ -521,6 +617,18 @@ int cmd_serve(int argc, char** argv) {
   data::LabeledDataset feed;
   std::unique_ptr<model::OnlineRetrainer> retrainer;
   if (retrain_data != nullptr) {
+    // The retrainer trains two's-complement candidates and compares
+    // them against the incumbent through QK.F projections; an LNS
+    // incumbent cannot seed that loop.
+    if (default_clf->datapath_kind() !=
+        fixed::DatapathKind::kTwosComplement) {
+      std::fprintf(stderr,
+                   "error: --retrain-data needs a two's-complement "
+                   "default model; '%s' uses the %s datapath\n",
+                   default_model.c_str(),
+                   fixed::to_string(default_clf->datapath_kind()));
+      return 2;
+    }
     feed = data::load_csv(retrain_data);
     model::RetrainerOptions ropt;
     ropt.model_name = default_model;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fixed/simd.h"
+#include "fixed/value.h"
 #include "support/error.h"
 
 namespace ldafp::core {
@@ -20,74 +21,149 @@ Label LinearClassifier::classify(const linalg::Vector& x) const {
   return project(x) >= threshold_ ? Label::kClassA : Label::kClassB;
 }
 
-FixedClassifier::FixedClassifier(fixed::FixedFormat fmt,
-                                 const linalg::Vector& weights,
-                                 double threshold, fixed::RoundingMode mode,
-                                 fixed::AccumulatorMode acc)
-    : fmt_(fmt),
-      threshold_(fixed::Fixed::from_real_saturate(fmt, threshold, mode)),
-      mode_(mode),
-      acc_(acc) {
+namespace {
+
+std::vector<std::int64_t> quantize_words(const fixed::Datapath& dp,
+                                         const linalg::Vector& weights) {
   LDAFP_CHECK(weights.size() > 0, "classifier needs at least one weight");
-  weights_.reserve(weights.size());
+  std::vector<std::int64_t> words;
+  words.reserve(weights.size());
+  // Quantized with the classifier's rounding mode, exactly like the
+  // threshold.  Trained weights are already on the backend's grid
+  // (Eq. 13) and pass through bit-exactly under every mode; off-grid
+  // weights land on the same word the ROM emitter and BatchScorer
+  // snapshot, so all scoring paths stay in agreement.
   for (std::size_t m = 0; m < weights.size(); ++m) {
-    // Quantized with the classifier's rounding mode, exactly like the
-    // threshold above.  Trained weights are already on the QK.F grid
-    // (Eq. 13) and pass through bit-exactly under every mode; off-grid
-    // weights land on the same word the ROM emitter and BatchScorer
-    // snapshot, so all scoring paths stay in agreement.
-    weights_.push_back(fixed::Fixed::from_real_saturate(fmt_, weights[m],
-                                                        mode_));
+    words.push_back(dp.quantize(weights[m]));
+  }
+  return words;
+}
+
+}  // namespace
+
+FixedClassifier::FixedClassifier(std::shared_ptr<const fixed::Datapath> dp,
+                                 std::vector<std::int64_t> weight_words,
+                                 std::int64_t threshold_word)
+    : datapath_(std::move(dp)),
+      weight_words_(std::move(weight_words)),
+      threshold_word_(threshold_word) {
+  LDAFP_CHECK(datapath_ != nullptr, "classifier needs a datapath");
+  LDAFP_CHECK(!weight_words_.empty(), "classifier needs at least one weight");
+  if (datapath_->kind() == fixed::DatapathKind::kTwosComplement) {
+    const fixed::FixedFormat& fmt = datapath_->format();
+    weights_.reserve(weight_words_.size());
+    for (const std::int64_t w : weight_words_) {
+      weights_.push_back(fixed::Fixed::from_raw(fmt, w));
+    }
+    threshold_mirror_.push_back(fixed::Fixed::from_raw(fmt, threshold_word_));
   }
 }
 
+FixedClassifier::FixedClassifier(fixed::FixedFormat fmt,
+                                 const linalg::Vector& weights,
+                                 double threshold, fixed::RoundingMode mode,
+                                 fixed::AccumulatorMode acc,
+                                 fixed::DatapathKind kind)
+    : FixedClassifier(fixed::make_datapath(kind, fmt, mode, acc), weights,
+                      threshold) {}
+
+FixedClassifier::FixedClassifier(std::shared_ptr<const fixed::Datapath> dp,
+                                 const linalg::Vector& weights,
+                                 double threshold)
+    : FixedClassifier(dp, quantize_words(*dp, weights),
+                      dp->quantize(threshold)) {}
+
+FixedClassifier FixedClassifier::from_raw_words(
+    std::shared_ptr<const fixed::Datapath> datapath,
+    std::vector<std::int64_t> weight_words, std::int64_t threshold_word) {
+  return FixedClassifier(std::move(datapath), std::move(weight_words),
+                         threshold_word);
+}
+
 linalg::Vector FixedClassifier::weights_real() const {
-  return fixed::to_real(weights_);
+  linalg::Vector out(weight_words_.size());
+  for (std::size_t m = 0; m < weight_words_.size(); ++m) {
+    out[m] = datapath_->to_real(weight_words_[m]);
+  }
+  return out;
+}
+
+const std::vector<fixed::Fixed>& FixedClassifier::weights_fixed() const {
+  LDAFP_CHECK(datapath_->kind() == fixed::DatapathKind::kTwosComplement,
+              "weights_fixed: not a two's-complement classifier "
+              "(use weight_words)");
+  return weights_;
+}
+
+const fixed::Fixed& FixedClassifier::threshold_fixed() const {
+  LDAFP_CHECK(datapath_->kind() == fixed::DatapathKind::kTwosComplement,
+              "threshold_fixed: not a two's-complement classifier "
+              "(use threshold_raw)");
+  return threshold_mirror_.front();
+}
+
+std::int64_t FixedClassifier::project_raw(const linalg::Vector& x,
+                                          fixed::DotDiagnostics* diag) const {
+  LDAFP_CHECK(x.size() == dim(), "project dimension mismatch");
+  std::vector<std::int64_t> xq(x.size());
+  for (std::size_t m = 0; m < x.size(); ++m) {
+    xq[m] = datapath_->quantize(x[m]);
+  }
+  return datapath_->dot(weight_words_.data(), xq.data(), xq.size(), diag);
 }
 
 fixed::Fixed FixedClassifier::project(const linalg::Vector& x,
                                       fixed::DotDiagnostics* diag) const {
-  const std::vector<fixed::Fixed> xq = fixed::quantize_vector(x, fmt_, mode_);
-  return fixed::dot_datapath(weights_, xq, fmt_, mode_, acc_, diag);
+  LDAFP_CHECK(datapath_->kind() == fixed::DatapathKind::kTwosComplement,
+              "project: not a two's-complement classifier "
+              "(use project_raw)");
+  return fixed::Fixed::from_raw(datapath_->format(), project_raw(x, diag));
 }
 
 Label FixedClassifier::classify(const linalg::Vector& x,
                                 fixed::DotDiagnostics* diag) const {
-  const fixed::Fixed y = project(x, diag);
-  return y.raw() >= threshold_.raw() ? Label::kClassA : Label::kClassB;
+  const std::int64_t y = project_raw(x, diag);
+  return datapath_->ge(y, threshold_word_) ? Label::kClassA : Label::kClassB;
 }
 
 std::vector<Label> FixedClassifier::classify_batch(
     const std::vector<linalg::Vector>& xs, fixed::DotDiagnostics* diag) const {
   std::vector<Label> out;
   out.reserve(xs.size());
-  if (diag != nullptr) {
-    // Diagnostics need the instrumented per-sample datapath; one scratch
-    // buffer for the quantized features, refilled in place per sample.
-    std::vector<fixed::Fixed> xq;
-    xq.reserve(dim());
+  if (diag != nullptr ||
+      datapath_->kind() != fixed::DatapathKind::kTwosComplement) {
+    // Diagnostics need the instrumented per-sample datapath, and
+    // backends without vector kernels (LNS) always score per sample;
+    // one scratch buffer for the quantized features, refilled in place.
+    fixed::DotDiagnostics total;
+    std::vector<std::int64_t> xq(dim());
     for (const linalg::Vector& x : xs) {
       LDAFP_CHECK(x.size() == dim(), "classify_batch dimension mismatch");
-      xq.clear();
       for (std::size_t m = 0; m < x.size(); ++m) {
-        xq.push_back(fixed::Fixed::from_real_saturate(fmt_, x[m], mode_));
+        xq[m] = datapath_->quantize(x[m]);
       }
-      const fixed::Fixed y = fixed::dot_datapath(weights_, xq, fmt_, mode_,
-                                                 acc_, diag);
-      out.push_back(y.raw() >= threshold_.raw() ? Label::kClassA
-                                                : Label::kClassB);
+      fixed::DotDiagnostics step;
+      const std::int64_t y = datapath_->dot(
+          weight_words_.data(), xq.data(), xq.size(),
+          diag != nullptr ? &step : nullptr);
+      if (diag != nullptr) {
+        total.product_overflows += step.product_overflows;
+        total.accumulator_wraps += step.accumulator_wraps;
+        total.final_overflow = total.final_overflow || step.final_overflow;
+      }
+      out.push_back(datapath_->ge(y, threshold_word_) ? Label::kClassA
+                                                      : Label::kClassB);
     }
+    if (diag != nullptr) *diag = total;
     return out;
   }
   // Hot path: quantize into one AoSoA tile and run the vector kernels
   // (bit-identical to the loop above — DESIGN.md §14).
   namespace simd = fixed::simd;
-  std::vector<std::int64_t> weight_words;
-  weight_words.reserve(dim());
-  for (const fixed::Fixed& w : weights_) weight_words.push_back(w.raw());
-  const simd::DotPlan plan =
-      simd::make_plan(weight_words.data(), dim(), fmt_, mode_, acc_);
-  const std::int64_t threshold_raw = threshold_.raw();
+  const fixed::FixedFormat& fmt = datapath_->format();
+  const fixed::RoundingMode mode = datapath_->rounding();
+  const simd::DotPlan plan = simd::make_plan(
+      weight_words_.data(), dim(), fmt, mode, datapath_->accumulator());
   std::vector<std::int64_t> tile(dim() * simd::kLane, 0);
   std::int64_t y[simd::kLane];
   for (std::size_t base = 0; base < xs.size(); base += simd::kLane) {
@@ -96,13 +172,13 @@ std::vector<Label> FixedClassifier::classify_batch(
       const linalg::Vector& x = xs[base + lane];
       LDAFP_CHECK(x.size() == dim(), "classify_batch dimension mismatch");
       for (std::size_t m = 0; m < dim(); ++m) {
-        tile[m * simd::kLane + lane] = fmt_.quantize_saturate(x[m], mode_);
+        tile[m * simd::kLane + lane] = fmt.quantize_saturate(x[m], mode);
       }
     }
     simd::score_tile(plan, tile.data(), y, lanes);
     for (std::size_t lane = 0; lane < lanes; ++lane) {
-      out.push_back(y[lane] >= threshold_raw ? Label::kClassA
-                                             : Label::kClassB);
+      out.push_back(y[lane] >= threshold_word_ ? Label::kClassA
+                                               : Label::kClassB);
     }
   }
   return out;

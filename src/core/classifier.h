@@ -1,17 +1,22 @@
 // Linear classifiers: the floating-point reference and the on-chip
-// fixed-point implementation.
+// implementation over a configurable arithmetic datapath.
 //
 // Both evaluate the paper's decision rule (Eq. 12):
 //     wᵀx - wᵀ(μ_A + μ_B)/2  >= 0  ->  class A, else class B.
-// The fixed-point version computes wᵀx with the QK.F MAC datapath
-// (per-product rounding, wrapping accumulation) and compares the W-bit
-// result against the stored W-bit threshold with an exact magnitude
-// comparator — the circuit the paper targets.
+// The on-chip version computes wᵀx with the selected backend's MAC
+// datapath (fixed/datapath.h) and compares the W-bit result against
+// the stored W-bit threshold with that backend's comparator.  The
+// default backend is the paper's QK.F two's-complement datapath
+// (per-product rounding, wrapping accumulation, exact magnitude
+// comparator — the circuit the paper targets); the LNS backend swaps
+// in add-for-multiply log-domain arithmetic behind the same interface.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "fixed/datapath.h"
 #include "fixed/dot.h"
 #include "fixed/format.h"
 #include "linalg/vector.h"
@@ -43,7 +48,14 @@ class LinearClassifier {
   double threshold_;
 };
 
-/// Fixed-point linear classifier executing the on-chip datapath.
+/// Linear classifier executing an on-chip arithmetic datapath.
+///
+/// Named for the paper's fixed-point implementation it started as; with
+/// the Datapath API it fronts any backend.  The two's-complement
+/// accessors (weights_fixed, threshold_fixed, project) keep their exact
+/// pre-API semantics and are only callable on two's-complement
+/// classifiers; backend-agnostic callers use the raw-word accessors
+/// (weight_words, threshold_raw, project_raw).
 class FixedClassifier {
  public:
   /// Builds from real weights and a real threshold, both quantized
@@ -51,56 +63,106 @@ class FixedClassifier {
   /// (the same words the ROM emitter and the serving BatchScorer see).
   /// Trained weights are already on the QK.F grid (Eq. 13) and pass
   /// through bit-exactly under every mode; callers that must own the
-  /// rounding decision quantize first (fixed::snap_to_grid).
+  /// rounding decision quantize first (fixed::snap_to_grid).  `kind`
+  /// selects the arithmetic backend; for kLns the same QK.F descriptor
+  /// keys the log-domain layout (fixed::LnsFormat::matched).
   FixedClassifier(fixed::FixedFormat fmt, const linalg::Vector& weights,
                   double threshold,
                   fixed::RoundingMode mode = fixed::RoundingMode::kNearestEven,
-                  fixed::AccumulatorMode acc = fixed::AccumulatorMode::kWide);
+                  fixed::AccumulatorMode acc = fixed::AccumulatorMode::kWide,
+                  fixed::DatapathKind kind =
+                      fixed::DatapathKind::kTwosComplement);
 
-  const fixed::FixedFormat& format() const { return fmt_; }
-  /// The quantized weights as reals (exact grid values).
+  /// Builds over an existing datapath (shared, immutable), quantizing
+  /// the real weights/threshold through it.
+  FixedClassifier(std::shared_ptr<const fixed::Datapath> datapath,
+                  const linalg::Vector& weights, double threshold);
+
+  /// Rebuilds a classifier from already-quantized raw words — the
+  /// model-file load path, which must reproduce the stored words
+  /// bit-exactly without a real-value round trip (log-domain grids do
+  /// not survive one).  Words must be in the backend's raw range.
+  static FixedClassifier from_raw_words(
+      std::shared_ptr<const fixed::Datapath> datapath,
+      std::vector<std::int64_t> weight_words, std::int64_t threshold_word);
+
+  const fixed::FixedFormat& format() const { return datapath_->format(); }
+  /// The arithmetic backend (shared with BatchScorer snapshots).
+  const fixed::Datapath& datapath() const { return *datapath_; }
+  std::shared_ptr<const fixed::Datapath> datapath_ptr() const {
+    return datapath_;
+  }
+  fixed::DatapathKind datapath_kind() const { return datapath_->kind(); }
+
+  /// The quantized weights as reals (exact grid values, any backend).
   linalg::Vector weights_real() const;
-  /// The weight words quantized once at construction.  Hot-path callers
-  /// (the serving runtime's BatchScorer, ROM export) read these instead
-  /// of re-quantizing weights_real() on every call.
-  const std::vector<fixed::Fixed>& weights_fixed() const { return weights_; }
-  /// The quantized threshold as a real (exact grid value).
-  double threshold_real() const { return threshold_.to_real(); }
+  /// The quantized weight words (raw backend encoding, any backend).
+  /// Hot-path callers (the serving runtime's BatchScorer, ROM export)
+  /// read these instead of re-quantizing weights_real() on every call.
+  const std::vector<std::int64_t>& weight_words() const {
+    return weight_words_;
+  }
+  /// The quantized threshold as a real (exact grid value, any backend).
+  double threshold_real() const {
+    return datapath_->to_real(threshold_word_);
+  }
   /// The threshold word (exact bits, for W-bit comparator clients).
-  const fixed::Fixed& threshold_fixed() const { return threshold_; }
-  std::size_t dim() const { return weights_.size(); }
+  std::int64_t threshold_raw() const { return threshold_word_; }
+  std::size_t dim() const { return weight_words_.size(); }
+
+  /// The weight words as QK.F values.  Two's-complement backend only
+  /// (LNS words are not QK.F integers); backend-agnostic callers use
+  /// weight_words().
+  const std::vector<fixed::Fixed>& weights_fixed() const;
+  /// The threshold as a QK.F value.  Two's-complement backend only.
+  const fixed::Fixed& threshold_fixed() const;
 
   /// Runs the datapath on a real feature vector (features are quantized
-  /// with saturation first, as the paper's preprocessing prescribes).
-  /// Optional diagnostics report overflow events.
+  /// with saturation first, as the paper's preprocessing prescribes)
+  /// and returns the raw projection word.  Optional diagnostics report
+  /// overflow events.  Works on every backend.
+  std::int64_t project_raw(const linalg::Vector& x,
+                           fixed::DotDiagnostics* diag = nullptr) const;
+
+  /// project_raw as a QK.F value.  Two's-complement backend only.
   fixed::Fixed project(const linalg::Vector& x,
                        fixed::DotDiagnostics* diag = nullptr) const;
 
   /// Decision rule: datapath projection compared against the stored
-  /// threshold with an exact W-bit comparator.
+  /// threshold with the backend's W-bit comparator.
   Label classify(const linalg::Vector& x,
                  fixed::DotDiagnostics* diag = nullptr) const;
 
   /// Batched decision rule: classifies every sample with the identical
-  /// datapath (bit-for-bit equal to calling classify per sample).  With
-  /// no diagnostics requested the batch runs on the vectorized scoring
-  /// kernels (fixed/simd.h); with diagnostics it takes the instrumented
-  /// per-sample datapath, aggregating events over the whole batch.
+  /// datapath (bit-for-bit equal to calling classify per sample).  On
+  /// the two's-complement backend with no diagnostics requested the
+  /// batch runs on the vectorized scoring kernels (fixed/simd.h); with
+  /// diagnostics, or on backends without vector kernels (LNS), it takes
+  /// the instrumented per-sample datapath, aggregating events over the
+  /// whole batch.
   std::vector<Label> classify_batch(const std::vector<linalg::Vector>& xs,
                                     fixed::DotDiagnostics* diag =
                                         nullptr) const;
 
   /// The accumulator architecture this classifier models.
-  fixed::AccumulatorMode accumulator() const { return acc_; }
+  fixed::AccumulatorMode accumulator() const {
+    return datapath_->accumulator();
+  }
   /// The rounding mode of the datapath's narrowing stages.
-  fixed::RoundingMode rounding() const { return mode_; }
+  fixed::RoundingMode rounding() const { return datapath_->rounding(); }
 
  private:
-  fixed::FixedFormat fmt_;
+  FixedClassifier(std::shared_ptr<const fixed::Datapath> datapath,
+                  std::vector<std::int64_t> weight_words,
+                  std::int64_t threshold_word);
+
+  std::shared_ptr<const fixed::Datapath> datapath_;
+  std::vector<std::int64_t> weight_words_;
+  std::int64_t threshold_word_;
+  /// QK.F mirrors of the words above, kept only on the two's-complement
+  /// backend for the legacy typed accessors.
   std::vector<fixed::Fixed> weights_;
-  fixed::Fixed threshold_;
-  fixed::RoundingMode mode_;
-  fixed::AccumulatorMode acc_;
+  std::vector<fixed::Fixed> threshold_mirror_;  ///< empty or one word
 };
 
 }  // namespace ldafp::core

@@ -50,13 +50,24 @@ TrialResult run_trial(const data::LabeledDataset& train,
   const stats::TwoClassModel model =
       core::fit_two_class_model(quantized, config.covariance);
 
+  // Deployment backend: the trainers produce QK.F-grid classifiers; a
+  // non-default backend re-quantizes those trained weights onto its own
+  // grid (for LNS, the nearest log-domain point) and scores through its
+  // datapath, keeping the word-length budget W identical.
+  const auto deploy = [&config](const core::FixedClassifier& clf) {
+    if (config.datapath == fixed::DatapathKind::kTwosComplement) return clf;
+    return core::FixedClassifier(clf.format(), clf.weights_real(),
+                                 clf.threshold_real(), clf.rounding(),
+                                 clf.accumulator(), config.datapath);
+  };
+
   // Conventional baseline: float LDA (Eq. 11) on the scaled float data —
   // the paper's item (i), which does not model data quantization — with
   // the weights then rounded to the grid.
   const core::LdaModel lda = core::fit_lda(scaled, config.covariance);
-  const core::FixedClassifier lda_fixed =
+  const core::FixedClassifier lda_fixed = deploy(
       core::quantize_lda(lda, model, beta, row.format_choice.format,
-                         config.lda_gain, config.ldafp.rounding);
+                         config.lda_gain, config.ldafp.rounding));
   row.lda_weights = lda_fixed.weights_real();
   row.lda_threshold = lda_fixed.threshold_real();
   row.lda_error =
@@ -75,7 +86,7 @@ TrialResult run_trial(const data::LabeledDataset& train,
   row.ldafp_nodes = fp.search.nodes_processed;
   row.ldafp_gap = fp.search.gap();
   if (fp.found()) {
-    const core::FixedClassifier fp_fixed = trainer.make_classifier(fp);
+    const core::FixedClassifier fp_fixed = deploy(trainer.make_classifier(fp));
     row.ldafp_weights = fp_fixed.weights_real();
     row.ldafp_threshold = fp_fixed.threshold_real();
     row.ldafp_error =

@@ -9,6 +9,7 @@
 
 #include "core/format_policy.h"
 #include "core/lda.h"
+#include "fixed/datapath.h"
 #include "core/ldafp.h"
 #include "data/dataset.h"
 #include "obs/sink.h"
@@ -22,6 +23,14 @@ struct ExperimentConfig {
   std::vector<int> word_lengths;          ///< total bits W = K + F
   int integer_bits = 2;                   ///< the K of QK.F
   core::LdaFpOptions ldafp;               ///< trainer budgets/heuristics
+  /// Arithmetic backend the trained classifiers are deployed on.  Both
+  /// trainers always search the QK.F grid (Eq. 13 is a two's-complement
+  /// formulation); with kLns the trained grid weights are then
+  /// re-quantized to the nearest log-grid point and every reported
+  /// error is measured through the LNS datapath at the same word length
+  /// — the train-then-requantize deployment flow bench/lns_sweep
+  /// compares against the fixed-point rows.
+  fixed::DatapathKind datapath = fixed::DatapathKind::kTwosComplement;
   /// Baseline rescale policy.  The paper's baseline solves Eq. 11,
   /// normalizes, and rounds — kUnitNorm.  The stronger policies are
   /// ablation variants (bench/ablation_baseline).

@@ -1,0 +1,128 @@
+#include "fixed/datapath.h"
+
+#include "fixed/lns.h"
+#include "support/error.h"
+
+namespace ldafp::fixed {
+
+const char* to_string(DatapathKind kind) {
+  switch (kind) {
+    case DatapathKind::kTwosComplement: return "fixed";
+    case DatapathKind::kLns: return "lns";
+  }
+  return "?";
+}
+
+bool parse_datapath_kind(const std::string& text, DatapathKind* out) {
+  if (text == "fixed" || text == "twos-complement") {
+    *out = DatapathKind::kTwosComplement;
+    return true;
+  }
+  if (text == "lns") {
+    *out = DatapathKind::kLns;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// The paper's QK.F datapath: quantize/dot/compare are exactly the
+/// pre-API fixed-point operations (FixedFormat::quantize_saturate and
+/// dot_datapath_raw), so results are bit-identical to the legacy path.
+class TwosComplementDatapath final : public Datapath {
+ public:
+  TwosComplementDatapath(const FixedFormat& fmt, RoundingMode mode,
+                         AccumulatorMode acc)
+      : fmt_(fmt), mode_(mode), acc_(acc) {
+    LDAFP_CHECK(fmt.integer_bits() + 2 * fmt.frac_bits() <= 62,
+                "TwosComplementDatapath requires K + 2F <= 62");
+    LDAFP_CHECK(fmt.word_length() <= 31,
+                "TwosComplementDatapath limited to word lengths <= 31");
+  }
+
+  DatapathKind kind() const override { return DatapathKind::kTwosComplement; }
+  const FixedFormat& format() const override { return fmt_; }
+  RoundingMode rounding() const override { return mode_; }
+  AccumulatorMode accumulator() const override { return acc_; }
+
+  std::int64_t quantize(double value) const override {
+    return fmt_.quantize_saturate(value, mode_);
+  }
+
+  double to_real(std::int64_t raw) const override {
+    return fmt_.to_real(raw);
+  }
+
+  std::int64_t dot(const std::int64_t* w, const std::int64_t* x,
+                   std::size_t n, DotDiagnostics* diag) const override {
+    if (diag != nullptr) *diag = DotDiagnostics{};
+    return dot_datapath_raw(w, x, n, fmt_, mode_, acc_, diag);
+  }
+
+  bool ge(std::int64_t a, std::int64_t b) const override {
+    // Raw words are sign-extended two's complement: integer order is
+    // value order.
+    return a >= b;
+  }
+
+ private:
+  FixedFormat fmt_;
+  RoundingMode mode_;
+  AccumulatorMode acc_;
+};
+
+/// The LNS backend: word layout derived from the QK.F descriptor via
+/// LnsFormat::matched, arithmetic from fixed/lns.h.
+class LnsDatapath final : public Datapath {
+ public:
+  LnsDatapath(const FixedFormat& fmt, RoundingMode mode, AccumulatorMode acc)
+      : fmt_(fmt), lns_(LnsFormat::matched(fmt)), mode_(mode), acc_(acc) {}
+
+  DatapathKind kind() const override { return DatapathKind::kLns; }
+  const FixedFormat& format() const override { return fmt_; }
+  RoundingMode rounding() const override { return mode_; }
+  AccumulatorMode accumulator() const override { return acc_; }
+
+  std::int64_t quantize(double value) const override {
+    return lns_quantize(lns_, value, mode_);
+  }
+
+  double to_real(std::int64_t raw) const override {
+    return lns_to_real(lns_, raw);
+  }
+
+  std::int64_t dot(const std::int64_t* w, const std::int64_t* x,
+                   std::size_t n, DotDiagnostics* diag) const override {
+    return lns_dot_raw(lns_, w, x, n, acc_, diag);
+  }
+
+  bool ge(std::int64_t a, std::int64_t b) const override {
+    return lns_ge(lns_, a, b);
+  }
+
+  const LnsFormat& lns_format() const { return lns_; }
+
+ private:
+  FixedFormat fmt_;
+  LnsFormat lns_;
+  RoundingMode mode_;
+  AccumulatorMode acc_;
+};
+
+}  // namespace
+
+std::shared_ptr<const Datapath> make_datapath(DatapathKind kind,
+                                              const FixedFormat& fmt,
+                                              RoundingMode mode,
+                                              AccumulatorMode acc) {
+  switch (kind) {
+    case DatapathKind::kTwosComplement:
+      return std::make_shared<TwosComplementDatapath>(fmt, mode, acc);
+    case DatapathKind::kLns:
+      return std::make_shared<LnsDatapath>(fmt, mode, acc);
+  }
+  throw InvalidArgumentError("make_datapath: unknown datapath kind");
+}
+
+}  // namespace ldafp::fixed

@@ -16,30 +16,31 @@ namespace {
 
 /// Narrow datapath: every product rounded to QK.F, accumulator wraps in
 /// QK.F.
-Fixed dot_narrow(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
-                 const FixedFormat& fmt, RoundingMode mode,
-                 DotDiagnostics* diag) {
-  Fixed acc(fmt);
+std::int64_t dot_narrow(const std::int64_t* w, const std::int64_t* x,
+                        std::size_t n, const FixedFormat& fmt,
+                        RoundingMode mode, DotDiagnostics* diag) {
+  std::int64_t acc = 0;  // QK.F raw, wrapped
   // Exact (unbounded) sum of the wrapped products, to report whether the
   // final value is corrupted; narrowed products fit ~W bits so any
   // realistic feature count fits int64.
   std::int64_t exact_sum = 0;
-  for (std::size_t m = 0; m < w.size(); ++m) {
+  for (std::size_t m = 0; m < n; ++m) {
     // The narrowed (pre-wrap) product decides the overflow diagnostic: a
     // value outside [raw_min, raw_max] overflowed even if the wrap lands
     // back on an in-range word.
-    const std::int64_t narrowed = Fixed::narrow_raw(
-        w[m].raw() * x[m].raw(), fmt.frac_bits(), mode);
+    const std::int64_t narrowed =
+        Fixed::narrow_raw(w[m] * x[m], fmt.frac_bits(), mode);
     if (diag != nullptr &&
         (narrowed < fmt.raw_min() || narrowed > fmt.raw_max())) {
       ++diag->product_overflows;
     }
-    const Fixed prod = Fixed::from_raw(fmt, narrowed);
-    if (diag != nullptr && acc.add_overflows(prod)) {
+    const std::int64_t prod = fmt.wrap_raw(narrowed);
+    const std::int64_t next = acc + prod;
+    if (diag != nullptr && (next < fmt.raw_min() || next > fmt.raw_max())) {
       ++diag->accumulator_wraps;
     }
-    exact_sum += prod.raw();
-    acc = acc.add_wrap(prod);
+    exact_sum += prod;
+    acc = fmt.wrap_raw(next);
   }
   if (diag != nullptr) {
     diag->final_overflow =
@@ -50,9 +51,9 @@ Fixed dot_narrow(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
 
 /// Wide datapath: exact products at 2F fractional bits, accumulator with
 /// K integer + 2F fractional bits (wrapping), one final rounding to QK.F.
-Fixed dot_wide(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
-               const FixedFormat& fmt, RoundingMode mode,
-               DotDiagnostics* diag) {
+std::int64_t dot_wide(const std::int64_t* w, const std::int64_t* x,
+                      std::size_t n, const FixedFormat& fmt,
+                      RoundingMode mode, DotDiagnostics* diag) {
   const FixedFormat wide(fmt.integer_bits(), 2 * fmt.frac_bits());
   std::int64_t acc = 0;  // wide raw, scale 2^-2F, wrapped
   // Unwrapped exact sum at the same scale, for the final-overflow
@@ -60,8 +61,8 @@ Fixed dot_wide(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
   // sum could itself overflow after a handful of terms on the widest
   // legal formats — keep the diagnostic in 128 bits.
   __int128 exact_sum = 0;
-  for (std::size_t m = 0; m < w.size(); ++m) {
-    const std::int64_t product = w[m].raw() * x[m].raw();  // scale 2^-2F
+  for (std::size_t m = 0; m < n; ++m) {
+    const std::int64_t product = w[m] * x[m];  // scale 2^-2F
     if (diag != nullptr &&
         (product < wide.raw_min() || product > wide.raw_max())) {
       ++diag->product_overflows;
@@ -77,17 +78,15 @@ Fixed dot_wide(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
         exact_sum < wide.raw_min() || exact_sum > wide.raw_max();
   }
   // Final rounding stage: drop F fractional bits, wrap into QK.F.
-  const std::int64_t narrowed =
-      Fixed::narrow_raw(acc, fmt.frac_bits(), mode);
-  return Fixed::from_raw(fmt, narrowed);
+  return fmt.wrap_raw(Fixed::narrow_raw(acc, fmt.frac_bits(), mode));
 }
 
 }  // namespace
 
-Fixed dot_datapath(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
-                   const FixedFormat& fmt, RoundingMode mode,
-                   AccumulatorMode acc, DotDiagnostics* diag) {
-  LDAFP_CHECK(w.size() == x.size(), "dot_datapath dimension mismatch");
+std::int64_t dot_datapath_raw(const std::int64_t* w, const std::int64_t* x,
+                              std::size_t n, const FixedFormat& fmt,
+                              RoundingMode mode, AccumulatorMode acc,
+                              DotDiagnostics* diag) {
   LDAFP_CHECK(fmt.integer_bits() + 2 * fmt.frac_bits() <= 62,
               "dot_datapath requires K + 2F <= 62");
   // Signed-overflow envelope: a raw product needs 2W-1 bits, and the
@@ -97,12 +96,27 @@ Fixed dot_datapath(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
   LDAFP_CHECK(fmt.word_length() <= 31,
               "dot_datapath limited to word lengths <= 31 bits "
               "(raw products must fit int64)");
+  return acc == AccumulatorMode::kWide ? dot_wide(w, x, n, fmt, mode, diag)
+                                       : dot_narrow(w, x, n, fmt, mode, diag);
+}
+
+Fixed dot_datapath(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
+                   const FixedFormat& fmt, RoundingMode mode,
+                   AccumulatorMode acc, DotDiagnostics* diag) {
+  LDAFP_CHECK(w.size() == x.size(), "dot_datapath dimension mismatch");
   for (std::size_t m = 0; m < w.size(); ++m) {
     LDAFP_CHECK(w[m].format() == fmt && x[m].format() == fmt,
                 "dot_datapath format mismatch");
   }
-  return acc == AccumulatorMode::kWide ? dot_wide(w, x, fmt, mode, diag)
-                                       : dot_narrow(w, x, fmt, mode, diag);
+  // Compat shim: restripe into raw words and run the raw core.
+  std::vector<std::int64_t> wr(w.size()), xr(x.size());
+  for (std::size_t m = 0; m < w.size(); ++m) {
+    wr[m] = w[m].raw();
+    xr[m] = x[m].raw();
+  }
+  return Fixed::from_raw(
+      fmt, dot_datapath_raw(wr.data(), xr.data(), wr.size(), fmt, mode, acc,
+                            diag));
 }
 
 Fixed dot_datapath_real(const linalg::Vector& w, const linalg::Vector& x,

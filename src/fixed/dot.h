@@ -51,20 +51,33 @@ struct DotDiagnostics {
   bool final_overflow = false;
 };
 
-/// Computes the on-chip dot product of two already-quantized word
-/// sequences.  Formats of all words must equal `fmt`; the format must
-/// satisfy fmt.word_length() <= 31 and
+/// The two's-complement MAC core over raw QK.F words: computes the
+/// on-chip dot product of two already-quantized raw-word sequences and
+/// returns the raw QK.F result.  This is the function the
+/// TwosComplementDatapath (fixed/datapath.h) dispatches to — the
+/// wrapped `Fixed` overload below produces bit-identical results by
+/// construction.  The format must satisfy fmt.word_length() <= 31 and
 /// fmt.integer_bits() + 2*fmt.frac_bits() <= 62 so every raw product
 /// and wrapped accumulator step fits int64 (checked, see the
 /// signed-overflow audit in tests/fixed/dot_test.cpp).
+std::int64_t dot_datapath_raw(const std::int64_t* w, const std::int64_t* x,
+                              std::size_t n, const FixedFormat& fmt,
+                              RoundingMode mode = RoundingMode::kNearestEven,
+                              AccumulatorMode acc = AccumulatorMode::kWide,
+                              DotDiagnostics* diag = nullptr);
+
+/// DEPRECATED compat shim over dot_datapath_raw (kept for one release;
+/// migrate to the Datapath interface in fixed/datapath.h or to
+/// dot_datapath_raw — DESIGN.md §16 has the mapping).  Formats of all
+/// words must equal `fmt`.
 Fixed dot_datapath(const std::vector<Fixed>& w, const std::vector<Fixed>& x,
                    const FixedFormat& fmt,
                    RoundingMode mode = RoundingMode::kNearestEven,
                    AccumulatorMode acc = AccumulatorMode::kWide,
                    DotDiagnostics* diag = nullptr);
 
-/// Convenience wrapper: quantizes the real vectors (saturating) and runs
-/// the datapath.
+/// DEPRECATED compat shim (see dot_datapath): quantizes the real
+/// vectors (saturating) and runs the two's-complement datapath.
 Fixed dot_datapath_real(const linalg::Vector& w, const linalg::Vector& x,
                         const FixedFormat& fmt,
                         RoundingMode mode = RoundingMode::kNearestEven,

@@ -1,0 +1,164 @@
+// Logarithmic number system (LNS) format and arithmetic — the second
+// arithmetic backend behind the Datapath API (DESIGN.md §16).
+//
+// An LNS word is sign-magnitude with the magnitude stored as a
+// fixed-point base-2 logarithm: a W-bit word holds 1 sign bit and an
+// E = W - 1 bit exponent field, itself a two's-complement fixed-point
+// number with Ke integer bits (sign included) and Fe fractional bits
+// (E = Ke + Fe).  A word with sign s and exponent raw value e
+// represents (-1)^s · 2^(e · 2^-Fe); the exponent field's most negative
+// code is reserved as the exact-zero flag (sign 0), so zero is
+// representable exactly and unambiguously.
+//
+// Why LNS: multiplication is an exponent *addition* (a W-bit adder
+// instead of the O(W²) array multiplier that dominates fixed-point MAC
+// power — hw/power_model.h models both), at the price of a harder
+// addition.  Sums are computed in the log domain with the classic
+// Mitchell approximations (log2(1+x) ≈ x and 2^f ≈ 1+f on [0,1]),
+// implemented in pure integer arithmetic so accumulation is
+// deterministic on every platform and at any thread count.  The
+// approximation and its error bound are documented at lns_add.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fixed/dot.h"
+#include "fixed/format.h"
+#include "fixed/rounding.h"
+
+namespace ldafp::fixed {
+
+/// Value-type descriptor of an LNS word layout.
+class LnsFormat {
+ public:
+  /// Sign bit + exponent field of Ke integer (sign included) and Fe
+  /// fractional bits.  Requires Ke >= 2, Fe >= 0, 1 + Ke + Fe <= 62.
+  LnsFormat(int exp_integer_bits, int exp_frac_bits);
+
+  /// The canonical LNS layout matched to a QK.F fixed-point descriptor:
+  /// same word length W = K + F, exponent split chosen so the log grid
+  /// covers the QK.F dynamic range — magnitudes from the QK.F
+  /// resolution 2^-F down to its square 2^-2F (headroom for products)
+  /// up to the QK.F maximum 2^(K-1).  For very short words the split is
+  /// clamped so Fe >= 0 (the grid keeps the range, coarsens the
+  /// resolution).  Deterministic, so a (K, F) descriptor fully
+  /// identifies the LNS layout across serialization.  Requires W >= 4.
+  static LnsFormat matched(const FixedFormat& fmt);
+
+  int exp_integer_bits() const { return exp_integer_bits_; }
+  int exp_frac_bits() const { return exp_frac_bits_; }
+  /// E = Ke + Fe, the exponent field width.
+  int exp_bits() const { return exp_integer_bits_ + exp_frac_bits_; }
+  /// W = 1 + E.
+  int word_length() const { return 1 + exp_bits(); }
+
+  /// Exponent raw range.  The most negative code is the zero flag;
+  /// nonzero magnitudes use [exp_raw_min() + 1, exp_raw_max()].
+  std::int64_t exp_raw_min() const;
+  std::int64_t exp_raw_max() const;
+  /// Smallest nonzero exponent code, exp_raw_min() + 1.
+  std::int64_t exp_raw_min_normal() const { return exp_raw_min() + 1; }
+
+  /// Smallest/largest representable nonzero magnitude.
+  double min_magnitude() const;
+  double max_magnitude() const;
+
+  /// "L<W>e<Ke>.<Fe>" display form (e.g. "L8e4.3").
+  std::string to_string() const;
+
+  friend bool operator==(const LnsFormat& a, const LnsFormat& b) {
+    return a.exp_integer_bits_ == b.exp_integer_bits_ &&
+           a.exp_frac_bits_ == b.exp_frac_bits_;
+  }
+  friend bool operator!=(const LnsFormat& a, const LnsFormat& b) {
+    return !(a == b);
+  }
+
+ private:
+  int exp_integer_bits_;
+  int exp_frac_bits_;
+};
+
+/// One unpacked LNS value.  `exp_raw` is meaningful only when !zero.
+struct LnsValue {
+  bool zero = true;
+  bool negative = false;
+  std::int64_t exp_raw = 0;
+};
+
+/// The canonical raw word for exact zero (sign 0, zero-flag exponent
+/// code), sign-extended into W-bit two's complement like every raw word
+/// this module produces.
+std::int64_t lns_zero_word(const LnsFormat& fmt);
+
+/// Packs an unpacked value into its W-bit raw word (sign-extended int64
+/// representative, so LNS words travel through the same buffers, ROM
+/// sections, and wire fields as two's-complement words).
+std::int64_t lns_pack(const LnsFormat& fmt, const LnsValue& value);
+
+/// Unpacks a raw word (only the low W bits are read, so sign-extended
+/// and zero-extended representatives decode identically).  A zero-flag
+/// exponent code decodes as exact zero regardless of the sign bit.
+LnsValue lns_unpack(const LnsFormat& fmt, std::int64_t raw);
+
+/// Quantizes a real value to the nearest log-grid point under `mode`
+/// (rounding happens in the log domain, i.e. on the exponent's
+/// fixed-point grid).  Magnitudes below the smallest representable
+/// nonzero magnitude flush to exact zero; magnitudes above the largest
+/// (including ±inf) saturate to it.  NaN throws InvalidArgumentError.
+/// Monotone in `value` for the nearest-rounding modes (asserted by
+/// tests/lns/lns_format_test.cpp).
+std::int64_t lns_quantize(const LnsFormat& fmt, double value,
+                          RoundingMode mode = RoundingMode::kNearestEven);
+
+/// Real value of a raw LNS word.
+double lns_to_real(const LnsFormat& fmt, std::int64_t raw);
+
+/// Value-order comparison a >= b on raw words (the LNS comparator:
+/// sign/zero resolve first, then exponent order, inverted for two
+/// negatives).  Total order consistent with lns_to_real.
+bool lns_ge(const LnsFormat& fmt, std::int64_t a, std::int64_t b);
+
+/// Log-domain addition of two unpacked values — the Mitchell
+/// approximation the LNS accumulator implements, exposed so tests and
+/// the RTL generator share one definition:
+///
+///   |a| >= |b|, d = e_a - e_b (exponent raw units).  The aligned
+///   addend r = 2^-(d·2^-Fe) is formed with Mitchell's antilog
+///   (2^f ≈ 1 + f on [0,1]):  r_raw = (2^(Fe+1) - d_frac) >> (d_int+1)
+///   with round-to-nearest-even at the shift.  Same signs:
+///   log2(1 + r) ≈ r (Mitchell log), so e = e_a + r_raw.  Opposite
+///   signs: y = 1 - r is renormalized to m · 2^-k, m ∈ [1, 2), and
+///   log2(y) ≈ -k + (m - 1), so e = e_a - k·2^Fe + (m_raw - 2^Fe);
+///   d = 0 cancels to exact zero.  Every step is integer arithmetic.
+///
+///   Error bound: Mitchell's log and antilog each err by at most
+///   0.0861 in the exponent (attained near x = 1/ln2 - 1), and the
+///   alignment shift rounds within 2^-Fe/2, so one addition perturbs
+///   the result exponent by at most 0.1722 + 2^-(Fe+1) + the exponent
+///   grid's own half-ulp — a relative magnitude error of at most
+///   2^(0.1722 + 2^-Fe) - 1 (≈ 12.7% + O(2^-Fe)) per step, amplified
+///   at catastrophic cancellation (d small, opposite signs) like every
+///   LNS adder without a wide correction table.  DESIGN.md §16 carries
+///   the derivation.
+LnsValue lns_add(const LnsFormat& fmt, const LnsValue& a, const LnsValue& b);
+
+/// LNS dot product over raw words: multiplies become exponent
+/// additions, accumulation runs left to right through lns_add — a fixed
+/// sequential order, so the result is a pure function of the operands
+/// (bit-identical at any thread count).  `acc` selects the accumulator
+/// register model: kWide keeps the running exponent in an unclamped
+/// guard-bit register and saturates to the storage grid once at the
+/// end; kNarrow saturates after every addition.  Diagnostics map the
+/// fixed-point taxonomy onto LNS events: product_overflows counts
+/// exponent-adder saturations (the LNS analog of a product leaving the
+/// range; LNS hardware clamps instead of wrapping), accumulator_wraps
+/// counts accumulator saturations, final_overflow reports a saturated
+/// final magnitude.
+std::int64_t lns_dot_raw(const LnsFormat& fmt, const std::int64_t* w,
+                         const std::int64_t* x, std::size_t n,
+                         AccumulatorMode acc = AccumulatorMode::kWide,
+                         DotDiagnostics* diag = nullptr);
+
+}  // namespace ldafp::fixed

@@ -1,5 +1,8 @@
 #include "hw/power_model.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "support/error.h"
 
 namespace ldafp::hw {
@@ -9,12 +12,37 @@ PowerModel::PowerModel(PowerModelOptions options) : options_(options) {
               "power model coefficients must be non-negative");
   LDAFP_CHECK(options_.quadratic_coeff > 0.0 || options_.linear_coeff > 0.0,
               "power model must have a positive term");
+  LDAFP_CHECK(options_.lns_mul_coeff >= 0.0 &&
+                  options_.lns_add_coeff >= 0.0 &&
+                  options_.lns_lut_coeff >= 0.0,
+              "power model coefficients must be non-negative");
+  LDAFP_CHECK(options_.lns_mul_coeff > 0.0 || options_.lns_add_coeff > 0.0 ||
+                  options_.lns_lut_coeff > 0.0,
+              "LNS power model must have a positive term");
+  LDAFP_CHECK(options_.lns_lut_cap_bits >= 0,
+              "LUT cap must be non-negative");
 }
 
 double PowerModel::power(int word_length) const {
+  return power(fixed::DatapathKind::kTwosComplement, word_length);
+}
+
+double PowerModel::power(fixed::DatapathKind kind, int word_length) const {
   LDAFP_CHECK(word_length >= 1, "word length must be >= 1");
   const double w = static_cast<double>(word_length);
-  return options_.quadratic_coeff * w * w + options_.linear_coeff * w;
+  switch (kind) {
+    case fixed::DatapathKind::kTwosComplement:
+      return options_.quadratic_coeff * w * w + options_.linear_coeff * w;
+    case fixed::DatapathKind::kLns: {
+      const int lut_bits =
+          std::min(word_length - 1, options_.lns_lut_cap_bits);
+      const double lut = options_.lns_lut_coeff == 0.0
+                             ? 0.0
+                             : options_.lns_lut_coeff * std::exp2(lut_bits);
+      return (options_.lns_mul_coeff + options_.lns_add_coeff) * w + lut;
+    }
+  }
+  throw InvalidArgumentError("power: unknown datapath kind");
 }
 
 double PowerModel::power_ratio(int baseline_word_length,
@@ -22,10 +50,25 @@ double PowerModel::power_ratio(int baseline_word_length,
   return power(baseline_word_length) / power(candidate_word_length);
 }
 
+double PowerModel::power_ratio(fixed::DatapathKind baseline_kind,
+                               int baseline_word_length,
+                               fixed::DatapathKind candidate_kind,
+                               int candidate_word_length) const {
+  return power(baseline_kind, baseline_word_length) /
+         power(candidate_kind, candidate_word_length);
+}
+
 double PowerModel::energy_per_classification(int word_length,
                                              std::int64_t cycles) const {
+  return energy_per_classification(fixed::DatapathKind::kTwosComplement,
+                                   word_length, cycles);
+}
+
+double PowerModel::energy_per_classification(fixed::DatapathKind kind,
+                                             int word_length,
+                                             std::int64_t cycles) const {
   LDAFP_CHECK(cycles >= 0, "cycle count must be non-negative");
-  return power(word_length) * static_cast<double>(cycles);
+  return power(kind, word_length) * static_cast<double>(cycles);
 }
 
 }  // namespace ldafp::hw

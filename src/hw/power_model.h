@@ -1,23 +1,49 @@
-// Analytic power/energy/area model for the fixed-point classifier.
+// Analytic power/energy/area model for the on-chip classifier.
 //
-// The paper's power claims rest on one rule (Sec. 5.1, citing Padgett &
-// Anderson [13]): the power of on-chip fixed-point arithmetic is almost a
-// quadratic function of the word length.  A W-bit array multiplier has
-// O(W²) full adders, which dominates the MAC; the W-bit ripple adder and
-// registers add an O(W) term.  We expose both the paper's pure-quadratic
-// rule and a slightly richer quadratic+linear model, plus the derived
-// ratios ("3x shorter words -> 9x less power").
+// Two's complement: the paper's power claims rest on one rule (Sec. 5.1,
+// citing Padgett & Anderson [13]): the power of on-chip fixed-point
+// arithmetic is almost a quadratic function of the word length.  A W-bit
+// array multiplier has O(W²) full adders, which dominates the MAC; the
+// W-bit ripple adder and registers add an O(W) term.  We expose both the
+// paper's pure-quadratic rule and a slightly richer quadratic+linear
+// model, plus the derived ratios ("3x shorter words -> 9x less power").
+//
+// LNS: the multiplier collapses to a (W-1)-bit exponent adder, so the
+// MAC loses its quadratic term — cost is linear in W (exponent adder,
+// Mitchell shift-and-add log adder, registers) plus the comparison/
+// normalization logic.  Classic table-based LNS adders also carry a
+// Gaussian-log LUT that grows exponentially with the exponent's
+// fractional bits; the Mitchell adder here has none, but the model keeps
+// a capped LUT term (default coefficient 0) so table-based designs can
+// be explored with the same sweep.  Net effect: fixed wins at very
+// short words (no per-word overhead), LNS wins as W grows and the O(W²)
+// multiplier takes over — bench/lns_sweep plots the crossover.
 #pragma once
 
 #include <cstdint>
 
+#include "fixed/datapath.h"
+
 namespace ldafp::hw {
 
-/// Coefficients of P(W) = quad · W² + lin · W  (arbitrary units unless
-/// calibrated; only ratios are meaningful, as in the paper).
+/// Coefficients of the per-backend power rules (arbitrary units unless
+/// calibrated; only ratios are meaningful, as in the paper):
+///   two's complement: P(W) = quad · W² + lin · W
+///   LNS:              P(W) = (lns_add + lns_mul) · W
+///                            + lns_lut · 2^min(W-1, lns_lut_cap_bits)
 struct PowerModelOptions {
-  double quadratic_coeff = 1.0;  ///< multiplier array term
-  double linear_coeff = 0.0;     ///< adder/register term (0 = paper's rule)
+  double quadratic_coeff = 1.0;  ///< TC multiplier array term
+  double linear_coeff = 0.0;     ///< TC adder/register term (0 = paper)
+  /// LNS exponent adder (the "multiplier") — one W-bit add.
+  double lns_mul_coeff = 0.4;
+  /// LNS Mitchell log-adder datapath (align shift, two adds, priority
+  /// encoder) + registers, per bit.
+  double lns_add_coeff = 2.2;
+  /// Optional Gaussian-log LUT term for table-based LNS adders
+  /// (0 = the Mitchell adder modeled here, which has no table).
+  double lns_lut_coeff = 0.0;
+  /// LUT address-width cap (designs fold the table past this).
+  int lns_lut_cap_bits = 10;
 };
 
 /// The model.
@@ -26,17 +52,30 @@ class PowerModel {
   PowerModel() = default;
   explicit PowerModel(PowerModelOptions options);
 
-  /// Power of a W-bit MAC datapath (arbitrary units).
+  /// Power of a W-bit two's-complement MAC datapath (arbitrary units).
   double power(int word_length) const;
+
+  /// Power of a W-bit MAC on the given backend (arbitrary units).
+  double power(fixed::DatapathKind kind, int word_length) const;
 
   /// Power ratio P(baseline) / P(candidate) — "how many times less power
   /// the candidate burns".  The paper's headline: ratio(12, 4) = 9.
   double power_ratio(int baseline_word_length,
                      int candidate_word_length) const;
 
+  /// Cross-backend power ratio at possibly different word lengths.
+  double power_ratio(fixed::DatapathKind baseline_kind,
+                     int baseline_word_length,
+                     fixed::DatapathKind candidate_kind,
+                     int candidate_word_length) const;
+
   /// Energy of one classification: power × cycles (serial MAC: M+1
   /// cycles), in arbitrary units.
   double energy_per_classification(int word_length,
+                                   std::int64_t cycles) const;
+
+  /// Energy of one classification on the given backend.
+  double energy_per_classification(fixed::DatapathKind kind, int word_length,
                                    std::int64_t cycles) const;
 
  private:

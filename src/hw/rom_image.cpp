@@ -52,6 +52,13 @@ std::int64_t from_hex(const std::string& text,
 }  // namespace
 
 RomImage RomImage::from_classifier(const core::FixedClassifier& clf) {
+  // The image stores exact QK.F grid reals; a log-grid classifier has
+  // no such representation (its grid points are irrational), so LNS
+  // models travel through the .ldafp format instead (DESIGN.md §16).
+  LDAFP_CHECK(
+      clf.datapath_kind() == fixed::DatapathKind::kTwosComplement,
+      "rom image: only two's-complement classifiers have a hex ROM form "
+      "(save LNS models as .ldafp)");
   RomImage image;
   image.format = clf.format();
   image.weights = clf.weights_real();
@@ -65,6 +72,10 @@ core::FixedClassifier RomImage::classifier(
 }
 
 std::string rom_image_text(const core::FixedClassifier& clf) {
+  LDAFP_CHECK(
+      clf.datapath_kind() == fixed::DatapathKind::kTwosComplement,
+      "rom image: only two's-complement classifiers have a hex ROM form "
+      "(save LNS models as .ldafp)");
   const fixed::FixedFormat& fmt = clf.format();
   std::ostringstream os;
   os << "// ldafp weight ROM\n";

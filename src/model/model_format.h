@@ -8,7 +8,7 @@
 //
 //   offset  size  field
 //   0       4     magic 0x4D46444C ("LDFM" on disk)
-//   4       2     format_version (currently 1)
+//   4       2     format_version (1 or 2)
 //   6       2     section_count
 //   8       ...   section_count sections, back to back
 //   EOF-4   4     CRC-32 (support/crc32.h) over bytes [0, EOF-4)
@@ -16,9 +16,16 @@
 // Each section is { u16 section_id, u16 reserved = 0, u32 payload_len,
 // payload }.  Version policy: any change to the layout of an existing
 // section, or a new section a loader cannot ignore, bumps
-// format_version; a version-1 loader rejects every other version with
-// kBadVersion and rejects unknown section ids with kBadSection (strict
-// by design — a serving process must never guess at model bits).
+// format_version; the loader rejects versions above kFormatVersion with
+// kBadVersion and rejects section ids its version does not define with
+// kBadSection (strict by design — a serving process must never guess at
+// model bits).  The saver writes the LOWEST version that can represent
+// the model: a two's-complement classifier needs no datapath section
+// and is saved as a byte-identical version-1 file an old loader still
+// reads; an LNS classifier adds the kDatapath section and bumps the
+// file to version 2, which an old loader correctly refuses instead of
+// mis-running log-domain words through a QK.F datapath.  A version-2
+// file missing the datapath section defaults to two's complement.
 //
 // The loader's corruption taxonomy mirrors net/protocol's frame
 // errors: every failure is an eager, specific code — never a crash,
@@ -37,8 +44,12 @@ namespace ldafp::model {
 
 /// "LDFM" when the u32 is written little-endian.
 inline constexpr std::uint32_t kMagic = 0x4D46444C;
-/// The one format version this loader reads and the saver writes.
-inline constexpr std::uint16_t kFormatVersion = 1;
+/// Newest format version: the loader reads 1..kFormatVersion, the saver
+/// writes the lowest version that can represent the model (see the
+/// version policy above).
+inline constexpr std::uint16_t kFormatVersion = 2;
+/// Oldest format version the loader still reads.
+inline constexpr std::uint16_t kMinFormatVersion = 1;
 /// Fixed header (magic + version + section_count) plus the CRC trailer
 /// — the smallest conceivable file.
 inline constexpr std::size_t kHeaderBytes = 8;
@@ -50,10 +61,14 @@ inline constexpr std::size_t kSectionHeaderBytes = 8;
 /// half a megabyte of words; anything larger is hostile input).
 inline constexpr std::size_t kMaxSectionBytes = 1u << 24;
 
-/// Section ids of format version 1.
+/// Section ids.  kClassifier and kProvenance are version 1; kDatapath
+/// joined in version 2 (a version-1 file containing it is kBadSection).
 enum class SectionId : std::uint16_t {
   kClassifier = 1,  ///< formats + raw weight/threshold words (mandatory)
   kProvenance = 2,  ///< training lineage (mandatory)
+  kDatapath = 3,    ///< arithmetic backend tag (optional; absent = QK.F
+                    ///< two's complement, so version-1 files keep their
+                    ///< meaning unchanged)
 };
 
 /// Why a model file could not be loaded.

@@ -4,6 +4,8 @@
 #include <iterator>
 #include <sstream>
 
+#include "fixed/datapath.h"
+#include "fixed/lns.h"
 #include "support/crc32.h"
 #include "support/error.h"
 #include "support/json.h"
@@ -47,6 +49,29 @@ bool accumulator_from_code(std::uint8_t code, fixed::AccumulatorMode& out) {
   return false;
 }
 
+std::uint8_t datapath_code(fixed::DatapathKind kind) {
+  return kind == fixed::DatapathKind::kLns ? 1 : 0;
+}
+
+bool datapath_from_code(std::uint8_t code, fixed::DatapathKind& out) {
+  switch (code) {
+    case 0: out = fixed::DatapathKind::kTwosComplement; return true;
+    case 1: out = fixed::DatapathKind::kLns; return true;
+  }
+  return false;
+}
+
+/// True when the saver can represent the model as a version-1 file
+/// (no datapath section needed) — the version policy in model_format.h.
+bool is_version1_model(const SavedModel& model) {
+  return model.classifier.datapath_kind() ==
+         fixed::DatapathKind::kTwosComplement;
+}
+
+std::uint16_t written_version(const SavedModel& model) {
+  return is_version1_model(model) ? kMinFormatVersion : kFormatVersion;
+}
+
 void append_section(std::vector<std::uint8_t>& out, SectionId id,
                     const std::vector<std::uint8_t>& payload) {
   support::put_u16le(out, static_cast<std::uint16_t>(id));
@@ -64,10 +89,19 @@ std::vector<std::uint8_t> classifier_payload(
   support::put_u8(p, rounding_code(clf.rounding()));
   support::put_u8(p, accumulator_code(clf.accumulator()));
   support::put_u32le(p, static_cast<std::uint32_t>(clf.dim()));
-  support::put_i64le(p, clf.threshold_fixed().raw());
-  for (const fixed::Fixed& w : clf.weights_fixed()) {
-    support::put_i64le(p, w.raw());
+  // Raw backend words, never re-quantized reals: the two's-complement
+  // bytes are identical to what weights_fixed() used to emit, and LNS
+  // words (whose log-grid values are irrational) survive bit-exactly.
+  support::put_i64le(p, clf.threshold_raw());
+  for (const std::int64_t w : clf.weight_words()) {
+    support::put_i64le(p, w);
   }
+  return p;
+}
+
+std::vector<std::uint8_t> datapath_payload(const core::FixedClassifier& clf) {
+  std::vector<std::uint8_t> p;
+  support::put_u8(p, datapath_code(clf.datapath_kind()));
   return p;
 }
 
@@ -97,9 +131,11 @@ std::vector<std::uint8_t> provenance_payload(const TrainingProvenance& pv) {
 /// name: 7 doubles + 2 u32 + 6 u64.
 constexpr std::size_t kProvenanceTailBytes = 7 * 8 + 2 * 4 + 6 * 8;
 
-/// Decodes the classifier section.  Returns kNone and engages `out` on
-/// success; kBadSection on any structural or value-range violation.
+/// Decodes the classifier section onto the given arithmetic backend.
+/// Returns kNone and engages `out` on success; kBadSection on any
+/// structural or value-range violation.
 LoadError decode_classifier(const std::uint8_t* data, std::size_t size,
+                            fixed::DatapathKind kind,
                             std::optional<core::FixedClassifier>& out) {
   support::WireReader r(data, size);
   const std::uint8_t integer_bits = r.u8();
@@ -110,6 +146,17 @@ LoadError decode_classifier(const std::uint8_t* data, std::size_t size,
   if (!r.ok()) return LoadError::kBadSection;
   if (integer_bits < 1 || integer_bits + frac_bits > 62) {
     return LoadError::kBadSection;
+  }
+  // Backend envelope checks (mirroring the datapath constructors, so a
+  // hostile header is a LoadError, never a thrown CheckError): the QK.F
+  // datapath needs exact 2F-fraction products in 63 bits and W <= 31
+  // words; the LNS layout needs at least sign + 3 exponent bits.
+  if (kind == fixed::DatapathKind::kTwosComplement) {
+    if (integer_bits + 2 * frac_bits > 62 || integer_bits + frac_bits > 31) {
+      return LoadError::kBadSection;
+    }
+  } else {
+    if (integer_bits + frac_bits < 4) return LoadError::kBadSection;
   }
   fixed::RoundingMode rounding;
   fixed::AccumulatorMode acc;
@@ -125,23 +172,33 @@ LoadError decode_classifier(const std::uint8_t* data, std::size_t size,
 
   const fixed::FixedFormat fmt(integer_bits, frac_bits);
   const std::int64_t threshold_raw = r.i64();
-  std::vector<double> weights(dim);
+  std::vector<std::int64_t> words(dim);
   for (std::uint32_t i = 0; i < dim; ++i) {
     const std::int64_t raw = r.i64();
+    // Both backends store sign-extended W-bit patterns, so the QK.F raw
+    // range is the word range for LNS too.
     if (raw < fmt.raw_min() || raw > fmt.raw_max()) {
       return LoadError::kBadSection;
     }
-    weights[i] = fmt.to_real(raw);
+    words[i] = raw;
   }
   if (!r.ok() || r.remaining() != 0) return LoadError::kBadSection;
   if (threshold_raw < fmt.raw_min() || threshold_raw > fmt.raw_max()) {
     return LoadError::kBadSection;
   }
-  // The stored words are exact grid values, so the constructor's
-  // representability check passes and its quantization reproduces the
-  // identical raw words — bit-for-bit round trip.
-  out.emplace(fmt, linalg::Vector(std::move(weights)),
-              fmt.to_real(threshold_raw), rounding, acc);
+  // Rebuild from the raw words directly — bit-for-bit round trip with
+  // no real-value detour (the LNS grid would not survive one).
+  out.emplace(core::FixedClassifier::from_raw_words(
+      fixed::make_datapath(kind, fmt, rounding, acc), std::move(words),
+      threshold_raw));
+  return LoadError::kNone;
+}
+
+/// Decodes the datapath section (one backend-tag byte).
+LoadError decode_datapath(const std::uint8_t* data, std::size_t size,
+                          fixed::DatapathKind& out) {
+  if (size != 1) return LoadError::kBadSection;
+  if (!datapath_from_code(data[0], out)) return LoadError::kBadSection;
   return LoadError::kNone;
 }
 
@@ -190,14 +247,22 @@ const char* to_string(LoadError error) {
 }
 
 std::vector<std::uint8_t> encode_model(const SavedModel& model) {
+  // Lowest sufficient version: a two's-complement model is written as a
+  // byte-identical version-1 file (old loaders keep reading it); only a
+  // non-default backend adds the datapath section and the version bump.
+  const bool v1 = is_version1_model(model);
   std::vector<std::uint8_t> out;
   support::put_u32le(out, kMagic);
-  support::put_u16le(out, kFormatVersion);
-  support::put_u16le(out, 2);  // section_count
+  support::put_u16le(out, written_version(model));
+  support::put_u16le(out, v1 ? 2 : 3);  // section_count
   append_section(out, SectionId::kClassifier,
                  classifier_payload(model.classifier));
   append_section(out, SectionId::kProvenance,
                  provenance_payload(model.provenance));
+  if (!v1) {
+    append_section(out, SectionId::kDatapath,
+                   datapath_payload(model.classifier));
+  }
   support::put_u32le(out, support::crc32(out));
   return out;
 }
@@ -214,7 +279,8 @@ DecodeResult decode_model(const std::uint8_t* data, std::size_t size) {
     result.error = LoadError::kBadMagic;
     return result;
   }
-  if (support::get_u16le(data + 4) != kFormatVersion) {
+  const std::uint16_t version = support::get_u16le(data + 4);
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     result.error = LoadError::kBadVersion;
     return result;
   }
@@ -252,8 +318,15 @@ DecodeResult decode_model(const std::uint8_t* data, std::size_t size) {
     view.payload = data + pos;
     view.size = payload_len;
     pos += payload_len;
-    if (view.id != static_cast<std::uint16_t>(SectionId::kClassifier) &&
-        view.id != static_cast<std::uint16_t>(SectionId::kProvenance)) {
+    // A section id is only known within the version that defined it: a
+    // version-1 file carrying the (version-2) datapath section is as
+    // malformed as one carrying id 7.
+    const bool known =
+        view.id == static_cast<std::uint16_t>(SectionId::kClassifier) ||
+        view.id == static_cast<std::uint16_t>(SectionId::kProvenance) ||
+        (version >= 2 &&
+         view.id == static_cast<std::uint16_t>(SectionId::kDatapath));
+    if (!known) {
       result.error = LoadError::kBadSection;
       return result;
     }
@@ -272,6 +345,25 @@ DecodeResult decode_model(const std::uint8_t* data, std::size_t size) {
     return result;
   }
 
+  // The datapath tag decodes first regardless of section order: the
+  // classifier's raw words only have meaning on their backend.  Absent
+  // section (every version-1 file) = the two's-complement default.
+  fixed::DatapathKind kind = fixed::DatapathKind::kTwosComplement;
+  bool have_datapath = false;
+  for (const SectionView& view : sections) {
+    if (view.id != static_cast<std::uint16_t>(SectionId::kDatapath)) continue;
+    if (have_datapath) {  // duplicate
+      result.error = LoadError::kBadSection;
+      return result;
+    }
+    const LoadError err = decode_datapath(view.payload, view.size, kind);
+    if (err != LoadError::kNone) {
+      result.error = err;
+      return result;
+    }
+    have_datapath = true;
+  }
+
   std::optional<core::FixedClassifier> classifier;
   TrainingProvenance provenance;
   bool have_provenance = false;
@@ -282,12 +374,13 @@ DecodeResult decode_model(const std::uint8_t* data, std::size_t size) {
         return result;
       }
       const LoadError err =
-          decode_classifier(view.payload, view.size, classifier);
+          decode_classifier(view.payload, view.size, kind, classifier);
       if (err != LoadError::kNone) {
         result.error = err;
         return result;
       }
-    } else {
+    } else if (view.id ==
+               static_cast<std::uint16_t>(SectionId::kProvenance)) {
       if (have_provenance) {
         result.error = LoadError::kBadSection;
         return result;
@@ -318,34 +411,49 @@ std::string metadata_json(const SavedModel& model) {
   const core::FixedClassifier& clf = model.classifier;
   const fixed::FixedFormat& fmt = clf.format();
   const TrainingProvenance& pv = model.provenance;
+  const bool lns = clf.datapath_kind() == fixed::DatapathKind::kLns;
   std::ostringstream os;
   support::JsonWriter json(os);
   json.begin_object();
-  json.kv("format_version", static_cast<std::int64_t>(kFormatVersion));
+  json.kv("format_version",
+          static_cast<std::int64_t>(written_version(model)));
   json.kv("name", pv.name);
   json.kv("model_version", pv.model_version);
+  json.kv("datapath", fixed::to_string(clf.datapath_kind()));
   json.kv("dim", static_cast<std::int64_t>(clf.dim()));
-  // Per-signal fixed-point precision: the feature/weight words share
-  // QK.F; the accumulator either keeps full 2F-fraction products (wide)
-  // or narrows each product back to QK.F before adding (narrow).
+  // Per-signal precision.  Two's complement: the feature/weight words
+  // share QK.F; the accumulator either keeps full 2F-fraction products
+  // (wide) or narrows each product back to QK.F before adding (narrow).
+  // LNS: every signal lives in the matched log-domain layout (wide mode
+  // only widens the accumulator's internal guard bits).
   json.key("signals");
   json.begin_object();
-  json.kv("features", fmt.to_string());
-  json.kv("weights", fmt.to_string());
-  json.kv("accumulator",
-          clf.accumulator() == fixed::AccumulatorMode::kWide
-              ? fixed::FixedFormat(fmt.integer_bits(),
-                                   2 * fmt.frac_bits()).to_string()
-              : fmt.to_string());
+  if (lns) {
+    const std::string layout = fixed::LnsFormat::matched(fmt).to_string();
+    json.kv("features", layout);
+    json.kv("weights", layout);
+    json.kv("accumulator", layout);
+  } else {
+    json.kv("features", fmt.to_string());
+    json.kv("weights", fmt.to_string());
+    json.kv("accumulator",
+            clf.accumulator() == fixed::AccumulatorMode::kWide
+                ? fixed::FixedFormat(fmt.integer_bits(),
+                                     2 * fmt.frac_bits()).to_string()
+                : fmt.to_string());
+  }
   json.end_object();
   json.kv("rounding", fixed::to_string(clf.rounding()));
   json.kv("accumulator_mode", fixed::to_string(clf.accumulator()));
   json.kv("threshold", clf.threshold_real());
-  json.kv("threshold_raw", clf.threshold_fixed().raw());
+  json.kv("threshold_raw", clf.threshold_raw());
   json.key("weights");
   json.begin_array();
-  for (const fixed::Fixed& w : clf.weights_fixed()) {
-    json.value(w.to_real());
+  {
+    const linalg::Vector reals = clf.weights_real();
+    for (std::size_t i = 0; i < reals.size(); ++i) {
+      json.value(reals[i]);
+    }
   }
   json.end_array();
   json.key("provenance");

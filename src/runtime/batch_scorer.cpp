@@ -49,28 +49,31 @@ void PackedBatch::append_packed(const PackedBatch& src) {
 }
 
 BatchScorer::BatchScorer(const core::FixedClassifier& clf)
-    : fmt_(clf.format()),
+    : datapath_(clf.datapath_ptr()),
+      twos_complement_(clf.datapath_kind() ==
+                       fixed::DatapathKind::kTwosComplement),
+      fmt_(clf.format()),
       wide_fmt_(clf.format().integer_bits(), 2 * clf.format().frac_bits()),
       mode_(clf.rounding()),
       acc_(clf.accumulator()),
-      threshold_raw_(clf.threshold_fixed().raw()),
+      weights_raw_(clf.weight_words()),
+      threshold_raw_(clf.threshold_raw()),
       q_scale_(std::ldexp(1.0, clf.format().frac_bits())),
       q_min_(clf.format().min_value()),
       q_max_(clf.format().max_value()),
       raw_min_(clf.format().raw_min()),
       raw_max_(clf.format().raw_max()) {
-  weights_raw_.reserve(clf.dim());
-  for (const fixed::Fixed& w : clf.weights_fixed()) {
-    weights_raw_.push_back(w.raw());
+  if (twos_complement_) {
+    // Validate the integer-overflow envelope once at snapshot time (the
+    // same checks make_plan applies per score call).
+    simd::make_plan(weights_raw_.data(), weights_raw_.size(), fmt_, mode_,
+                    acc_);
   }
-  // Validate the integer-overflow envelope once at snapshot time (the
-  // same checks make_plan applies per score call).
-  simd::make_plan(weights_raw_.data(), weights_raw_.size(), fmt_, mode_,
-                  acc_);
 }
 
 std::int64_t BatchScorer::quantize(double v) const {
   LDAFP_CHECK(!std::isnan(v), "cannot quantize NaN");
+  if (!twos_complement_) return datapath_->quantize(v);
   // Mirrors FixedFormat::quantize_saturate with the constants hoisted
   // out of the per-element path.  v * 2^F is exact for in-range v (a
   // power-of-two scale only shifts the exponent), so the rounding step
@@ -160,6 +163,25 @@ void BatchScorer::score(const PackedBatch& batch, ScoreResult* out) const {
   if (batch.rows == 0) return;
   LDAFP_CHECK(batch.dim == dim(), "batch scorer dimension mismatch");
   constexpr std::size_t kLane = PackedBatch::kLane;
+  if (!twos_complement_) {
+    // No vector kernels for this backend: gather each row out of the
+    // AoSoA tiles and run the datapath's scalar dot.  One row buffer
+    // per call, none per row.
+    std::vector<std::int64_t> xrow(dim());
+    for (std::size_t r = 0; r < batch.rows; ++r) {
+      const std::int64_t* tile = batch.tile(r / kLane);
+      const std::size_t lane = r % kLane;
+      for (std::size_t m = 0; m < dim(); ++m) {
+        xrow[m] = tile[m * kLane + lane];
+      }
+      const std::int64_t y =
+          datapath_->dot(weights_raw_.data(), xrow.data(), dim());
+      out[r].projection_raw = y;
+      out[r].label = datapath_->ge(y, threshold_raw_) ? core::Label::kClassA
+                                                      : core::Label::kClassB;
+    }
+    return;
+  }
   const simd::DotPlan plan =
       simd::make_plan(weights_raw_.data(), dim(), fmt_, mode_, acc_);
   std::int64_t y[kLane];

@@ -20,9 +20,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/classifier.h"
+#include "fixed/datapath.h"
 #include "fixed/dot.h"
 #include "fixed/format.h"
 #include "fixed/simd.h"
@@ -73,18 +75,23 @@ struct ScoreResult {
   std::int64_t projection_raw = 0;
 };
 
-/// Immutable batched evaluator of one fixed-point classifier.
+/// Immutable batched evaluator of one on-chip classifier.
 class BatchScorer {
  public:
   /// Snapshots the classifier's quantized words (no re-quantization —
-  /// the exact bits are copied via FixedClassifier::weights_fixed).
-  /// Throws InvalidArgumentError when the format exceeds the scoring
-  /// datapath's integer envelope (W <= 31, K + 2F <= 62).
+  /// the exact bits are copied via FixedClassifier::weight_words) and
+  /// shares its datapath.  Two's-complement classifiers score through
+  /// the vector kernels; other backends (LNS) score through the
+  /// datapath's scalar dot, still batched over the packed buffer.
+  /// Throws InvalidArgumentError when a two's-complement format exceeds
+  /// the scoring datapath's integer envelope (W <= 31, K + 2F <= 62).
   explicit BatchScorer(const core::FixedClassifier& clf);
 
   std::size_t dim() const { return weights_raw_.size(); }
   const fixed::FixedFormat& format() const { return fmt_; }
   fixed::AccumulatorMode accumulator() const { return acc_; }
+  /// The arithmetic backend this scorer replays.
+  fixed::DatapathKind datapath_kind() const { return datapath_->kind(); }
 
   /// Quantizes `n` feature vectors (saturating, as the classifier's
   /// preprocessing prescribes) into `out`, appending after out.rows.
@@ -122,11 +129,15 @@ class BatchScorer {
   std::vector<core::Label> classify(const std::vector<linalg::Vector>& xs) const;
 
  private:
+  /// The datapath's quantizer.  On the two's-complement backend this is
   /// fmt_.quantize_saturate(v, mode_) with the scale and limits cached
   /// (bit-identical: scaling by an exact power of two commutes with the
-  /// rounding step; asserted in tests/runtime/batch_scorer_test.cpp).
+  /// rounding step; asserted in tests/runtime/batch_scorer_test.cpp);
+  /// other backends delegate to Datapath::quantize.
   std::int64_t quantize(double v) const;
 
+  std::shared_ptr<const fixed::Datapath> datapath_;
+  bool twos_complement_ = true;  ///< cached kind check for the hot path
   fixed::FixedFormat fmt_;
   fixed::FixedFormat wide_fmt_;  ///< K integer + 2F fractional bits
   fixed::RoundingMode mode_;

@@ -1,0 +1,234 @@
+// The Mitchell log-domain adder and the LNS dot product: algebraic
+// identities the adder keeps exactly (commutativity, zero identity,
+// doubling, cancellation to exact zero), the documented per-step error
+// bound against real arithmetic, and the sequential accumulator's
+// determinism and diagnostics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fixed/lns.h"
+#include "support/rng.h"
+
+namespace ldafp::fixed {
+namespace {
+
+/// Real magnitude of an (possibly off-grid, wide-accumulator) unpacked
+/// value — lns_add results may carry exponents outside the storage
+/// range, so this decodes them directly instead of via lns_to_real.
+double value_real(const LnsFormat& fmt, const LnsValue& v) {
+  if (v.zero) return 0.0;
+  const double mag = std::pow(
+      2.0, static_cast<double>(v.exp_raw) *
+               std::pow(2.0, -fmt.exp_frac_bits()));
+  return v.negative ? -mag : mag;
+}
+
+/// A nonzero unpacked value with an in-range exponent drawn from `rng`.
+LnsValue random_value(const LnsFormat& fmt, support::Rng& rng,
+                      bool negative) {
+  LnsValue v;
+  v.zero = false;
+  v.negative = negative;
+  v.exp_raw = rng.uniform_int(fmt.exp_raw_min_normal(), fmt.exp_raw_max());
+  return v;
+}
+
+std::vector<LnsFormat> layouts() {
+  return {LnsFormat::matched(FixedFormat(2, 2)),
+          LnsFormat::matched(FixedFormat(2, 4)),
+          LnsFormat::matched(FixedFormat(2, 6)),
+          LnsFormat::matched(FixedFormat(4, 4)),
+          LnsFormat::matched(FixedFormat(2, 10))};
+}
+
+TEST(LnsAddTest, ZeroIsTheAdditiveIdentity) {
+  support::Rng rng(1);
+  for (const LnsFormat& fmt : layouts()) {
+    LnsValue zero;  // default-constructed: exact zero
+    for (int i = 0; i < 50; ++i) {
+      const LnsValue b = random_value(fmt, rng, (i % 2) != 0);
+      for (const auto& [x, y] : {std::pair{zero, b}, std::pair{b, zero}}) {
+        const LnsValue sum = lns_add(fmt, x, y);
+        EXPECT_EQ(sum.zero, false);
+        EXPECT_EQ(sum.negative, b.negative);
+        EXPECT_EQ(sum.exp_raw, b.exp_raw);
+      }
+    }
+    EXPECT_TRUE(lns_add(fmt, zero, zero).zero);
+  }
+}
+
+TEST(LnsAddTest, Commutes) {
+  support::Rng rng(2);
+  for (const LnsFormat& fmt : layouts()) {
+    for (int i = 0; i < 200; ++i) {
+      const LnsValue a = random_value(fmt, rng, (i & 1) != 0);
+      const LnsValue b = random_value(fmt, rng, (i & 2) != 0);
+      const LnsValue ab = lns_add(fmt, a, b);
+      const LnsValue ba = lns_add(fmt, b, a);
+      EXPECT_EQ(ab.zero, ba.zero);
+      EXPECT_EQ(ab.negative, ba.negative);
+      EXPECT_EQ(ab.exp_raw, ba.exp_raw);
+    }
+  }
+}
+
+TEST(LnsAddTest, DoublingIsExact) {
+  // d = 0, same signs: the Mitchell path degenerates to e + 2^Fe — an
+  // exact multiply by 2, no approximation error.
+  support::Rng rng(3);
+  for (const LnsFormat& fmt : layouts()) {
+    const std::int64_t one = std::int64_t{1} << fmt.exp_frac_bits();
+    for (int i = 0; i < 100; ++i) {
+      const LnsValue a = random_value(fmt, rng, (i & 1) != 0);
+      const LnsValue sum = lns_add(fmt, a, a);
+      ASSERT_FALSE(sum.zero);
+      EXPECT_EQ(sum.negative, a.negative);
+      EXPECT_EQ(sum.exp_raw, a.exp_raw + one) << fmt.to_string();
+    }
+  }
+}
+
+TEST(LnsAddTest, OppositeSignsEqualMagnitudeCancelToExactZero) {
+  support::Rng rng(4);
+  for (const LnsFormat& fmt : layouts()) {
+    for (int i = 0; i < 100; ++i) {
+      LnsValue a = random_value(fmt, rng, false);
+      LnsValue b = a;
+      b.negative = true;
+      EXPECT_TRUE(lns_add(fmt, a, b).zero) << fmt.to_string();
+      EXPECT_TRUE(lns_add(fmt, b, a).zero) << fmt.to_string();
+    }
+  }
+}
+
+TEST(LnsAddTest, SameSignErrorStaysWithinTheDocumentedBound) {
+  // fixed/lns.h: one addition perturbs the magnitude by a relative
+  // error of at most 2^(0.1722 + 2^-Fe) - 1 (same signs — cancellation
+  // amplifies, which is why the bound test excludes it).
+  support::Rng rng(5);
+  for (const LnsFormat& fmt : layouts()) {
+    const double bound =
+        std::pow(2.0, 0.1722 + std::pow(2.0, -fmt.exp_frac_bits())) - 1.0 +
+        1e-12;
+    for (int i = 0; i < 500; ++i) {
+      const bool neg = (i & 1) != 0;
+      const LnsValue a = random_value(fmt, rng, neg);
+      const LnsValue b = random_value(fmt, rng, neg);
+      const double exact = value_real(fmt, a) + value_real(fmt, b);
+      const double approx = value_real(fmt, lns_add(fmt, a, b));
+      const double rel = std::abs(approx - exact) / std::abs(exact);
+      EXPECT_LE(rel, bound)
+          << fmt.to_string() << " " << a.exp_raw << "+" << b.exp_raw;
+    }
+  }
+}
+
+TEST(LnsDotTest, IsAPureFunctionOfItsOperands) {
+  support::Rng rng(6);
+  for (const LnsFormat& fmt : layouts()) {
+    for (const AccumulatorMode acc :
+         {AccumulatorMode::kWide, AccumulatorMode::kNarrow}) {
+      std::vector<std::int64_t> w(17), x(17);
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        w[i] = lns_quantize(fmt, rng.uniform(-2.0, 2.0));
+        x[i] = lns_quantize(fmt, rng.uniform(-2.0, 2.0));
+      }
+      const std::int64_t first = lns_dot_raw(fmt, w.data(), x.data(),
+                                             w.size(), acc);
+      for (int rep = 0; rep < 5; ++rep) {
+        EXPECT_EQ(lns_dot_raw(fmt, w.data(), x.data(), w.size(), acc),
+                  first)
+            << fmt.to_string();
+      }
+    }
+  }
+}
+
+TEST(LnsDotTest, ZeroOperandsContributeNothing) {
+  const LnsFormat fmt = LnsFormat::matched(FixedFormat(2, 6));
+  const std::int64_t zero = lns_zero_word(fmt);
+  // w·x with every x zero is exact zero; interleaving zero terms into a
+  // product chain leaves the sequential accumulation unchanged.
+  std::vector<std::int64_t> w = {lns_quantize(fmt, 1.5),
+                                 lns_quantize(fmt, -0.75),
+                                 lns_quantize(fmt, 0.25)};
+  std::vector<std::int64_t> zeros(w.size(), zero);
+  EXPECT_EQ(lns_dot_raw(fmt, w.data(), zeros.data(), w.size()), zero);
+
+  std::vector<std::int64_t> x = {lns_quantize(fmt, 0.5),
+                                 lns_quantize(fmt, 1.0),
+                                 lns_quantize(fmt, -1.25)};
+  const std::int64_t dense = lns_dot_raw(fmt, w.data(), x.data(), w.size());
+  std::vector<std::int64_t> w2 = {w[0], zero, w[1], zero, w[2], zero};
+  std::vector<std::int64_t> x2 = {x[0], x[0], x[1], x[1], x[2], zero};
+  EXPECT_EQ(lns_dot_raw(fmt, w2.data(), x2.data(), w2.size()), dense);
+}
+
+TEST(LnsDotTest, EmptyDotIsExactZero) {
+  const LnsFormat fmt = LnsFormat::matched(FixedFormat(2, 4));
+  DotDiagnostics diag;
+  EXPECT_EQ(lns_dot_raw(fmt, nullptr, nullptr, 0, AccumulatorMode::kWide,
+                        &diag),
+            lns_zero_word(fmt));
+  EXPECT_EQ(diag.product_overflows, 0);
+  EXPECT_EQ(diag.accumulator_wraps, 0);
+  EXPECT_FALSE(diag.final_overflow);
+}
+
+TEST(LnsDotTest, DiagnosticsReportExponentSaturation) {
+  // Products of two max-magnitude words push the exponent adder past
+  // the grid: the diag taxonomy must see it, and the result must clamp
+  // to the storage range instead of wrapping.
+  const LnsFormat fmt = LnsFormat::matched(FixedFormat(2, 4));
+  const std::int64_t big = lns_quantize(fmt, fmt.max_magnitude());
+  std::vector<std::int64_t> w(4, big), x(4, big);
+  // Narrow: the product register is storage width, so every max·max
+  // product saturates the exponent adder and the accumulator keeps
+  // clamping at the top of the grid.
+  DotDiagnostics narrow;
+  const std::int64_t raw_n = lns_dot_raw(fmt, w.data(), x.data(), w.size(),
+                                         AccumulatorMode::kNarrow, &narrow);
+  EXPECT_EQ(narrow.product_overflows, 4);
+  EXPECT_GT(narrow.accumulator_wraps, 0);
+  EXPECT_EQ(lns_to_real(fmt, raw_n), fmt.max_magnitude());
+  // Wide: products ride unclamped guard bits; the only saturation
+  // event is the final store back to the storage grid.
+  DotDiagnostics wide;
+  const std::int64_t raw_w = lns_dot_raw(fmt, w.data(), x.data(), w.size(),
+                                         AccumulatorMode::kWide, &wide);
+  EXPECT_EQ(wide.product_overflows, 0);
+  EXPECT_EQ(wide.accumulator_wraps, 0);
+  EXPECT_TRUE(wide.final_overflow);
+  EXPECT_EQ(lns_to_real(fmt, raw_w), fmt.max_magnitude());
+}
+
+TEST(LnsDotTest, TracksTheRealDotOnBenignInputs) {
+  // Accumulated Mitchell error compounds per step: n same-sign
+  // additions stay within (1 + per_step)^n - 1 of the real dot.  This
+  // is the accuracy contract the eval sweep's error columns rest on.
+  support::Rng rng(7);
+  const LnsFormat fmt = LnsFormat::matched(FixedFormat(3, 7));
+  const double per_step =
+      std::pow(2.0, 0.1722 + std::pow(2.0, -fmt.exp_frac_bits())) - 1.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::int64_t> w(8), x(8);
+    double exact = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w[i] = lns_quantize(fmt, rng.uniform(0.1, 1.4));
+      x[i] = lns_quantize(fmt, rng.uniform(0.1, 1.4));
+      exact += lns_to_real(fmt, w[i]) * lns_to_real(fmt, x[i]);
+    }
+    const double got =
+        lns_to_real(fmt, lns_dot_raw(fmt, w.data(), x.data(), w.size()));
+    const double tol =
+        (std::pow(1.0 + per_step, static_cast<double>(w.size())) - 1.0) +
+        2.0 * per_step;  // + final storage-grid rounding slack
+    EXPECT_NEAR(got, exact, std::abs(exact) * tol) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace ldafp::fixed

@@ -1,0 +1,197 @@
+// LNS word layout and log-grid quantization: the format contracts the
+// rest of the backend builds on — pack/unpack round trips over every
+// W-bit pattern, the reserved exact-zero code, the monotonicity of
+// nearest-mode quantization promised by fixed/lns.h, flush-to-zero and
+// saturation at the grid edges, and the raw-word comparator's total
+// order.
+#include "fixed/lns.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "support/error.h"
+
+namespace ldafp::fixed {
+namespace {
+
+/// Every L<W> layout the matched() rule can produce for W in [4, 10] —
+/// small enough that exhaustive word sweeps stay fast.
+std::vector<LnsFormat> small_layouts() {
+  std::vector<LnsFormat> out;
+  for (int k = 1; k <= 4; ++k) {
+    for (int f = 0; f <= 8; ++f) {
+      const int w = k + f;
+      if (w < 4 || w > 10) continue;
+      out.push_back(LnsFormat::matched(FixedFormat(k, f)));
+    }
+  }
+  return out;
+}
+
+/// All 2^W sign-extended raw words of a layout.
+std::vector<std::int64_t> all_words(const LnsFormat& fmt) {
+  const int w = fmt.word_length();
+  std::vector<std::int64_t> words;
+  words.reserve(std::size_t{1} << w);
+  const std::int64_t lo = -(std::int64_t{1} << (w - 1));
+  const std::int64_t hi = (std::int64_t{1} << (w - 1)) - 1;
+  for (std::int64_t raw = lo; raw <= hi; ++raw) words.push_back(raw);
+  return words;
+}
+
+TEST(LnsFormatTest, MatchedLayoutIsDeterministicAndCoversQkfRange) {
+  for (int k = 1; k <= 4; ++k) {
+    for (int f = 0; f <= 10; ++f) {
+      if (k + f < 4) continue;
+      const FixedFormat qkf(k, f);
+      const LnsFormat lns = LnsFormat::matched(qkf);
+      // Same word-length budget W — the quantity the power model charges.
+      EXPECT_EQ(lns.word_length(), qkf.word_length())
+          << qkf.to_string() << " -> " << lns.to_string();
+      // Deterministic: a (K, F) key maps to exactly one layout.
+      EXPECT_EQ(lns, LnsFormat::matched(qkf));
+      // The log grid reaches the QK.F extremes (possibly beyond; never
+      // short of them, up to the grid's own spacing at the edges).
+      EXPECT_GE(lns.max_magnitude(), qkf.max_value() * 0.5)
+          << qkf.to_string() << " -> " << lns.to_string();
+      if (f > 0 && lns.exp_frac_bits() > 0) {
+        EXPECT_LE(lns.min_magnitude(), std::pow(2.0, -f) + 1e-12)
+            << qkf.to_string() << " -> " << lns.to_string();
+      }
+    }
+  }
+  // Too short for 1 sign + sign-carrying exponent + any range.
+  EXPECT_THROW(LnsFormat::matched(FixedFormat(2, 1)),
+               InvalidArgumentError);
+}
+
+TEST(LnsFormatTest, DisplayFormMatchesSpec) {
+  const LnsFormat fmt = LnsFormat::matched(FixedFormat(2, 4));
+  EXPECT_EQ(fmt.to_string(),
+            "L6e" + std::to_string(fmt.exp_integer_bits()) + "." +
+                std::to_string(fmt.exp_frac_bits()));
+}
+
+TEST(LnsFormatTest, PackUnpackRoundTripsEveryWord) {
+  for (const LnsFormat& fmt : small_layouts()) {
+    for (const std::int64_t raw : all_words(fmt)) {
+      const LnsValue v = lns_unpack(fmt, raw);
+      const std::int64_t repacked = lns_pack(fmt, v);
+      if (v.zero) {
+        // Zero canonicalizes: both sign bits over the zero-flag code
+        // decode to exact zero and repack to the one canonical word.
+        EXPECT_EQ(repacked, lns_zero_word(fmt)) << fmt.to_string();
+        EXPECT_EQ(lns_to_real(fmt, raw), 0.0) << fmt.to_string();
+      } else {
+        EXPECT_EQ(repacked, raw) << fmt.to_string() << " raw " << raw;
+        EXPECT_GE(v.exp_raw, fmt.exp_raw_min_normal());
+        EXPECT_LE(v.exp_raw, fmt.exp_raw_max());
+      }
+    }
+  }
+}
+
+TEST(LnsFormatTest, UnpackReadsOnlyLowBits) {
+  // Sign-extended and zero-extended representatives of the same W-bit
+  // pattern decode identically (the buffer/wire contract).
+  for (const LnsFormat& fmt : small_layouts()) {
+    const int w = fmt.word_length();
+    const std::int64_t mask = (std::int64_t{1} << w) - 1;
+    for (const std::int64_t raw : all_words(fmt)) {
+      const LnsValue a = lns_unpack(fmt, raw);
+      const LnsValue b = lns_unpack(fmt, raw & mask);
+      EXPECT_EQ(a.zero, b.zero);
+      EXPECT_EQ(a.negative, b.negative);
+      EXPECT_EQ(a.exp_raw, b.exp_raw);
+    }
+  }
+}
+
+TEST(LnsFormatTest, ZeroWordIsExactZero) {
+  for (const LnsFormat& fmt : small_layouts()) {
+    const std::int64_t zero = lns_zero_word(fmt);
+    EXPECT_TRUE(lns_unpack(fmt, zero).zero);
+    EXPECT_EQ(lns_to_real(fmt, zero), 0.0);
+    EXPECT_EQ(lns_quantize(fmt, 0.0), zero);
+  }
+}
+
+TEST(LnsQuantizeTest, MonotoneForNearestModesOverADenseSweep) {
+  // The doc promise: quantization is monotone in `value` for the
+  // nearest-rounding modes.  Sweep a dense strictly increasing sequence
+  // through the whole signed range (plus the flush/saturate fringes)
+  // and require the raw words to be value-ordered under lns_ge.
+  for (const LnsFormat& fmt : small_layouts()) {
+    for (const RoundingMode mode :
+         {RoundingMode::kNearestEven, RoundingMode::kNearestAway}) {
+      const double top = fmt.max_magnitude() * 4.0;
+      std::int64_t prev = lns_quantize(fmt, -top, mode);
+      for (int i = 1; i <= 800; ++i) {
+        const double value = -top + (2.0 * top) * (i / 800.0);
+        const std::int64_t cur = lns_quantize(fmt, value, mode);
+        EXPECT_TRUE(lns_ge(fmt, cur, prev))
+            << fmt.to_string() << " at " << value << " ("
+            << to_string(mode) << ")";
+        prev = cur;
+      }
+    }
+  }
+}
+
+TEST(LnsQuantizeTest, QuantizeIsIdempotentOnGridPoints) {
+  for (const LnsFormat& fmt : small_layouts()) {
+    for (const std::int64_t raw : all_words(fmt)) {
+      const double real = lns_to_real(fmt, raw);
+      const std::int64_t again = lns_quantize(fmt, real);
+      EXPECT_EQ(lns_to_real(fmt, again), real)
+          << fmt.to_string() << " raw " << raw;
+    }
+  }
+}
+
+TEST(LnsQuantizeTest, FlushesToZeroBelowMinMagnitude) {
+  for (const LnsFormat& fmt : small_layouts()) {
+    const double tiny = fmt.min_magnitude() * 0.25;
+    EXPECT_EQ(lns_quantize(fmt, tiny), lns_zero_word(fmt));
+    EXPECT_EQ(lns_quantize(fmt, -tiny), lns_zero_word(fmt));
+    EXPECT_EQ(lns_quantize(fmt, 0.0), lns_zero_word(fmt));
+  }
+}
+
+TEST(LnsQuantizeTest, SaturatesAboveMaxMagnitudeIncludingInfinity) {
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const LnsFormat& fmt : small_layouts()) {
+    const double max = fmt.max_magnitude();
+    for (const double value : {max * 8.0, inf}) {
+      EXPECT_EQ(lns_to_real(fmt, lns_quantize(fmt, value)), max);
+      EXPECT_EQ(lns_to_real(fmt, lns_quantize(fmt, -value)), -max);
+    }
+  }
+}
+
+TEST(LnsQuantizeTest, NanThrows) {
+  const LnsFormat fmt = LnsFormat::matched(FixedFormat(2, 4));
+  EXPECT_THROW(lns_quantize(fmt, std::numeric_limits<double>::quiet_NaN()),
+               InvalidArgumentError);
+}
+
+TEST(LnsCompareTest, GeIsATotalOrderConsistentWithReals) {
+  for (const LnsFormat& fmt : small_layouts()) {
+    if (fmt.word_length() > 7) continue;  // keep the O(4^W) pair sweep fast
+    const std::vector<std::int64_t> words = all_words(fmt);
+    for (const std::int64_t a : words) {
+      for (const std::int64_t b : words) {
+        const double ra = lns_to_real(fmt, a);
+        const double rb = lns_to_real(fmt, b);
+        EXPECT_EQ(lns_ge(fmt, a, b), ra >= rb)
+            << fmt.to_string() << ": " << a << " vs " << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldafp::fixed

@@ -1,0 +1,111 @@
+// Cycle-level LNS MAC vs the functional model: hw::MacDatapath's LNS
+// schedule must reproduce the Datapath dot and comparator bit for bit,
+// with the cycle count and overflow taxonomy the power model charges
+// for.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/classifier.h"
+#include "fixed/datapath.h"
+#include "fixed/lns.h"
+#include "hw/mac_datapath.h"
+#include "hw/power_model.h"
+#include "support/rng.h"
+
+namespace ldafp::hw {
+namespace {
+
+using linalg::Vector;
+
+Vector random_vector(std::size_t dim, double range, support::Rng& rng) {
+  Vector x(dim);
+  for (std::size_t m = 0; m < dim; ++m) x[m] = rng.uniform(-range, range);
+  return x;
+}
+
+TEST(LnsHwTest, MacTraceMatchesFunctionalDatapathBitForBit) {
+  support::Rng rng(17);
+  const std::vector<fixed::FixedFormat> formats = {
+      {2, 2}, {2, 4}, {3, 5}, {2, 6}, {4, 8}};
+  for (const auto& fmt : formats) {
+    for (const auto mode : {fixed::RoundingMode::kNearestEven,
+                            fixed::RoundingMode::kNearestAway}) {
+      for (const auto acc : {fixed::AccumulatorMode::kWide,
+                             fixed::AccumulatorMode::kNarrow}) {
+        const std::size_t dim = 9;
+        const Vector weights = random_vector(dim, 1.5, rng);
+        const double threshold = rng.uniform(-1.0, 1.0);
+        const MacDatapath mac(fmt, weights, threshold, mode, acc,
+                              fixed::DatapathKind::kLns);
+        const core::FixedClassifier clf(fmt, weights, threshold, mode, acc,
+                                        fixed::DatapathKind::kLns);
+        ASSERT_EQ(mac.kind(), fixed::DatapathKind::kLns);
+        for (int trial = 0; trial < 32; ++trial) {
+          // Past the representable range so saturation paths fire too.
+          const Vector x = random_vector(
+              dim, 2.0 * fixed::LnsFormat::matched(fmt).max_magnitude(),
+              rng);
+          const MacTrace trace = mac.run(x);
+          fixed::DotDiagnostics diag;
+          const std::int64_t expected = clf.project_raw(x, &diag);
+          EXPECT_EQ(trace.result_raw, expected)
+              << fmt.to_string() << " trial " << trial;
+          EXPECT_EQ(trace.decision_class_a,
+                    clf.classify(x) == core::Label::kClassA)
+              << fmt.to_string() << " trial " << trial;
+          EXPECT_EQ(trace.cycles, static_cast<std::int64_t>(dim) + 1);
+          EXPECT_EQ(trace.product_overflows, diag.product_overflows);
+          EXPECT_EQ(trace.accumulator_wraps, diag.accumulator_wraps);
+          EXPECT_EQ(trace.final_overflow, diag.final_overflow);
+        }
+      }
+    }
+  }
+}
+
+TEST(LnsHwTest, LnsWeightsAreQuantizedToTheLogGridOnLoad) {
+  // The ROM loader's LNS contract: arbitrary real weights land on the
+  // nearest log-grid point (exact representability is a QK.F-only
+  // notion), and the loaded words equal the classifier's.
+  const fixed::FixedFormat fmt(2, 4);
+  const Vector weights({0.7, -0.3, 1.9, 0.0});
+  const MacDatapath mac(fmt, weights, 0.25,
+                        fixed::RoundingMode::kNearestEven,
+                        fixed::AccumulatorMode::kWide,
+                        fixed::DatapathKind::kLns);
+  const core::FixedClassifier clf(fmt, weights, 0.25,
+                                  fixed::RoundingMode::kNearestEven,
+                                  fixed::AccumulatorMode::kWide,
+                                  fixed::DatapathKind::kLns);
+  const Vector x({1.0, 1.0, 1.0, 1.0});
+  EXPECT_EQ(mac.run(x).result_raw, clf.project_raw(x));
+}
+
+TEST(LnsHwTest, PowerModelChargesLinearLnsVsQuadraticFixed) {
+  // The design argument of the whole backend: the LNS MAC has no
+  // multiplier array, so its default power law is linear in W while
+  // the two's-complement MAC grows quadratically — and the curves
+  // cross inside the practical word-length range.
+  const PowerModel power;
+  double prev_ratio = 0.0;
+  for (const int w : {4, 6, 8, 12, 16}) {
+    const double fixed_p =
+        power.power(fixed::DatapathKind::kTwosComplement, w);
+    const double lns_p = power.power(fixed::DatapathKind::kLns, w);
+    const double ratio = fixed_p / lns_p;
+    EXPECT_GT(ratio, prev_ratio) << "W=" << w;  // gap widens with W
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(power.power(fixed::DatapathKind::kTwosComplement, 8),
+            power.power(fixed::DatapathKind::kLns, 8));
+  // Energy scales with the serial schedule length M + 1 on both.
+  const double e1 = power.energy_per_classification(
+      fixed::DatapathKind::kLns, 8, 10);
+  const double e2 = power.energy_per_classification(
+      fixed::DatapathKind::kLns, 8, 20);
+  EXPECT_NEAR(e2 / e1, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ldafp::hw

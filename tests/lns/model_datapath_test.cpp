@@ -1,0 +1,183 @@
+// The model format's datapath section (format v2): LNS classifiers
+// round-trip bit for bit with their backend tag, two's-complement
+// models keep writing byte-compatible version-1 files, and every
+// malformed datapath section maps to its taxonomy code — never a crash,
+// never a model silently decoded on the wrong arithmetic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "fixed/datapath.h"
+#include "model/model_io.h"
+#include "support/crc32.h"
+#include "support/wire.h"
+
+namespace ldafp::model {
+namespace {
+
+using linalg::Vector;
+
+core::FixedClassifier make_classifier(
+    const fixed::FixedFormat& fmt, fixed::DatapathKind kind,
+    std::size_t dim = 5,
+    fixed::RoundingMode mode = fixed::RoundingMode::kNearestEven,
+    fixed::AccumulatorMode acc = fixed::AccumulatorMode::kWide) {
+  Vector weights(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    weights[i] = (static_cast<double>(i) - 2.0) * 0.35;
+  }
+  return core::FixedClassifier(fmt, weights, 0.4375, mode, acc, kind);
+}
+
+std::vector<std::uint8_t> with_fresh_crc(std::vector<std::uint8_t> bytes) {
+  const std::uint32_t crc = support::crc32(bytes.data(), bytes.size() - 4);
+  bytes.resize(bytes.size() - 4);
+  support::put_u32le(bytes, crc);
+  return bytes;
+}
+
+TEST(ModelDatapathTest, LnsModelRoundTripsBitForBit) {
+  const std::vector<std::pair<int, int>> formats = {
+      {2, 2}, {2, 4}, {3, 5}, {2, 10}};
+  const fixed::RoundingMode roundings[] = {
+      fixed::RoundingMode::kNearestEven, fixed::RoundingMode::kNearestAway,
+      fixed::RoundingMode::kTowardZero, fixed::RoundingMode::kFloor};
+  for (const auto& [k, f] : formats) {
+    for (const fixed::RoundingMode mode : roundings) {
+      for (const fixed::AccumulatorMode acc :
+           {fixed::AccumulatorMode::kWide, fixed::AccumulatorMode::kNarrow}) {
+        const core::FixedClassifier original = make_classifier(
+            fixed::FixedFormat(k, f), fixed::DatapathKind::kLns, 5, mode,
+            acc);
+        const DecodeResult round = decode_model(encode_model({original, {}}));
+        ASSERT_TRUE(round.ok()) << to_string(round.error);
+        const core::FixedClassifier& loaded = round.model->classifier;
+        EXPECT_EQ(loaded.datapath_kind(), fixed::DatapathKind::kLns);
+        EXPECT_EQ(loaded.format(), original.format());
+        EXPECT_EQ(loaded.rounding(), mode);
+        EXPECT_EQ(loaded.accumulator(), acc);
+        // Raw-word identity — the only equality that survives a log
+        // grid (its reals are irrational; a real-value round trip
+        // would drift).
+        EXPECT_EQ(loaded.threshold_raw(), original.threshold_raw());
+        ASSERT_EQ(loaded.weight_words(), original.weight_words());
+      }
+    }
+  }
+}
+
+TEST(ModelDatapathTest, TwosComplementModelsStayVersion1) {
+  // The saver writes the lowest sufficient version: a TC model must
+  // keep producing a version-1 two-section file old loaders read.
+  const std::vector<std::uint8_t> bytes = encode_model(
+      {make_classifier(fixed::FixedFormat(3, 3),
+                       fixed::DatapathKind::kTwosComplement),
+       {}});
+  EXPECT_EQ(support::get_u16le(bytes.data() + 4), 1u);  // format_version
+  EXPECT_EQ(support::get_u16le(bytes.data() + 6), 2u);  // section_count
+  const DecodeResult round = decode_model(bytes);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.model->classifier.datapath_kind(),
+            fixed::DatapathKind::kTwosComplement);
+}
+
+TEST(ModelDatapathTest, LnsModelsAreVersion2WithADatapathSection) {
+  const std::vector<std::uint8_t> bytes = encode_model(
+      {make_classifier(fixed::FixedFormat(2, 4), fixed::DatapathKind::kLns),
+       {}});
+  EXPECT_EQ(support::get_u16le(bytes.data() + 4), 2u);  // format_version
+  EXPECT_EQ(support::get_u16le(bytes.data() + 6), 3u);  // section_count
+  // The datapath section is the trailing one: { id=3, reserved, len=1,
+  // payload=kLns } just before the CRC.
+  const std::size_t section_start = bytes.size() - 4 - 8 - 1;
+  EXPECT_EQ(support::get_u16le(bytes.data() + section_start), 3u);
+  EXPECT_EQ(support::get_u32le(bytes.data() + section_start + 4), 1u);
+  EXPECT_EQ(bytes[bytes.size() - 5], 1u);  // DatapathKind::kLns wire code
+}
+
+TEST(ModelDatapathTest, DatapathSectionInAVersion1FileIsBadSection) {
+  // A version-1 loader never defined section id 3; the version gate
+  // must hold even though this loader understands the section.
+  std::vector<std::uint8_t> bytes = encode_model(
+      {make_classifier(fixed::FixedFormat(2, 4), fixed::DatapathKind::kLns),
+       {}});
+  bytes[4] = 1;
+  bytes[5] = 0;
+  EXPECT_EQ(decode_model(with_fresh_crc(std::move(bytes))).error,
+            LoadError::kBadSection);
+}
+
+TEST(ModelDatapathTest, UnknownDatapathCodeIsBadSection) {
+  std::vector<std::uint8_t> bytes = encode_model(
+      {make_classifier(fixed::FixedFormat(2, 4), fixed::DatapathKind::kLns),
+       {}});
+  bytes[bytes.size() - 5] = 7;  // no such backend
+  EXPECT_EQ(decode_model(with_fresh_crc(std::move(bytes))).error,
+            LoadError::kBadSection);
+}
+
+TEST(ModelDatapathTest, DuplicateDatapathSectionIsBadSection) {
+  std::vector<std::uint8_t> bytes = encode_model(
+      {make_classifier(fixed::FixedFormat(2, 4), fixed::DatapathKind::kLns),
+       {}});
+  // Append a second datapath section and bump section_count.
+  bytes.resize(bytes.size() - 4);  // drop the CRC
+  support::put_u16le(bytes, 3);    // section id kDatapath
+  support::put_u16le(bytes, 0);    // reserved
+  support::put_u32le(bytes, 1);    // payload_len
+  bytes.push_back(0);              // payload: kTwosComplement
+  const std::uint16_t sections =
+      static_cast<std::uint16_t>(support::get_u16le(bytes.data() + 6) + 1);
+  bytes[6] = static_cast<std::uint8_t>(sections & 0xff);
+  bytes[7] = static_cast<std::uint8_t>(sections >> 8);
+  const std::uint32_t crc = support::crc32(bytes.data(), bytes.size());
+  support::put_u32le(bytes, crc);
+  EXPECT_EQ(decode_model(bytes).error, LoadError::kBadSection);
+}
+
+TEST(ModelDatapathTest, OversizedDatapathPayloadIsBadSection) {
+  std::vector<std::uint8_t> bytes = encode_model(
+      {make_classifier(fixed::FixedFormat(2, 4), fixed::DatapathKind::kLns),
+       {}});
+  // Grow the trailing section's payload from 1 to 2 bytes.
+  const std::size_t header = bytes.size() - 4 - 8 - 1;
+  bytes[header + 4] = 2;             // payload_len lives little-endian
+  bytes.insert(bytes.end() - 4, 0);  // the extra payload byte
+  EXPECT_EQ(decode_model(with_fresh_crc(std::move(bytes))).error,
+            LoadError::kBadSection);
+}
+
+TEST(ModelDatapathTest, LnsEnvelopeViolationInTheFileIsBadSection) {
+  // A classifier section declaring W = 3 alongside an LNS datapath tag
+  // cannot be constructed (LNS needs W >= 4) — the loader must reject
+  // it as a bad section, not crash in the datapath factory.
+  std::vector<std::uint8_t> bytes = encode_model(
+      {make_classifier(fixed::FixedFormat(2, 2), fixed::DatapathKind::kLns),
+       {}});
+  // The classifier payload opens with u8 integer_bits, u8 frac_bits at
+  // the first section's payload (offset 16).
+  ASSERT_EQ(support::get_u16le(bytes.data() + 8), 1u);  // kClassifier
+  bytes[17] = 1;                                        // frac_bits 2 -> 1
+  EXPECT_EQ(decode_model(with_fresh_crc(std::move(bytes))).error,
+            LoadError::kBadSection);
+}
+
+TEST(ModelDatapathTest, MetadataSidecarNamesTheBackend) {
+  const std::string lns_json = metadata_json(
+      {make_classifier(fixed::FixedFormat(2, 4), fixed::DatapathKind::kLns),
+       {}});
+  EXPECT_NE(lns_json.find("\"datapath\":\"lns\""), std::string::npos)
+      << lns_json;
+  const std::string tc_json = metadata_json(
+      {make_classifier(fixed::FixedFormat(2, 4),
+                       fixed::DatapathKind::kTwosComplement),
+       {}});
+  EXPECT_NE(tc_json.find("\"datapath\":\"fixed\""), std::string::npos)
+      << tc_json;
+}
+
+}  // namespace
+}  // namespace ldafp::model

@@ -193,25 +193,28 @@ TEST(ModelIoTest, BadMagicIsRejectedBeforeAnythingElse) {
   EXPECT_EQ(decode_model(bytes).error, LoadError::kBadMagic);
 }
 
-TEST(ModelIoTest, VersionSkewIsBadVersion) {
-  std::vector<std::uint8_t> bytes =
-      encode_model({make_classifier(fixed::FixedFormat(3, 3), 4), {}});
-  bytes[4] = 2;  // format_version 2
-  // Version is checked before the CRC, so the stale checksum does not
-  // mask the skew...
-  EXPECT_EQ(decode_model(bytes).error, LoadError::kBadVersion);
-  // ...and a well-formed version-2 file (valid CRC) is still rejected.
-  const std::uint32_t crc = support::crc32(bytes.data(), bytes.size() - 4);
-  bytes.resize(bytes.size() - 4);
-  support::put_u32le(bytes, crc);
-  EXPECT_EQ(decode_model(bytes).error, LoadError::kBadVersion);
-}
-
 std::vector<std::uint8_t> with_fresh_crc(std::vector<std::uint8_t> bytes) {
   const std::uint32_t crc = support::crc32(bytes.data(), bytes.size() - 4);
   bytes.resize(bytes.size() - 4);
   support::put_u32le(bytes, crc);
   return bytes;
+}
+
+TEST(ModelIoTest, VersionSkewIsBadVersion) {
+  std::vector<std::uint8_t> bytes =
+      encode_model({make_classifier(fixed::FixedFormat(3, 3), 4), {}});
+  bytes[4] = kFormatVersion + 1;  // one past the newest readable version
+  // Version is checked before the CRC, so the stale checksum does not
+  // mask the skew...
+  EXPECT_EQ(decode_model(bytes).error, LoadError::kBadVersion);
+  // ...and a well-formed future-version file (valid CRC) is still
+  // rejected.
+  EXPECT_EQ(decode_model(with_fresh_crc(bytes)).error,
+            LoadError::kBadVersion);
+  // Version 0 never existed.
+  bytes[4] = 0;
+  EXPECT_EQ(decode_model(with_fresh_crc(std::move(bytes))).error,
+            LoadError::kBadVersion);
 }
 
 TEST(ModelIoTest, UnknownSectionIdIsBadSection) {
